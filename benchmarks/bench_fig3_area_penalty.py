@@ -1,0 +1,44 @@
+"""Fig. 3 regeneration: area penalty of two-stage [4] over the heuristic.
+
+Asserts the published shape -- the mean penalty is (a) non-trivial once
+latency slack exists and (b) grows from the 0%-relaxation column to the
+30% column -- and benchmarks the heuristic side of the sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import samples
+
+from repro.core.dpalloc import allocate
+from repro.experiments import build_case, fig3
+
+
+def test_fig3_table_shape_and_trend(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig3.run(
+            sizes=(4, 8, 12, 16, 20, 24),
+            relaxations=(0.0, 0.1, 0.2, 0.3),
+            samples=samples(12),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig3.render(result))
+
+    tight = [result.mean_penalty[(n, 0.0)] for n in result.sizes]
+    slack = [result.mean_penalty[(n, 0.3)] for n in result.sizes]
+    # Penalty grows with relaxation for every size (paper Fig. 3).
+    grown = sum(1 for t, s in zip(tight, slack) if s > t)
+    assert grown >= len(result.sizes) - 1, (tight, slack)
+    # "Even for relatively small graphs, area improvements of tens of
+    # percent are possible": the 30% column must average >= 10%.
+    assert sum(slack) / len(slack) >= 10.0, slack
+    # At lambda_min there is little room; the mean penalty stays small.
+    assert sum(tight) / len(tight) < 15.0, tight
+
+
+def test_fig3_heuristic_cell_benchmark(benchmark):
+    """Time one (|O|=16, 30% relaxation) heuristic allocation."""
+    case = build_case(16, sample=0, relaxation=0.3)
+    benchmark(lambda: allocate(case.problem))

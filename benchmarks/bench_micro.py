@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the heuristic's building blocks.
+
+These track where DPAlloc's polynomial runtime actually goes (the paper
+reports only end-to-end times): resource-set extraction, scheduling-set
+covering, list scheduling under Eqn. 3, Bindselect, and one full
+refinement iteration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.binding import bindselect
+from repro.core.refinement import refine_once
+from repro.core.scheduling import list_schedule
+from repro.core.wcg import WordlengthCompatibilityGraph
+from repro.experiments import build_case
+
+
+@pytest.fixture(scope="module")
+def big_case():
+    return build_case(24, sample=0, relaxation=0.2)
+
+
+@pytest.fixture(scope="module")
+def big_wcg(big_case):
+    problem = big_case.problem
+    return WordlengthCompatibilityGraph(
+        problem.graph.operations, problem.resource_set(), problem.latency_model
+    )
+
+
+def test_bench_resource_extraction(benchmark, big_case):
+    benchmark(lambda: big_case.problem.resource_set())
+
+
+def test_bench_scheduling_set(benchmark, big_wcg):
+    benchmark(big_wcg.scheduling_set)
+
+
+def test_bench_list_schedule_eqn3(benchmark, big_case, big_wcg):
+    latencies = big_wcg.upper_bound_latencies()
+    benchmark(
+        lambda: list_schedule(
+            big_case.problem.graph, big_wcg, latencies, {"mul": 2, "add": 1}
+        )
+    )
+
+
+def test_bench_bindselect(benchmark, big_case, big_wcg):
+    problem = big_case.problem
+    latencies = big_wcg.upper_bound_latencies()
+    schedule = list_schedule(problem.graph, big_wcg, latencies)
+    benchmark(
+        lambda: bindselect(big_wcg, schedule, latencies, problem.area_model)
+    )
+
+
+def test_bench_one_refinement(benchmark, big_case):
+    problem = big_case.problem
+
+    def one_iteration():
+        wcg = WordlengthCompatibilityGraph(
+            problem.graph.operations, problem.resource_set(),
+            problem.latency_model,
+        )
+        latencies = wcg.upper_bound_latencies()
+        schedule = list_schedule(problem.graph, wcg, latencies)
+        binding = bindselect(wcg, schedule, latencies, problem.area_model)
+        refine_once(
+            wcg, problem.graph.names, problem.graph.edges(), schedule,
+            binding, problem.latency_constraint,
+        )
+
+    benchmark(one_iteration)

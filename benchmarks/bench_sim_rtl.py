@@ -1,0 +1,57 @@
+"""Throughput benches for the verification back-ends.
+
+Tracks the cost of the functional-verification path (golden evaluation,
+cycle-accurate simulation, RTL-semantics execution, Verilog emission) on
+a representative kernel -- these run inside test loops, so regressions
+here slow the whole suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dpalloc import allocate
+from repro.core.problem import Problem
+from repro.gen.workloads import conv3x3_netlist
+from repro.rtl import execute_rtl_semantics, generate_verilog
+from repro.sim import evaluate, simulate
+
+
+def _setup():
+    netlist = conv3x3_netlist()
+    scratch = Problem(netlist.graph, latency_constraint=1_000_000)
+    problem = scratch.with_latency_constraint(2 * scratch.minimum_latency())
+    datapath = allocate(problem)
+    rng = random.Random(0)
+    values = {
+        name: rng.randrange(1 << width)
+        for name, width in netlist.free_signals().items()
+    }
+    return netlist, datapath, values
+
+
+def test_bench_reference_evaluate(benchmark):
+    netlist, _, values = _setup()
+    benchmark(lambda: evaluate(netlist, values))
+
+
+def test_bench_simulate(benchmark):
+    netlist, datapath, values = _setup()
+    benchmark(lambda: simulate(netlist, datapath, values))
+
+
+def test_bench_simulate_unchecked(benchmark):
+    netlist, datapath, values = _setup()
+    benchmark(
+        lambda: simulate(netlist, datapath, values, check_reference=False)
+    )
+
+
+def test_bench_rtl_semantics(benchmark):
+    netlist, datapath, values = _setup()
+    benchmark(lambda: execute_rtl_semantics(netlist, datapath, values))
+
+
+def test_bench_verilog_emission(benchmark):
+    netlist, datapath, _ = _setup()
+    benchmark(lambda: generate_verilog(netlist, datapath))

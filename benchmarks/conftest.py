@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+``REPRO_SAMPLES`` scales the per-point graph count (paper fidelity: 200).
+The defaults keep ``pytest benchmarks/ --benchmark-only`` in the
+minutes range while preserving every trend under test.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def samples(default: int) -> int:
+    env = os.environ.get("REPRO_SAMPLES")
+    return max(1, int(env)) if env else default

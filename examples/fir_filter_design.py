@@ -1,0 +1,86 @@
+"""Designing a multiple-wordlength FIR filter datapath, all methods.
+
+The introduction of the paper motivates multiple-wordlength synthesis
+with DSP kernels whose coefficient wordlengths differ tap by tap.  This
+script designs a 6-tap FIR with tapering coefficient widths using every
+allocator in the library -- the DPAlloc heuristic, the optimal ILP [5],
+the two-stage baseline [4], descending-wordlength clique partitioning
+[14], and the uniform-wordlength (DSP-processor style) design -- across
+a sweep of latency constraints.
+
+Run with::
+
+    python examples/fir_filter_design.py
+"""
+
+from repro import InfeasibleError, Problem, allocate, validate_datapath
+from repro.analysis.reporting import format_table
+from repro.baselines.clique_sort import allocate_clique_sort
+from repro.baselines.fds import allocate_fds
+from repro.baselines.ilp import allocate_ilp
+from repro.baselines.two_stage import allocate_two_stage
+from repro.baselines.uniform import allocate_uniform
+from repro.gen.workloads import fir_filter
+
+
+def attempt(fn, problem):
+    try:
+        dp = fn(problem)
+        if isinstance(dp, tuple):
+            dp = dp[0]
+        validate_datapath(problem, dp)
+        return f"{dp.area:g}"
+    except InfeasibleError:
+        return "infeasible"
+
+
+def main() -> None:
+    graph = fir_filter(taps=6, data_width=12)
+    widths = [
+        op.operand_widths for op in graph.operations if op.kind == "mul"
+    ]
+    print(f"6-tap FIR, per-tap multiply widths: {widths}")
+
+    scratch = Problem(graph, latency_constraint=1_000_000)
+    lambda_min = scratch.minimum_latency()
+    print(f"lambda_min = {lambda_min} cycles\n")
+
+    rows = []
+    for relaxation in (0.0, 0.2, 0.5, 1.0, 2.0):
+        constraint = max(1, int(lambda_min * (1 + relaxation)))
+        problem = scratch.with_latency_constraint(constraint)
+        rows.append(
+            [
+                f"{int(relaxation * 100)}%",
+                constraint,
+                attempt(allocate, problem),
+                attempt(lambda p: allocate_ilp(p, time_limit=60.0), problem),
+                attempt(allocate_two_stage, problem),
+                attempt(allocate_fds, problem),
+                attempt(allocate_clique_sort, problem),
+                attempt(allocate_uniform, problem),
+            ]
+        )
+
+    print(format_table(
+        ["relax", "lambda", "DPAlloc", "ILP [5]", "two-stage [4]",
+         "FDS", "clique-sort [14]", "uniform"],
+        rows,
+        title="Area by method and latency constraint (smaller is better)",
+    ))
+    print(
+        "\nReading: the two-stage and clique-sort baselines cannot exploit "
+        "slack (their\ncolumns are constant), while the heuristic tracks the "
+        "ILP optimum as slack grows.\nForce-directed scheduling (FDS) shows "
+        "how far classical wordlength-blind slack\nexploitation goes: it "
+        "serialises within equal-latency classes and then its\ncolumn goes "
+        "flat -- the rest of the gap is the paper's contribution, sharing\n"
+        "across wordlengths on larger, slower units.  The uniform design is "
+        "infeasible\nat tight constraints; on this kernel it catches up at "
+        "high slack because the\nwidest tap dominates anyway -- see "
+        "fig1_motivational.py for a kernel where\nuniformity stays expensive."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Interconnect-aware area reporting: units + multiplexers + registers.
+
+The paper's cost model counts functional units only.  This script
+allocates a 6-tap FIR at several latency constraints and charges the full
+datapath -- units, operand multiplexers (sharing's hidden cost) and
+registers (left-edge allocated) -- then exports the most shared design as
+structural Verilog so the muxes are visible in the RTL.
+
+Run with::
+
+    python examples/interconnect_report.py
+"""
+
+from repro import Problem, allocate, validate_datapath
+from repro.analysis.interconnect import estimate_interconnect
+from repro.analysis.reporting import format_table
+from repro.gen.workloads import fir_filter_netlist
+from repro.rtl import generate_verilog
+
+
+def main() -> None:
+    netlist = fir_filter_netlist(taps=6, data_width=12)
+    scratch = Problem(netlist.graph, latency_constraint=1_000_000)
+    lam_min = scratch.minimum_latency()
+
+    rows = []
+    most_shared = None
+    for relaxation in (0.0, 0.5, 1.0, 2.0):
+        constraint = max(1, int(lam_min * (1 + relaxation)))
+        problem = scratch.with_latency_constraint(constraint)
+        datapath = allocate(problem)
+        validate_datapath(problem, datapath)
+        report = estimate_interconnect(netlist, datapath, problem.area_model)
+        rows.append([
+            f"{int(relaxation * 100)}%",
+            datapath.unit_count(),
+            f"{report.unit_area:g}",
+            f"{report.mux_area:g}",
+            f"{report.register_area:g} ({report.register_count} regs)",
+            f"{report.total_area:g}",
+        ])
+        most_shared = (problem, datapath)
+
+    print(format_table(
+        ["relax", "units", "unit area", "mux area", "register area", "total"],
+        rows,
+        title="6-tap FIR: full datapath cost as sharing increases",
+    ))
+    print(
+        "\nReading: unit area falls as slack enables sharing; multiplexer "
+        "area rises with\nthe number of operations funnelled through each "
+        "unit port.  The net total still\nfavours sharing on this kernel."
+    )
+
+    problem, datapath = most_shared
+    design = generate_verilog(netlist, datapath, module_name="fir6")
+    mux_arms = design.source.count("if (cnt >=")
+    print(
+        f"\nVerilog for the most shared design: {design.unit_count} units, "
+        f"{mux_arms} mux arms,\n{len(design.source.splitlines())} lines "
+        f"(see repro.rtl.generate_verilog)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Quickstart: allocate a small multiple-wordlength datapath.
+
+Builds a tiny fixed-point DFG with the signal-level builder, runs the
+paper's DPAlloc heuristic under two latency constraints, and prints the
+resulting schedules/bindings.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DFGBuilder, Problem, allocate, validate_datapath
+
+
+def main() -> None:
+    # y = (x * c1) + (x * c2), with differently quantised coefficients.
+    builder = DFGBuilder()
+    x = builder.input("x", 12)
+    c1 = builder.constant("c1", 10)
+    c2 = builder.constant("c2", 5)
+    p1 = builder.mul(x, c1, name="p1", out_width=16)
+    p2 = builder.mul(x, c2, name="p2", out_width=16)
+    builder.add(p1, p2, name="y")
+    graph = builder.graph()
+
+    scratch = Problem(graph, latency_constraint=1_000_000)
+    lambda_min = scratch.minimum_latency()
+    print(f"graph: {len(graph)} operations, lambda_min = {lambda_min} cycles")
+
+    for label, constraint in (
+        ("tight (lambda_min)", lambda_min),
+        ("relaxed (+100%)", 2 * lambda_min),
+    ):
+        problem = scratch.with_latency_constraint(constraint)
+        datapath = allocate(problem)
+        validate_datapath(problem, datapath)  # independent checker
+        print(f"\n=== {label}: lambda = {constraint} ===")
+        print(datapath.summary())
+
+
+if __name__ == "__main__":
+    main()

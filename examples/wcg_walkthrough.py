@@ -1,0 +1,63 @@
+"""Walkthrough of the wordlength compatibility graph (paper Fig. 2).
+
+Reconstructs the paper's section 2.1/2.2 example: two multiplies, one of
+which is refined away from the big '20x18 mult' resource-wordlength, and
+shows why the classic per-step resource constraint (Eqn. 2) wrongly
+accepts a one-multiplier schedule that the paper's Eqn. 3 correctly
+rejects -- the situation that motivates scheduling with incomplete
+wordlength information.
+
+Run with::
+
+    python examples/wcg_walkthrough.py
+"""
+
+from repro.core.scheduling import Eqn2Tracker, Eqn3Tracker
+from repro.core.wcg import WordlengthCompatibilityGraph
+from repro.ir.ops import Operation
+from repro.resources.latency import SonicLatencyModel
+from repro.resources.types import ResourceType
+
+
+def show_h(wcg: WordlengthCompatibilityGraph) -> None:
+    for op in wcg.operations:
+        edges = ", ".join(str(r) for r in wcg.compatible_resources(op.name))
+        bound = wcg.upper_bound_latency(op.name)
+        print(f"  H({op.name}) = {{{edges}}}   L_{op.name} = {bound}")
+
+
+def main() -> None:
+    latency = SonicLatencyModel()
+    big = ResourceType("mul", (20, 18))   # 5 cycles
+    small = ResourceType("mul", (8, 8))   # 2 cycles
+    o1 = Operation("o1", "mul", (8, 8))
+    o2 = Operation("o2", "mul", (20, 18))
+
+    wcg = WordlengthCompatibilityGraph([o1, o2], [big, small], latency)
+    print("initial wordlength compatibility graph:")
+    show_h(wcg)
+    print(f"  scheduling set S = {[str(s) for s in wcg.scheduling_set()]}")
+
+    print("\nrefine o1 (delete its slowest H edges, as DPAlloc would):")
+    deleted = wcg.refine("o1")
+    print(f"  deleted edges: {[str(r) for r in deleted]}")
+    show_h(wcg)
+    print(f"  scheduling set S = {[str(s) for s in wcg.scheduling_set()]}")
+
+    print(
+        "\nCan the refined graph be scheduled 'using one multiplier'?  The\n"
+        "ops can be serialised in time, but they now need two different\n"
+        "resource-wordlengths -- two physical units:"
+    )
+    eqn2 = Eqn2Tracker(wcg, {"mul": 1})
+    eqn2.place("o1", 0, 2)
+    print(f"  Eqn. 2 admits o2 at step 10: {eqn2.admits('o2', 10, 5)}   (wrong)")
+
+    eqn3 = Eqn3Tracker(wcg, {"mul": 1})
+    eqn3.place("o1", 0, 2)
+    print(f"  Eqn. 3 admits o2 at step 10: {eqn3.admits('o2', 10, 5)}   (correct)")
+    print(f"  Eqn. 3 LHS for 'mul' after placing both would be 2 > N = 1")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro -- heuristic datapath allocation for multiple wordlength systems.
+
+A production-quality reproduction of Constantinides, Cheung & Luk,
+*Heuristic Datapath Allocation for Multiple Wordlength Systems*,
+DATE 2001.  The package provides:
+
+* the paper's heuristic (:func:`allocate` / Algorithm DPAlloc) solving
+  the combined scheduling, resource-binding and wordlength-selection
+  problem;
+* the substrates it stands on: sequencing graphs, resource-wordlength
+  models, the wordlength compatibility graph, an Eqn.-3 list scheduler,
+  Bindselect, and wordlength refinement;
+* the comparison baselines of the paper's evaluation (optimal ILP [5],
+  two-stage binding [4], descending-wordlength clique partitioning [14],
+  uniform wordlength);
+* workload generators (TGFF adaptation, DSP kernels) and the experiment
+  harness regenerating every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import Problem, allocate
+    from repro.gen import fir_filter
+
+    graph = fir_filter(taps=4)
+    problem = Problem(graph, latency_constraint=20)
+    datapath = allocate(problem)
+    print(datapath.summary())
+"""
+
+from .analysis import ValidationError, is_valid, validate_datapath
+from .core import (
+    Binding,
+    BoundClique,
+    Datapath,
+    DPAllocOptions,
+    InfeasibleError,
+    Problem,
+    WordlengthCompatibilityGraph,
+    allocate,
+)
+from .ir import DFGBuilder, Operation, SequencingGraph
+from .resources import (
+    AreaModel,
+    LatencyModel,
+    ResourceType,
+    SonicAreaModel,
+    SonicLatencyModel,
+    extract_resource_set,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaModel",
+    "Binding",
+    "BoundClique",
+    "Datapath",
+    "DFGBuilder",
+    "DPAllocOptions",
+    "InfeasibleError",
+    "LatencyModel",
+    "Operation",
+    "Problem",
+    "ResourceType",
+    "SequencingGraph",
+    "SonicAreaModel",
+    "SonicLatencyModel",
+    "ValidationError",
+    "WordlengthCompatibilityGraph",
+    "allocate",
+    "extract_resource_set",
+    "is_valid",
+    "validate_datapath",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Solution validation, quality metrics, and report formatting."""
+
+from .interconnect import (
+    InterconnectReport,
+    ValueLifetime,
+    estimate_interconnect,
+    left_edge_registers,
+    value_lifetimes,
+)
+from .metrics import (
+    area_penalty,
+    mean,
+    percent_increase,
+    resource_usage,
+    sharing_factor,
+    unit_utilisation,
+)
+from .reporting import format_seconds, format_table
+from .validate import ValidationError, is_valid, validate_datapath
+
+__all__ = [
+    "InterconnectReport",
+    "ValidationError",
+    "ValueLifetime",
+    "area_penalty",
+    "estimate_interconnect",
+    "format_seconds",
+    "format_table",
+    "is_valid",
+    "left_edge_registers",
+    "mean",
+    "percent_increase",
+    "resource_usage",
+    "sharing_factor",
+    "unit_utilisation",
+    "validate_datapath",
+    "value_lifetimes",
+]

@@ -1,0 +1,197 @@
+"""Interconnect cost estimation: multiplexers and registers.
+
+The paper's area model (like ref. [5]'s) counts functional units only.
+Resource sharing is not free in real datapaths: every shared unit port
+needs a multiplexer over its operand sources, and every value that
+crosses a cycle boundary needs register storage.  This module estimates
+both so the examples and benches can ask the classic follow-up question:
+*does the heuristic's sharing still pay off once interconnect is
+charged?* (ref. [4] raises exactly this concern for its own binding).
+
+Models:
+
+* **multiplexers** -- for each unit port, the number of *distinct*
+  source signals routed to it; a ``k``-input mux of width ``w`` costs
+  ``(k - 1) * w * mux_unit`` (a tree of 2-input muxes);
+* **registers** -- two selectable models:
+  - ``per-op``: one register per operation result (what the generated
+    RTL of :mod:`repro.rtl` instantiates), and
+  - ``left-edge``: the classic left-edge register allocation -- values
+    whose lifetimes ``[birth, death)`` do not overlap share a register;
+    a register costs its widest occupant times ``reg_unit``.
+
+Lifetimes: a value is born when its producer finishes and dies at its
+last consumer's start (kernel outputs live until the makespan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.solution import Datapath
+from ..resources.area import AreaModel
+from ..sim.netlist import Netlist
+
+__all__ = [
+    "ValueLifetime",
+    "InterconnectReport",
+    "value_lifetimes",
+    "left_edge_registers",
+    "estimate_interconnect",
+]
+
+
+@dataclass(frozen=True)
+class ValueLifetime:
+    """Lifetime of one operation's result value."""
+
+    name: str
+    birth: int
+    death: int
+    width: int
+
+
+@dataclass(frozen=True)
+class InterconnectReport:
+    """Estimated datapath cost including interconnect."""
+
+    unit_area: float
+    mux_area: float
+    register_area: float
+    register_count: int
+    mux_inputs: Dict[Tuple[int, int], int]  # (unit, port) -> distinct sources
+
+    @property
+    def total_area(self) -> float:
+        return self.unit_area + self.mux_area + self.register_area
+
+
+def value_lifetimes(netlist: Netlist, datapath: Datapath) -> List[ValueLifetime]:
+    """Birth/death of every operation result under the given schedule."""
+    graph = netlist.graph
+    makespan = datapath.makespan
+    lifetimes: List[ValueLifetime] = []
+    sinks = set(netlist.output_ops())
+    for op_name in graph.names:
+        birth = datapath.schedule[op_name] + datapath.bound_latencies[op_name]
+        consumer_starts = [
+            datapath.schedule[c] for c in netlist.consumers_of(op_name)
+        ]
+        death = max(consumer_starts, default=birth)
+        if op_name in sinks:
+            death = max(death, makespan)
+        lifetimes.append(
+            ValueLifetime(
+                name=op_name,
+                birth=birth,
+                death=max(death, birth),
+                width=netlist.out_widths[op_name],
+            )
+        )
+    return sorted(lifetimes, key=lambda lt: (lt.birth, lt.name))
+
+
+def left_edge_registers(
+    lifetimes: List[ValueLifetime],
+) -> List[List[ValueLifetime]]:
+    """Classic left-edge register allocation.
+
+    Values sorted by birth are packed greedily into the first register
+    whose current occupant has died; the result is a minimum-count
+    partition of an interval system (interval graphs are perfect).
+    Zero-length lifetimes still occupy their birth instant, so two values
+    born at the same step never share.
+    """
+    registers: List[Tuple[int, List[ValueLifetime]]] = []  # (busy-until, vals)
+    for lifetime in sorted(lifetimes, key=lambda lt: (lt.birth, lt.name)):
+        # A zero-length value [t, t) still needs its register at t.
+        effective_death = max(lifetime.death, lifetime.birth + 1)
+        placed = False
+        for index, (busy_until, values) in enumerate(registers):
+            if busy_until <= lifetime.birth:
+                values.append(lifetime)
+                registers[index] = (effective_death, values)
+                placed = True
+                break
+        if not placed:
+            registers.append((effective_death, [lifetime]))
+    return [values for _, values in registers]
+
+
+def _port_sources(
+    netlist: Netlist, datapath: Datapath
+) -> Dict[Tuple[int, int], set]:
+    """Distinct source signals per (unit, operand port)."""
+    graph = netlist.graph
+    sources: Dict[Tuple[int, int], set] = {}
+    for unit, clique in enumerate(datapath.binding.cliques):
+        for op_name in clique.ops:
+            op = graph.operation(op_name)
+            operands = list(netlist.wiring[op_name])
+            if clique.resource.kind == "mul":
+                # The RTL routes the wider operand to the wider port.
+                if op.operand_widths[0] < op.operand_widths[1]:
+                    operands.reverse()
+            for port, signal in enumerate(operands):
+                sources.setdefault((unit, port), set()).add(signal)
+    return sources
+
+
+def estimate_interconnect(
+    netlist: Netlist,
+    datapath: Datapath,
+    area_model: AreaModel,
+    mux_unit: float = 1.0,
+    reg_unit: float = 1.0,
+    register_model: str = "left-edge",
+) -> InterconnectReport:
+    """Estimate unit + mux + register area of an allocated datapath.
+
+    Args:
+        mux_unit: area of one 2-input, 1-bit multiplexer slice.
+        reg_unit: area of one register bit.
+        register_model: ``"left-edge"`` (shared registers) or
+            ``"per-op"`` (one register per result, as in the RTL export).
+    """
+    unit_area = sum(
+        area_model.area(clique.resource) for clique in datapath.binding.cliques
+    )
+
+    port_widths: Dict[Tuple[int, int], int] = {}
+    for unit, clique in enumerate(datapath.binding.cliques):
+        widths = clique.resource.widths
+        if clique.resource.kind == "mul":
+            port_widths[(unit, 0)] = widths[0]
+            port_widths[(unit, 1)] = widths[1]
+        else:
+            port_widths[(unit, 0)] = widths[0]
+            port_widths[(unit, 1)] = widths[0]
+
+    mux_inputs: Dict[Tuple[int, int], int] = {}
+    mux_area = 0.0
+    for key, signals in _port_sources(netlist, datapath).items():
+        mux_inputs[key] = len(signals)
+        if len(signals) > 1:
+            mux_area += (len(signals) - 1) * port_widths[key] * mux_unit
+
+    lifetimes = value_lifetimes(netlist, datapath)
+    if register_model == "per-op":
+        register_count = len(lifetimes)
+        register_area = reg_unit * sum(lt.width for lt in lifetimes)
+    elif register_model == "left-edge":
+        registers = left_edge_registers(lifetimes)
+        register_count = len(registers)
+        register_area = reg_unit * sum(
+            max(lt.width for lt in values) for values in registers
+        )
+    else:
+        raise ValueError(f"unknown register model {register_model!r}")
+
+    return InterconnectReport(
+        unit_area=unit_area,
+        mux_area=mux_area,
+        register_area=register_area,
+        register_count=register_count,
+        mux_inputs=dict(sorted(mux_inputs.items())),
+    )

@@ -1,0 +1,66 @@
+"""Solution-quality metrics used throughout the evaluation.
+
+The paper reports relative areas: Fig. 3 plots the *area penalty* of the
+two-stage approach [4] over the heuristic, and Fig. 4 the *area premium*
+of the heuristic over the optimal ILP [5].  Both are percentage
+increases; helpers here centralise the convention so every experiment
+reports identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.solution import Datapath
+
+__all__ = [
+    "percent_increase",
+    "area_penalty",
+    "mean",
+    "resource_usage",
+    "unit_utilisation",
+    "sharing_factor",
+]
+
+
+def percent_increase(value: float, baseline: float) -> float:
+    """``(value - baseline) / baseline`` as a percentage.
+
+    Zero-area baselines only arise for empty graphs; defined as 0%.
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (value - baseline) / baseline
+
+
+def area_penalty(candidate: Datapath, reference: Datapath) -> float:
+    """Percentage extra area of ``candidate`` over ``reference``."""
+    return percent_increase(candidate.area, reference.area)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def resource_usage(dp: Datapath) -> Dict[str, int]:
+    """Number of physical units per resource kind."""
+    counts: Dict[str, int] = {}
+    for clique in dp.binding.cliques:
+        counts[clique.resource.kind] = counts.get(clique.resource.kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def unit_utilisation(dp: Datapath) -> float:
+    """Busy cycles divided by available unit-cycles over the makespan."""
+    if not dp.binding.cliques or dp.makespan == 0:
+        return 0.0
+    busy = sum(dp.bound_latencies[n] for n in dp.schedule)
+    return busy / (len(dp.binding.cliques) * dp.makespan)
+
+
+def sharing_factor(dp: Datapath) -> float:
+    """Average number of operations per physical unit."""
+    if not dp.binding.cliques:
+        return 0.0
+    return len(dp.schedule) / len(dp.binding.cliques)

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness regenerates the paper's figures as text tables
+(rows/series identical to the published plots); this module renders them
+consistently for the CLI, the benchmarks, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "format_seconds"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+        cells.append([_render(cell) for cell in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(columns)]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(cells[0]))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in cells[1:])
+    return "\n".join(parts)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_seconds(seconds: float) -> str:
+    """``mm:ss.cc`` rendering matching the paper's Table 2."""
+    minutes = int(seconds // 60)
+    rest = seconds - 60 * minutes
+    return f"{minutes}:{rest:05.2f}"

@@ -1,0 +1,129 @@
+"""Independent validation of datapath solutions.
+
+Every solution produced in this repository -- by DPAlloc or any baseline
+-- is checked against the *problem definition only* (never against the
+algorithms' internal state):
+
+1. every operation is scheduled at a non-negative integer step;
+2. data dependencies are respected under the **bound-resource**
+   latencies (what the hardware actually does);
+3. every operation's unit covers it (kind + wordlengths);
+4. operations sharing a unit occupy it at disjoint times;
+5. the achieved makespan meets the latency constraint and matches the
+   recorded value;
+6. the clique partition covers every operation exactly once;
+7. optional per-kind resource-count constraints hold;
+8. the recorded area equals the summed unit area.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.problem import Problem
+from ..core.solution import Datapath
+
+__all__ = ["ValidationError", "validate_datapath", "is_valid"]
+
+
+class ValidationError(AssertionError):
+    """A datapath violates the problem definition."""
+
+
+def validate_datapath(problem: Problem, dp: Datapath) -> None:
+    """Raise :class:`ValidationError` listing every violated property."""
+    errors: List[str] = []
+    graph = problem.graph
+    names = set(graph.names)
+
+    # 1. complete integral schedule
+    scheduled = set(dp.schedule)
+    if scheduled != names:
+        errors.append(
+            f"schedule covers {sorted(scheduled ^ names)} incorrectly"
+        )
+    for name, start in dp.schedule.items():
+        if not isinstance(start, int) or start < 0:
+            errors.append(f"op {name!r} has invalid start {start!r}")
+
+    # 6. exact clique cover
+    bound_ops: List[str] = [n for c in dp.binding.cliques for n in c.ops]
+    if sorted(bound_ops) != sorted(names):
+        errors.append("clique partition does not cover each op exactly once")
+
+    latency = problem.latency_model
+    bound_latency = {}
+    for clique in dp.binding.cliques:
+        cycles = latency.latency(clique.resource)
+        for name in clique.ops:
+            bound_latency[name] = cycles
+
+    # 2. precedence under bound latencies
+    for producer, consumer in graph.edges():
+        if producer in dp.schedule and consumer in dp.schedule:
+            available = dp.schedule[producer] + bound_latency.get(producer, 0)
+            if dp.schedule[consumer] < available:
+                errors.append(
+                    f"dependency {producer}->{consumer} violated: result at "
+                    f"{available}, consumer starts {dp.schedule[consumer]}"
+                )
+
+    # 3. coverage; 4. per-unit exclusivity
+    for index, clique in enumerate(dp.binding.cliques):
+        for name in clique.ops:
+            op = graph.operation(name)
+            if not clique.resource.covers(op):
+                errors.append(
+                    f"unit {index} ({clique.resource}) cannot execute {op}"
+                )
+        intervals = sorted(
+            (dp.schedule[n], dp.schedule[n] + bound_latency[n], n)
+            for n in clique.ops
+            if n in dp.schedule
+        )
+        for (s1, f1, n1), (s2, f2, n2) in zip(intervals, intervals[1:]):
+            if f1 > s2:
+                errors.append(
+                    f"unit {index}: ops {n1} [{s1},{f1}) and {n2} [{s2},{f2}) overlap"
+                )
+
+    # 5. makespan and latency constraint
+    if names and not errors:
+        makespan = max(dp.schedule[n] + bound_latency[n] for n in names)
+        if makespan != dp.makespan:
+            errors.append(
+                f"recorded makespan {dp.makespan} != actual {makespan}"
+            )
+        if makespan > problem.latency_constraint:
+            errors.append(
+                f"latency constraint {problem.latency_constraint} violated "
+                f"(makespan {makespan})"
+            )
+
+    # 7. resource-count constraints
+    if problem.resource_constraints:
+        counts = {}
+        for clique in dp.binding.cliques:
+            counts[clique.resource.kind] = counts.get(clique.resource.kind, 0) + 1
+        for kind, limit in problem.resource_constraints.items():
+            if counts.get(kind, 0) > limit:
+                errors.append(
+                    f"{counts[kind]} units of kind {kind!r} exceed N={limit}"
+                )
+
+    # 8. area consistency
+    actual_area = dp.binding.area(problem.area_model)
+    if abs(actual_area - dp.area) > 1e-9 * max(1.0, abs(actual_area)):
+        errors.append(f"recorded area {dp.area} != actual {actual_area}")
+
+    if errors:
+        raise ValidationError("; ".join(errors))
+
+
+def is_valid(problem: Problem, dp: Datapath) -> bool:
+    """Boolean wrapper around :func:`validate_datapath`."""
+    try:
+        validate_datapath(problem, dp)
+    except ValidationError:
+        return False
+    return True

@@ -1,0 +1,25 @@
+"""Comparison baselines from the paper's evaluation and related work."""
+
+from .clique_sort import allocate_clique_sort
+from .fds import allocate_fds, force_directed_schedule
+from .ilp import IlpModel, IlpStats, allocate_ilp, build_model
+from .two_stage import (
+    TwoStageReport,
+    allocate_two_stage,
+    bind_no_latency_increase,
+)
+from .uniform import allocate_uniform
+
+__all__ = [
+    "IlpModel",
+    "IlpStats",
+    "TwoStageReport",
+    "allocate_clique_sort",
+    "allocate_fds",
+    "allocate_ilp",
+    "allocate_two_stage",
+    "allocate_uniform",
+    "bind_no_latency_increase",
+    "build_model",
+    "force_directed_schedule",
+]

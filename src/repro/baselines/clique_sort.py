@@ -1,0 +1,138 @@
+"""Descending-wordlength clique partitioning baseline (ref. [14]).
+
+Kum & Sung (SiPS 1998) adapt standard clique partitioning on the
+compatibility graph to multiple wordlengths by "sorting nodes in
+descending order of wordlength" (paper section 1).  Reconstruction:
+
+* schedule wordlength-blind (ASAP at dedicated latencies), as the method
+  does not model wordlength-dependent latency;
+* process operations in descending dedicated-resource area order; each
+  op joins the first existing clique it is compatible with (time-disjoint
+  with all members and a no-slower covering type exists), else it opens a
+  new clique.  Seeding cliques with the widest operations first means
+  narrower ops are absorbed into already-paid-for wide units.
+
+Like ref. [4], the method cannot slow an operation down (the schedule
+reserved only the dedicated latency), so cliques stay within one
+(kind, latency) class; unlike [4]'s branch-and-bound stage it is purely
+constructive, making it the weaker but much faster baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.binding import Binding, BoundClique
+from ..core.problem import InfeasibleError, Problem
+from ..core.solution import Datapath
+from ..resources.extraction import dedicated_resource
+from ..resources.types import ResourceType
+
+__all__ = ["allocate_clique_sort"]
+
+
+def allocate_clique_sort(problem: Problem) -> Datapath:
+    """Run the reconstructed descending-wordlength binding of ref. [14]."""
+    graph = problem.graph
+    if not graph.operations:
+        return Datapath(
+            schedule={}, binding=Binding(()), upper_bounds={},
+            bound_latencies={}, makespan=0, area=0.0, method="clique-sort",
+        )
+
+    min_lat = problem.min_latencies()
+    schedule = graph.asap(min_lat)
+    makespan = graph.makespan(schedule, min_lat)
+    if makespan > problem.latency_constraint:
+        raise InfeasibleError(
+            f"clique-sort schedule needs {makespan} cycles > lambda="
+            f"{problem.latency_constraint}"
+        )
+
+    resources = problem.resource_set()
+    area = {r: problem.area_model.area(r) for r in resources}
+    latency_of = {r: problem.latency_model.latency(r) for r in resources}
+    for op in graph.operations:
+        dedicated = dedicated_resource(op)
+        area.setdefault(dedicated, problem.area_model.area(dedicated))
+        latency_of.setdefault(dedicated, problem.latency_model.latency(dedicated))
+
+    def class_types(kind: str, latency: int) -> List[ResourceType]:
+        pool = {r for r in resources if r.kind == kind and latency_of[r] == latency}
+        pool |= {
+            dedicated_resource(op)
+            for op in graph.operations
+            if op.resource_kind == kind and min_lat[op.name] == latency
+        }
+        return sorted(pool)
+
+    def cheapest_cover(
+        requirement: Tuple[int, ...], types: List[ResourceType]
+    ) -> Optional[ResourceType]:
+        best = None
+        for r in types:
+            if r.covers_requirement(requirement):
+                if best is None or (area[r], r) < (area[best], best):
+                    best = r
+        return best
+
+    ordered = sorted(
+        graph.operations,
+        key=lambda o: (-area[dedicated_resource(o)], o.name),
+    )
+
+    # cliques: (kind, latency, members, requirement)
+    cliques: List[Dict] = []
+    for op in ordered:
+        lat = min_lat[op.name]
+        placed = False
+        for clique in cliques:
+            if clique["kind"] != op.resource_kind or clique["latency"] != lat:
+                continue
+            disjoint = all(
+                schedule[m] + lat <= schedule[op.name]
+                or schedule[op.name] + lat <= schedule[m]
+                for m in clique["members"]
+            )
+            if not disjoint:
+                continue
+            merged = tuple(
+                max(a, b) for a, b in zip(clique["requirement"], op.requirement)
+            )
+            if cheapest_cover(merged, clique["types"]) is None:
+                continue
+            clique["members"].append(op.name)
+            clique["requirement"] = merged
+            placed = True
+            break
+        if not placed:
+            cliques.append(
+                {
+                    "kind": op.resource_kind,
+                    "latency": lat,
+                    "members": [op.name],
+                    "requirement": op.requirement,
+                    "types": class_types(op.resource_kind, lat),
+                }
+            )
+
+    bound: List[BoundClique] = []
+    for clique in cliques:
+        resource = cheapest_cover(clique["requirement"], clique["types"])
+        assert resource is not None  # singleton cliques always coverable
+        members = tuple(sorted(clique["members"], key=lambda n: (schedule[n], n)))
+        bound.append(BoundClique(resource, members))
+
+    binding = Binding(tuple(sorted(bound, key=lambda c: (schedule[c.ops[0]], c.ops))))
+    bound_latencies = binding.bound_latencies_from(
+        {c.resource: latency_of[c.resource] for c in bound}
+    )
+    return Datapath(
+        schedule=dict(schedule),
+        binding=binding,
+        upper_bounds=dict(min_lat),
+        bound_latencies=bound_latencies,
+        makespan=max(schedule[n] + bound_latencies[n] for n in schedule),
+        area=binding.area(problem.area_model),
+        method="clique-sort",
+    )

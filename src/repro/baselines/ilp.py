@@ -1,0 +1,321 @@
+"""Optimal ILP for combined scheduling/binding/wordlength selection (ref. [5]).
+
+The paper's comparison optimum is the ILP model of Constantinides et al.,
+*Optimal datapath allocation for multiple-wordlength systems*, IEE
+Electronics Letters 36(17), 2000 -- a two-page letter whose formulation
+is not reprinted.  We reconstruct the standard time-indexed model, which
+exhibits exactly the property the paper discusses (the variable count
+scales with the latency constraint, Table 2):
+
+Variables::
+
+    x[o,r,t] in {0,1}   op o starts at step t on resource type r
+    n[r]     in Z>=0    number of physical units of type r
+
+    minimise   sum_r area(r) * n[r]
+    s.t.       sum_{r,t} x[o,r,t] == 1                          (assignment)
+               sum t*x[o2] >= sum (t + lat(r))*x[o1,r,t]        (precedence)
+               sum_o sum_{t' in (t-lat(r), t]} x[o,r,t'] <= n[r]  (capacity)
+
+Start-time windows come from ASAP/ALAP analysis with minimum latencies;
+a pair ``(r, t)`` exists only if the op can still finish by ``lambda``
+given its minimum-latency tail.  Unit counts are exact: per-type usage
+is an interval system, so peak concurrency equals the number of physical
+instances needed (interval graphs are perfect), and instances are
+recovered afterwards by first-fit on start times.
+
+Solved with ``scipy.optimize.milp`` (HiGHS).  Absolute runtimes are not
+comparable with the paper's lp_solve-on-Pentium-III numbers; the harness
+therefore reports *shape* (growth with |O| and with lambda) plus the
+solver-independent variable counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..core.binding import Binding, BoundClique
+from ..core.problem import InfeasibleError, Problem
+from ..core.solution import Datapath
+from ..resources.types import ResourceType
+
+__all__ = ["IlpModel", "IlpStats", "allocate_ilp", "build_model"]
+
+
+@dataclass(frozen=True)
+class IlpStats:
+    """Model-size and runtime statistics (Table 2 / Fig. 5 reporting)."""
+
+    num_variables: int
+    num_constraints: int
+    solve_seconds: float
+
+
+@dataclass
+class IlpModel:
+    """A constructed (not yet solved) time-indexed model."""
+
+    problem: Problem
+    variables: List[Tuple[str, ResourceType, int]]  # x[o, r, t] columns
+    resources: Tuple[ResourceType, ...]  # n[r] columns follow the x block
+    cost: np.ndarray
+    constraints: List[LinearConstraint]
+    integrality: np.ndarray
+    bounds: Bounds
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.cost)
+
+    @property
+    def num_constraints(self) -> int:
+        return sum(c.A.shape[0] for c in self.constraints)
+
+
+def build_model(problem: Problem) -> IlpModel:
+    """Construct the time-indexed MILP for ``problem``.
+
+    Raises:
+        InfeasibleError: an operation has no feasible (r, t) pair, i.e.
+            the latency constraint is below the critical path.
+    """
+    graph = problem.graph
+    lam = problem.latency_constraint
+    resources = problem.resource_set()
+    latency = {r: problem.latency_model.latency(r) for r in resources}
+    area = {r: problem.area_model.area(r) for r in resources}
+
+    min_lat = problem.min_latencies()
+    asap = graph.asap(min_lat)
+    alap = graph.alap(min_lat, deadline=lam)
+
+    variables: List[Tuple[str, ResourceType, int]] = []
+    index: Dict[Tuple[str, ResourceType, int], int] = {}
+    for op in graph.operations:
+        feasible_any = False
+        for r in sorted(resources):
+            if not r.covers(op):
+                continue
+            # Latest start so that this (slower) resource still lets the
+            # downstream minimum-latency tail finish by lambda.
+            latest = alap[op.name] - (latency[r] - min_lat[op.name])
+            for t in range(asap[op.name], latest + 1):
+                index[(op.name, r, t)] = len(variables)
+                variables.append((op.name, r, t))
+                feasible_any = True
+        if not feasible_any:
+            raise InfeasibleError(
+                f"operation {op.name!r} cannot finish by lambda={lam}"
+            )
+
+    num_x = len(variables)
+    num_n = len(resources)
+    total = num_x + num_n
+    n_index = {r: num_x + i for i, r in enumerate(resources)}
+
+    cost = np.zeros(total)
+    for r in resources:
+        cost[n_index[r]] = area[r]
+
+    constraints: List[LinearConstraint] = []
+
+    # Assignment: each op scheduled exactly once.
+    rows, cols, vals = [], [], []
+    op_order = {op.name: i for i, op in enumerate(graph.operations)}
+    for (name, r, t), col in index.items():
+        rows.append(op_order[name])
+        cols.append(col)
+        vals.append(1.0)
+    a_assign = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(len(op_order), total)
+    )
+    constraints.append(LinearConstraint(a_assign, 1.0, 1.0))
+
+    # Precedence: start(o2) - finish(o1) >= 0 for every dependency.
+    edges = graph.edges()
+    if edges:
+        rows, cols, vals = [], [], []
+        for row, (producer, consumer) in enumerate(edges):
+            for (name, r, t), col in index.items():
+                if name == consumer:
+                    rows.append(row)
+                    cols.append(col)
+                    vals.append(float(t))
+                elif name == producer:
+                    rows.append(row)
+                    cols.append(col)
+                    vals.append(-float(t + latency[r]))
+        a_prec = sparse.csr_matrix((vals, (rows, cols)), shape=(len(edges), total))
+        constraints.append(LinearConstraint(a_prec, 0.0, np.inf))
+
+    # Capacity: concurrent usage of type r at step t bounded by n[r].
+    rows, cols, vals = [], [], []
+    row = 0
+    for r in resources:
+        spans = [
+            (col, t)
+            for (name, rr, t), col in index.items()
+            if rr == r
+        ]
+        if not spans:
+            continue
+        for step in range(lam):
+            touching = [
+                col for col, t in spans if t <= step < t + latency[r]
+            ]
+            if not touching:
+                continue
+            for col in touching:
+                rows.append(row)
+                cols.append(col)
+                vals.append(1.0)
+            rows.append(row)
+            cols.append(n_index[r])
+            vals.append(-1.0)
+            row += 1
+    if row:
+        a_cap = sparse.csr_matrix((vals, (rows, cols)), shape=(row, total))
+        constraints.append(LinearConstraint(a_cap, -np.inf, 0.0))
+
+    # Optional user resource-count ceilings per kind.
+    if problem.resource_constraints:
+        rows, cols, vals, ubs = [], [], [], []
+        crow = 0
+        for kind, limit in sorted(problem.resource_constraints.items()):
+            members = [r for r in resources if r.kind == kind]
+            if not members:
+                continue
+            for r in members:
+                rows.append(crow)
+                cols.append(n_index[r])
+                vals.append(1.0)
+            ubs.append(float(limit))
+            crow += 1
+        if crow:
+            a_kind = sparse.csr_matrix((vals, (rows, cols)), shape=(crow, total))
+            constraints.append(LinearConstraint(a_kind, -np.inf, np.array(ubs)))
+
+    integrality = np.ones(total)
+    upper = np.ones(total)
+    upper[num_x:] = len(graph.operations)
+    bounds = Bounds(np.zeros(total), upper)
+
+    return IlpModel(
+        problem=problem,
+        variables=variables,
+        resources=tuple(resources),
+        cost=cost,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+    )
+
+
+def _instances_first_fit(
+    assignments: Dict[str, Tuple[ResourceType, int]],
+    latency: Dict[ResourceType, int],
+) -> List[BoundClique]:
+    """Legalise per-type usage onto physical instances by first-fit."""
+    by_resource: Dict[ResourceType, List[Tuple[int, str]]] = {}
+    for name, (r, t) in assignments.items():
+        by_resource.setdefault(r, []).append((t, name))
+    cliques: List[BoundClique] = []
+    for r in sorted(by_resource):
+        instances: List[Tuple[int, List[str]]] = []  # (next free step, ops)
+        for t, name in sorted(by_resource[r]):
+            placed = False
+            for i, (free_at, members) in enumerate(instances):
+                if free_at <= t:
+                    members.append(name)
+                    instances[i] = (t + latency[r], members)
+                    placed = True
+                    break
+            if not placed:
+                instances.append((t + latency[r], [name]))
+        for _, members in instances:
+            cliques.append(BoundClique(r, tuple(members)))
+    return cliques
+
+
+def allocate_ilp(
+    problem: Problem,
+    time_limit: Optional[float] = None,
+) -> Tuple[Datapath, IlpStats]:
+    """Solve ``problem`` to optimality with the time-indexed MILP.
+
+    Args:
+        time_limit: optional HiGHS wall-clock limit in seconds.
+
+    Returns:
+        (optimal datapath, model/runtime statistics).
+
+    Raises:
+        InfeasibleError: the model is infeasible.
+        TimeoutError: the time limit expired without an incumbent.
+    """
+    if not problem.graph.operations:
+        return (
+            Datapath(
+                schedule={}, binding=Binding(()), upper_bounds={},
+                bound_latencies={}, makespan=0, area=0.0, method="ilp",
+            ),
+            IlpStats(0, 0, 0.0),
+        )
+
+    model = build_model(problem)
+    options: Dict[str, object] = {"presolve": True}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+
+    began = time.perf_counter()
+    result = milp(
+        c=model.cost,
+        constraints=model.constraints,
+        integrality=model.integrality,
+        bounds=model.bounds,
+        options=options,
+    )
+    elapsed = time.perf_counter() - began
+    stats = IlpStats(model.num_variables, model.num_constraints, elapsed)
+
+    if result.status == 2:
+        raise InfeasibleError(
+            f"ILP infeasible for lambda={problem.latency_constraint}"
+        )
+    if result.x is None:
+        raise TimeoutError(
+            f"ILP found no incumbent within the time limit ({time_limit}s)"
+        )
+
+    x = result.x
+    latency = {r: problem.latency_model.latency(r) for r in model.resources}
+    assignments: Dict[str, Tuple[ResourceType, int]] = {}
+    for col, (name, r, t) in enumerate(model.variables):
+        if x[col] > 0.5:
+            assignments[name] = (r, t)
+    missing = [op.name for op in problem.graph.operations if op.name not in assignments]
+    if missing:
+        raise RuntimeError(f"ILP solution incomplete for ops {missing}")
+
+    cliques = _instances_first_fit(assignments, latency)
+    binding = Binding(tuple(cliques))
+    schedule = {name: t for name, (_, t) in assignments.items()}
+    bound_latencies = binding.bound_latencies_from(latency)
+    makespan = max(schedule[n] + bound_latencies[n] for n in schedule)
+
+    datapath = Datapath(
+        schedule=schedule,
+        binding=binding,
+        upper_bounds=dict(bound_latencies),
+        bound_latencies=bound_latencies,
+        makespan=makespan,
+        area=binding.area(problem.area_model),
+        method="ilp",
+    )
+    return datapath, stats

@@ -1,0 +1,320 @@
+"""Two-stage baseline of ref. [4] (Constantinides et al., FPL 2000).
+
+The paper describes [4] as "a two-stage scheduling/binding approach based
+on sharing only resources that can be grouped together without increasing
+the latency of the operation", with an *optimal branch-and-bound* for the
+resource binding and wordlength selection stage.  Reconstruction
+(DESIGN.md §5.5):
+
+* **Stage 1 -- wordlength-blind scheduling**: ASAP with every operation
+  at its own minimum latency (its dedicated resource).  Latency slack in
+  the overall constraint is deliberately *not* exploited -- that is the
+  defining limitation the DATE-2001 heuristic removes.
+* **Stage 2 -- optimal binding**: operations may share a unit only if
+  they are time-compatible under the stage-1 schedule *and* a covering
+  resource type exists whose latency equals every member's scheduled
+  latency (no operation may slow down).  Since latency is monotone in
+  wordlength, members of a clique necessarily share one (kind, latency)
+  class, so the problem decomposes per class and each class is solved
+  to optimality:
+
+  - classes of up to ``dp_limit`` ops: subset dynamic programming over
+    chain-valid subsets (exact, O(3^n));
+  - larger classes: branch-and-bound on ops in descending dedicated-area
+    order (exact unless the node budget is exhausted, in which case the
+    best incumbent is returned and ``optimal`` is flagged false).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.binding import Binding, BoundClique
+from ..core.problem import InfeasibleError, Problem
+from ..core.solution import Datapath
+from ..ir.ops import Operation
+from ..resources.extraction import dedicated_resource
+from ..resources.types import ResourceType
+
+__all__ = ["allocate_two_stage", "TwoStageReport"]
+
+
+@dataclass(frozen=True)
+class TwoStageReport:
+    """Provenance of a two-stage run: was stage 2 solved to optimality?"""
+
+    optimal: bool
+    classes: int
+    largest_class: int
+
+
+@dataclass(frozen=True)
+class _Class:
+    """One (resource kind, latency) equivalence class of operations."""
+
+    kind: str
+    latency: int
+    ops: Tuple[Operation, ...]
+    types: Tuple[ResourceType, ...]  # class types, same kind and latency
+
+
+def _cover_cost(
+    requirement: Tuple[int, ...],
+    types: Sequence[ResourceType],
+    area: Dict[ResourceType, float],
+) -> Optional[Tuple[float, ResourceType]]:
+    """Cheapest class type covering ``requirement`` (None if uncoverable)."""
+    best: Optional[Tuple[float, ResourceType]] = None
+    for r in types:
+        if r.covers_requirement(requirement):
+            key = (area[r], r)
+            if best is None or key < best:
+                best = key
+    return best
+
+
+def _merge_requirement(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    return tuple(max(x, y) for x, y in zip(a, b))
+
+
+def _partition_dp(
+    cls: _Class,
+    schedule: Dict[str, int],
+    area: Dict[ResourceType, float],
+) -> List[Tuple[ResourceType, List[str]]]:
+    """Exact min-cost chain partition by subset DP (class size <= ~13)."""
+    ops = sorted(cls.ops, key=lambda o: (schedule[o.name], o.name))
+    n = len(ops)
+    compat = [0] * n
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                disjoint = (
+                    schedule[ops[i].name] + cls.latency <= schedule[ops[j].name]
+                    or schedule[ops[j].name] + cls.latency <= schedule[ops[i].name]
+                )
+                if disjoint:
+                    compat[i] |= 1 << j
+
+    full = (1 << n) - 1
+    clique_cost: Dict[int, Tuple[float, ResourceType]] = {}
+    requirement: Dict[int, Tuple[int, ...]] = {}
+    chain_ok: Dict[int, bool] = {0: True}
+    for mask in range(1, full + 1):
+        low = (mask & -mask).bit_length() - 1
+        rest = mask ^ (1 << low)
+        ok = chain_ok.get(rest, False) and (compat[low] & rest) == rest
+        chain_ok[mask] = ok
+        if not ok:
+            continue
+        req = ops[low].requirement
+        if rest:
+            req = _merge_requirement(req, requirement[rest])
+        requirement[mask] = req
+        cover = _cover_cost(req, cls.types, area)
+        if cover is not None:
+            clique_cost[mask] = cover
+
+    INF = float("inf")
+    dp_cost = [INF] * (full + 1)
+    dp_choice: List[int] = [0] * (full + 1)
+    dp_cost[0] = 0.0
+    for mask in range(1, full + 1):
+        low_bit = mask & -mask
+        sub = mask
+        while sub:
+            if sub & low_bit and sub in clique_cost:
+                candidate = dp_cost[mask ^ sub] + clique_cost[sub][0]
+                if candidate < dp_cost[mask]:
+                    dp_cost[mask] = candidate
+                    dp_choice[mask] = sub
+            sub = (sub - 1) & mask
+    if dp_cost[full] == INF:
+        raise InfeasibleError(
+            f"class {cls.kind}/{cls.latency} has an uncoverable operation"
+        )
+
+    result: List[Tuple[ResourceType, List[str]]] = []
+    mask = full
+    while mask:
+        sub = dp_choice[mask]
+        members = [ops[i].name for i in range(n) if sub & (1 << i)]
+        result.append((clique_cost[sub][1], members))
+        mask ^= sub
+    return result
+
+
+def _partition_bb(
+    cls: _Class,
+    schedule: Dict[str, int],
+    area: Dict[ResourceType, float],
+    node_budget: int,
+) -> Tuple[List[Tuple[ResourceType, List[str]]], bool]:
+    """Branch-and-bound chain partition for larger classes.
+
+    Ops are assigned in descending dedicated-area order to an existing
+    clique (cost delta = cover-cost increase) or a fresh clique.  Returns
+    (partition, proven_optimal).
+    """
+    def dedicated_area(op: Operation) -> float:
+        cover = _cover_cost(op.requirement, cls.types, area)
+        if cover is None:
+            raise InfeasibleError(
+                f"operation {op.name!r} has no class type in "
+                f"{cls.kind}/{cls.latency}"
+            )
+        return cover[0]
+
+    ops = sorted(cls.ops, key=lambda o: (-dedicated_area(o), o.name))
+    n = len(ops)
+    starts = [schedule[o.name] for o in ops]
+
+    best_cost = float("inf")
+    best_partition: List[Tuple[ResourceType, List[str]]] = []
+    nodes = 0
+    exhausted = False
+
+    # cliques entries: (member indices, requirement, cost, intervals)
+    def recurse(i: int, cliques: List[Tuple[List[int], Tuple[int, ...], float]],
+                cost: float) -> None:
+        nonlocal best_cost, best_partition, nodes, exhausted
+        if nodes >= node_budget:
+            exhausted = True
+            return
+        nodes += 1
+        if cost >= best_cost:
+            return
+        if i == n:
+            best_cost = cost
+            best_partition = [
+                (_cover_cost(req, cls.types, area)[1], [ops[k].name for k in members])
+                for members, req, _ in cliques
+            ]
+            return
+        op = ops[i]
+        for idx, (members, req, clique_cost) in enumerate(cliques):
+            if any(
+                not (
+                    starts[k] + cls.latency <= starts[i]
+                    or starts[i] + cls.latency <= starts[k]
+                )
+                for k in members
+            ):
+                continue
+            merged = _merge_requirement(req, op.requirement)
+            cover = _cover_cost(merged, cls.types, area)
+            if cover is None:
+                continue
+            delta = cover[0] - clique_cost
+            updated = list(cliques)
+            updated[idx] = (members + [i], merged, cover[0])
+            recurse(i + 1, updated, cost + delta)
+        opened = list(cliques)
+        opened.append(([i], op.requirement, dedicated_area(op)))
+        recurse(i + 1, opened, cost + dedicated_area(op))
+
+    recurse(0, [], 0.0)
+    return best_partition, not exhausted
+
+
+def bind_no_latency_increase(
+    problem: Problem,
+    schedule: Dict[str, int],
+    dp_limit: int = 13,
+    node_budget: int = 200_000,
+) -> Tuple[Binding, TwoStageReport]:
+    """Optimal binding under the no-latency-increase restriction.
+
+    Shared by the two-stage baseline (ASAP stage 1) and the
+    force-directed baseline (:mod:`repro.baselines.fds`): given any
+    schedule built with dedicated latencies, partition each
+    (kind, latency) class optimally into covered chains.
+    """
+    graph = problem.graph
+    min_lat = problem.min_latencies()
+    resources = problem.resource_set()
+    area = {r: problem.area_model.area(r) for r in resources}
+    latency_of = {r: problem.latency_model.latency(r) for r in resources}
+
+    classes: Dict[Tuple[str, int], List[Operation]] = {}
+    for op in graph.operations:
+        key = (op.resource_kind, min_lat[op.name])
+        classes.setdefault(key, []).append(op)
+
+    cliques: List[BoundClique] = []
+    optimal = True
+    largest = 0
+    for (kind, lat), members in sorted(classes.items()):
+        # Class types: matching kind and exactly the class latency, plus
+        # always the dedicated types of the members (pruning-proof).
+        types = sorted(
+            {r for r in resources if r.kind == kind and latency_of[r] == lat}
+            | {dedicated_resource(op) for op in members}
+        )
+        for r in types:
+            area.setdefault(r, problem.area_model.area(r))
+        cls = _Class(kind, lat, tuple(members), tuple(types))
+        largest = max(largest, len(members))
+        if len(members) <= dp_limit:
+            parts = _partition_dp(cls, schedule, area)
+        else:
+            parts, proven = _partition_bb(cls, schedule, area, node_budget)
+            optimal = optimal and proven
+        for resource, names in parts:
+            ordered = tuple(sorted(names, key=lambda n: (schedule[n], n)))
+            cliques.append(BoundClique(resource, ordered))
+
+    binding = Binding(tuple(sorted(
+        cliques, key=lambda c: (schedule[c.ops[0]], c.ops)
+    )))
+    return binding, TwoStageReport(optimal, len(classes), largest)
+
+
+def allocate_two_stage(
+    problem: Problem,
+    dp_limit: int = 13,
+    node_budget: int = 200_000,
+) -> Tuple[Datapath, TwoStageReport]:
+    """Run the reconstructed two-stage approach of ref. [4].
+
+    Raises:
+        InfeasibleError: the wordlength-blind ASAP schedule already
+            violates the latency constraint (the method has no recourse).
+    """
+    graph = problem.graph
+    if not graph.operations:
+        return (
+            Datapath(
+                schedule={}, binding=Binding(()), upper_bounds={},
+                bound_latencies={}, makespan=0, area=0.0, method="two-stage",
+            ),
+            TwoStageReport(True, 0, 0),
+        )
+
+    min_lat = problem.min_latencies()
+    schedule = graph.asap(min_lat)
+    makespan = graph.makespan(schedule, min_lat)
+    if makespan > problem.latency_constraint:
+        raise InfeasibleError(
+            f"two-stage schedule needs {makespan} cycles > lambda="
+            f"{problem.latency_constraint}"
+        )
+
+    binding, report = bind_no_latency_increase(
+        problem, schedule, dp_limit, node_budget
+    )
+    bound_latencies = binding.bound_latencies_from(
+        {c.resource: problem.latency_model.latency(c.resource)
+         for c in binding.cliques}
+    )
+    datapath = Datapath(
+        schedule=dict(schedule),
+        binding=binding,
+        upper_bounds=dict(min_lat),
+        bound_latencies=bound_latencies,
+        makespan=max(schedule[n] + bound_latencies[n] for n in schedule),
+        area=binding.area(problem.area_model),
+        method="two-stage",
+    )
+    return datapath, report

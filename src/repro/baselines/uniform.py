@@ -1,0 +1,160 @@
+"""Uniform-wordlength baseline: the traditional DSP-processor design point.
+
+The paper's introduction contrasts custom multiple-wordlength hardware
+with the classic approach of "a single uniform system wordlength ...
+consistent with the DSP processor model of computation".  This baseline
+realises that design point within our framework:
+
+* per resource kind, a single uniform type -- wide enough for the widest
+  operation of that kind;
+* every operation executes at the uniform type's latency;
+* the unit count per kind starts at one (maximum sharing) and is
+  incremented for the bottleneck kind until the latency constraint is
+  met; binding is first-fit.
+
+It gives the examples an area yardstick for *how much* the multiple
+wordlength freedom buys, echoing refs. [3, 14].
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from ..core.binding import Binding, BoundClique
+from ..core.problem import InfeasibleError, Problem
+from ..core.scheduling import critical_path_priorities
+from ..core.solution import Datapath
+from ..resources.extraction import group_requirement
+from ..resources.types import ResourceType
+
+__all__ = ["allocate_uniform"]
+
+
+def _constrained_schedule(
+    problem: Problem,
+    latencies: Dict[str, int],
+    limits: Dict[str, int],
+) -> Dict[str, int]:
+    """List schedule with a plain per-kind concurrency bound (Eqn. 2).
+
+    With one uniform type per kind, Eqn. 2 counting is exact, so the
+    heavier Eqn. 3 machinery is unnecessary here.
+    """
+    graph = problem.graph
+    priority = critical_path_priorities(graph, latencies)
+    kind_of = {op.name: op.resource_kind for op in graph.operations}
+    pending = set(graph.names)
+    start: Dict[str, int] = {}
+    load: Dict[str, Dict[int, int]] = {kind: {} for kind in limits}
+    now = 0
+    while pending:
+        ready = sorted(
+            (
+                n
+                for n in pending
+                if all(p in start for p in graph.predecessors(n))
+                and all(
+                    start[p] + latencies[p] <= now for p in graph.predecessors(n)
+                )
+            ),
+            key=lambda n: (-priority[n], n),
+        )
+        for name in ready:
+            kind = kind_of[name]
+            span = range(now, now + latencies[name])
+            if all(load[kind].get(t, 0) < limits[kind] for t in span):
+                start[name] = now
+                for t in span:
+                    load[kind][t] = load[kind].get(t, 0) + 1
+                pending.discard(name)
+        if pending:
+            now += 1
+    return start
+
+
+def allocate_uniform(problem: Problem) -> Datapath:
+    """Allocate with one uniform resource type per kind.
+
+    Raises:
+        InfeasibleError: the constraint is below what even one unit per
+            operation achieves (i.e. below the uniform critical path).
+    """
+    graph = problem.graph
+    if not graph.operations:
+        return Datapath(
+            schedule={}, binding=Binding(()), upper_bounds={},
+            bound_latencies={}, makespan=0, area=0.0, method="uniform",
+        )
+
+    by_kind: Dict[str, List] = {}
+    for op in graph.operations:
+        by_kind.setdefault(op.resource_kind, []).append(op)
+    uniform: Dict[str, ResourceType] = {
+        kind: group_requirement(ops) for kind, ops in by_kind.items()
+    }
+    latencies = {
+        op.name: problem.latency_model.latency(uniform[op.resource_kind])
+        for op in graph.operations
+    }
+    ops_per_kind = Counter(op.resource_kind for op in graph.operations)
+    user = dict(problem.resource_constraints or {})
+
+    limits = {kind: 1 for kind in uniform}
+    limits.update({k: v for k, v in user.items() if k in limits})
+    while True:
+        schedule = _constrained_schedule(problem, latencies, limits)
+        makespan = graph.makespan(schedule, latencies)
+        if makespan <= problem.latency_constraint:
+            break
+        growable = sorted(
+            kind
+            for kind in limits
+            if limits[kind] < ops_per_kind[kind] and kind not in user
+        )
+        if not growable:
+            raise InfeasibleError(
+                f"uniform datapath cannot reach lambda="
+                f"{problem.latency_constraint} (makespan {makespan})"
+            )
+        last = max(schedule, key=lambda n: (schedule[n] + latencies[n], n))
+        bottleneck = graph.operation(last).resource_kind
+        kind = bottleneck if bottleneck in growable else growable[0]
+        limits[kind] += 1
+
+    # First-fit binding onto `limits[kind]` uniform units per kind.
+    instances: Dict[str, List[Tuple[int, List[str]]]] = {
+        kind: [] for kind in uniform
+    }
+    for name in sorted(schedule, key=lambda n: (schedule[n], n)):
+        kind = graph.operation(name).resource_kind
+        begin = schedule[name]
+        finish = begin + latencies[name]
+        pool = instances[kind]
+        for i, (free_at, members) in enumerate(pool):
+            if free_at <= begin:
+                members.append(name)
+                pool[i] = (finish, members)
+                break
+        else:
+            pool.append((finish, [name]))
+
+    cliques = tuple(
+        BoundClique(uniform[kind], tuple(members))
+        for kind in sorted(instances)
+        for _, members in instances[kind]
+    )
+    binding = Binding(cliques)
+    bound_latencies = binding.bound_latencies_from(
+        {uniform[kind]: problem.latency_model.latency(uniform[kind])
+         for kind in uniform}
+    )
+    return Datapath(
+        schedule=dict(schedule),
+        binding=binding,
+        upper_bounds=dict(latencies),
+        bound_latencies=bound_latencies,
+        makespan=max(schedule[n] + bound_latencies[n] for n in schedule),
+        area=binding.area(problem.area_model),
+        method="uniform",
+    )

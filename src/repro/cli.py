@@ -1,0 +1,200 @@
+"""Top-level command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list-workloads`` -- the named DSP kernels shipped with the library;
+* ``allocate`` -- run one allocator on a named workload or a JSON graph
+  and print the datapath report (optionally export JSON / DOT / Verilog);
+* ``compare`` -- run every allocator on one problem and tabulate areas.
+
+Examples::
+
+    python -m repro list-workloads
+    python -m repro allocate fir --relax 0.5
+    python -m repro allocate biquad --method ilp --json out.json
+    python -m repro allocate fir --relax 1.0 --verilog fir.v
+    python -m repro compare motivational --relax 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from . import InfeasibleError, Problem, allocate, validate_datapath
+from .analysis.reporting import format_table
+from .baselines.clique_sort import allocate_clique_sort
+from .baselines.fds import allocate_fds
+from .baselines.ilp import allocate_ilp
+from .baselines.two_stage import allocate_two_stage
+from .baselines.uniform import allocate_uniform
+from .gen import workloads
+from .io import (
+    datapath_to_dict,
+    datapath_to_dot,
+    graph_from_dict,
+    load_json,
+    save_json,
+)
+
+__all__ = ["main", "WORKLOADS"]
+
+# name -> (graph factory, netlist factory or None)
+WORKLOADS: Dict[str, Tuple[Callable, Optional[Callable]]] = {
+    "motivational": (
+        workloads.motivational_example, workloads.motivational_example_netlist
+    ),
+    "fir": (workloads.fir_filter, workloads.fir_filter_netlist),
+    "biquad": (workloads.iir_biquad, workloads.iir_biquad_netlist),
+    "ycbcr": (workloads.rgb_to_ycbcr, workloads.rgb_to_ycbcr_netlist),
+    "dct4": (workloads.dct4, workloads.dct4_netlist),
+    "lattice": (workloads.lattice_filter, workloads.lattice_filter_netlist),
+    "conv3x3": (workloads.conv3x3, workloads.conv3x3_netlist),
+    "cmul": (workloads.complex_multiply, workloads.complex_multiply_netlist),
+}
+
+METHODS = {
+    "dpalloc": lambda problem: allocate(problem),
+    "ilp": lambda problem: allocate_ilp(problem)[0],
+    "two-stage": lambda problem: allocate_two_stage(problem)[0],
+    "fds": lambda problem: allocate_fds(problem)[0],
+    "clique-sort": allocate_clique_sort,
+    "uniform": allocate_uniform,
+}
+
+
+def _load_graph(source: str):
+    if source in WORKLOADS:
+        return WORKLOADS[source][0]()
+    data = load_json(source)
+    return graph_from_dict(data)
+
+
+def _build_problem(args) -> Problem:
+    graph = _load_graph(args.workload)
+    scratch = Problem(graph, latency_constraint=1_000_000)
+    lam_min = scratch.minimum_latency()
+    if args.latency is not None:
+        constraint = args.latency
+    else:
+        constraint = max(1, int(lam_min * (1.0 + args.relax)))
+    return scratch.with_latency_constraint(constraint)
+
+
+def _cmd_list_workloads(_args) -> int:
+    rows = []
+    for name, (factory, _) in sorted(WORKLOADS.items()):
+        graph = factory()
+        muls = sum(1 for op in graph.operations if op.resource_kind == "mul")
+        adds = len(graph) - muls
+        lam = Problem(graph, latency_constraint=1_000_000).minimum_latency()
+        rows.append([name, len(graph), muls, adds, lam])
+    print(format_table(
+        ["workload", "|O|", "muls", "adds", "lambda_min"], rows,
+        title="Named workloads",
+    ))
+    return 0
+
+
+def _cmd_allocate(args) -> int:
+    problem = _build_problem(args)
+    try:
+        datapath = METHODS[args.method](problem)
+    except InfeasibleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    validate_datapath(problem, datapath)
+    print(
+        f"workload {args.workload}: |O|={len(problem.graph)}, "
+        f"lambda={problem.latency_constraint}"
+    )
+    print(datapath.summary())
+
+    if args.json:
+        save_json(datapath_to_dict(datapath), args.json)
+        print(f"wrote {args.json}")
+    if args.dot:
+        from pathlib import Path
+
+        Path(args.dot).write_text(datapath_to_dot(problem.graph, datapath))
+        print(f"wrote {args.dot}")
+    if args.verilog:
+        netlist_factory = WORKLOADS.get(args.workload, (None, None))[1]
+        if netlist_factory is None:
+            print("--verilog needs a workload with wiring (named kernels)",
+                  file=sys.stderr)
+            return 1
+        from pathlib import Path
+
+        from .rtl import generate_verilog
+
+        design = generate_verilog(netlist_factory(), datapath)
+        Path(args.verilog).write_text(design.source)
+        print(f"wrote {args.verilog} ({design.unit_count} units)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    problem = _build_problem(args)
+    rows = []
+    for name, method in METHODS.items():
+        try:
+            datapath = method(problem)
+            validate_datapath(problem, datapath)
+            rows.append(
+                [name, f"{datapath.area:g}", datapath.makespan,
+                 datapath.unit_count()]
+            )
+        except InfeasibleError:
+            rows.append([name, "infeasible", "-", "-"])
+    print(format_table(
+        ["method", "area", "latency", "units"], rows,
+        title=(
+            f"{args.workload}: |O|={len(problem.graph)}, "
+            f"lambda={problem.latency_constraint}"
+        ),
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Heuristic datapath allocation for multiple wordlength systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="list named DSP kernels")
+
+    for name, helptext in (
+        ("allocate", "allocate one workload with one method"),
+        ("compare", "run every allocator on one workload"),
+    ):
+        cmd = sub.add_parser(name, help=helptext)
+        cmd.add_argument(
+            "workload",
+            help=f"named workload ({', '.join(sorted(WORKLOADS))}) or JSON graph file",
+        )
+        cmd.add_argument("--relax", type=float, default=0.3,
+                         help="relaxation over lambda_min (default 0.3)")
+        cmd.add_argument("--latency", type=int, default=None,
+                         help="absolute latency constraint (overrides --relax)")
+        if name == "allocate":
+            cmd.add_argument("--method", choices=sorted(METHODS),
+                             default="dpalloc")
+            cmd.add_argument("--json", help="write the datapath as JSON")
+            cmd.add_argument("--dot", help="write a Graphviz rendering")
+            cmd.add_argument("--verilog", help="write structural Verilog")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list-workloads": _cmd_list_workloads,
+        "allocate": _cmd_allocate,
+        "compare": _cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

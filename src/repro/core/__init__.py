@@ -1,0 +1,42 @@
+"""Core allocation algorithms: the paper's primary contribution."""
+
+from .binding import Binding, BoundClique, bindselect, max_chain
+from .dpalloc import DPAllocOptions, allocate
+from .problem import InfeasibleError, Problem
+from .refinement import (
+    RefinementStep,
+    bound_critical_path,
+    candidate_set,
+    choose_refinement_op,
+    refine_once,
+)
+from .scheduling import (
+    Eqn2Tracker,
+    Eqn3Tracker,
+    critical_path_priorities,
+    list_schedule,
+)
+from .solution import Datapath
+from .wcg import WordlengthCompatibilityGraph
+
+__all__ = [
+    "Binding",
+    "BoundClique",
+    "Datapath",
+    "DPAllocOptions",
+    "Eqn2Tracker",
+    "Eqn3Tracker",
+    "InfeasibleError",
+    "Problem",
+    "RefinementStep",
+    "WordlengthCompatibilityGraph",
+    "allocate",
+    "bindselect",
+    "bound_critical_path",
+    "candidate_set",
+    "choose_refinement_op",
+    "critical_path_priorities",
+    "list_schedule",
+    "max_chain",
+    "refine_once",
+]

@@ -1,0 +1,233 @@
+"""Combined resource binding and wordlength selection (paper section 2.3).
+
+Given a schedule, binding partitions the operations into cliques of the
+compatibility graph ``G'(O, C)``; each clique becomes one physical
+resource instance whose wordlength must cover every member (Eqn. 4), and
+the cost of a binding is the summed area of the cliques' resources
+(Eqn. 5).  This is weighted unate covering (Eqn. 6), tackled with an
+*implicit* adaptation of Chvátal's greedy heuristic [1]:
+
+* columns (cliques) are never enumerated -- at each step only the
+  maximum clique per resource type matters, because all cliques of a
+  type cost the same and the greedy criterion is |clique| / cost;
+* ``C`` is an interval order (derived from the schedule with latency
+  upper bounds), so ``G'(O,C)`` restricted to ``O(r)`` is transitively
+  oriented and a maximum clique is a maximum *chain*, found by dynamic
+  programming in near-linear time (Golumbic [11]);
+* after each selection the new clique is *grown* over previously selected
+  cliques: if the union is still a chain and coverable by a single
+  resource type, the earlier clique's unit is deleted -- the paper's
+  compensation for greedy short-sightedness.
+
+A final wordlength-selection pass implements each clique in the cheapest
+resource type compatible (via current ``H`` edges) with all members;
+``H`` membership guarantees the resource is never slower than the latency
+upper bounds used by the scheduler, so the schedule remains valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..resources.area import AreaModel
+from ..resources.types import ResourceType
+from .wcg import WordlengthCompatibilityGraph
+
+__all__ = ["BoundClique", "Binding", "max_chain", "bindselect"]
+
+
+@dataclass(frozen=True)
+class BoundClique:
+    """One physical resource instance and the operations bound to it."""
+
+    resource: ResourceType
+    ops: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass(frozen=True)
+class Binding:
+    """A complete binding: cliques plus convenience lookups."""
+
+    cliques: Tuple[BoundClique, ...]
+
+    def resource_of(self, name: str) -> ResourceType:
+        for clique in self.cliques:
+            if name in clique.ops:
+                return clique.resource
+        raise KeyError(f"operation {name!r} is not bound")
+
+    def instance_of(self, name: str) -> int:
+        for index, clique in enumerate(self.cliques):
+            if name in clique.ops:
+                return index
+        raise KeyError(f"operation {name!r} is not bound")
+
+    def area(self, area_model: AreaModel) -> float:
+        """Total implementation area (paper Eqn. 5)."""
+        return sum(area_model.area(c.resource) for c in self.cliques)
+
+    def bound_latencies(
+        self, wcg: WordlengthCompatibilityGraph
+    ) -> Dict[str, int]:
+        """Per-op latency of the resource each op is bound to (ℓ(o))."""
+        latencies: Dict[str, int] = {}
+        for clique in self.cliques:
+            cycles = wcg.latency(clique.resource)
+            for name in clique.ops:
+                latencies[name] = cycles
+        return latencies
+
+    def bound_latencies_from(
+        self, latency_of: Mapping[ResourceType, int]
+    ) -> Dict[str, int]:
+        """Like :meth:`bound_latencies` but from a plain latency mapping."""
+        latencies: Dict[str, int] = {}
+        for clique in self.cliques:
+            cycles = latency_of[clique.resource]
+            for name in clique.ops:
+                latencies[name] = cycles
+        return latencies
+
+    def __len__(self) -> int:
+        return len(self.cliques)
+
+
+def _is_chain(
+    ops: Sequence[str],
+    schedule: Mapping[str, int],
+    latencies: Mapping[str, int],
+) -> bool:
+    """Whether the ops are pairwise time-compatible (form a chain in C)."""
+    ordered = sorted(ops, key=lambda n: (schedule[n], n))
+    for a, b in zip(ordered, ordered[1:]):
+        if schedule[a] + latencies[a] > schedule[b]:
+            return False
+    return True
+
+
+def max_chain(
+    candidates: Sequence[str],
+    schedule: Mapping[str, int],
+    latencies: Mapping[str, int],
+) -> List[str]:
+    """Maximum chain (pairwise sequential ops) among ``candidates``.
+
+    The compatibility relation "finishes no later than the other starts"
+    is an interval order; a maximum clique of the comparability graph is
+    a longest chain, computed by DP over ops sorted by start time.
+    Deterministic: ties prefer lexicographically smaller predecessors.
+    """
+    if not candidates:
+        return []
+    ordered = sorted(candidates, key=lambda n: (schedule[n], n))
+    best_len: Dict[str, int] = {}
+    best_pred: Dict[str, Optional[str]] = {}
+    for i, name in enumerate(ordered):
+        best_len[name] = 1
+        best_pred[name] = None
+        for prev in ordered[:i]:
+            if schedule[prev] + latencies[prev] <= schedule[name]:
+                if best_len[prev] + 1 > best_len[name]:
+                    best_len[name] = best_len[prev] + 1
+                    best_pred[name] = prev
+    tail = max(ordered, key=lambda n: (best_len[n], n))
+    chain: List[str] = []
+    cursor: Optional[str] = tail
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = best_pred[cursor]
+    chain.reverse()
+    return chain
+
+
+def _cheapest_covering_resource(
+    ops: Sequence[str],
+    wcg: WordlengthCompatibilityGraph,
+    area_model: AreaModel,
+) -> Optional[ResourceType]:
+    """Cheapest resource with a current H edge to every op (Eqn. 4)."""
+    candidates: Optional[Set[ResourceType]] = None
+    for name in ops:
+        compatible = set(wcg.compatible_resources(name))
+        candidates = compatible if candidates is None else candidates & compatible
+        if not candidates:
+            return None
+    assert candidates is not None
+    return min(candidates, key=lambda r: (area_model.area(r), r))
+
+
+def bindselect(
+    wcg: WordlengthCompatibilityGraph,
+    schedule: Mapping[str, int],
+    latencies: Mapping[str, int],
+    area_model: AreaModel,
+    grow: bool = True,
+    shrink: bool = True,
+) -> Binding:
+    """Algorithm Bindselect of the paper.
+
+    Args:
+        wcg: scheduled wordlength compatibility graph (current ``H``).
+        schedule: start step per operation.
+        latencies: the latency upper bounds ``L_o`` used for scheduling
+            (cliques built with these can never violate the schedule).
+        area_model: resource cost for the greedy ratio and Eqn. 5.
+        grow: enable the clique-growth compensation step.
+        shrink: enable the final cheapest-cover wordlength selection.
+
+    Returns:
+        a :class:`Binding` covering every operation exactly once.
+    """
+    uncovered: Set[str] = {op.name for op in wcg.operations}
+    selected: List[Tuple[ResourceType, List[str]]] = []
+
+    while uncovered:
+        best: Optional[Tuple[float, float, ResourceType, List[str]]] = None
+        for resource in wcg.resources:
+            candidates = [
+                name for name in wcg.ops_for_resource(resource) if name in uncovered
+            ]
+            if not candidates:
+                continue
+            chain = max_chain(candidates, schedule, latencies)
+            cost = area_model.area(resource)
+            key = (len(chain) / cost, -cost)
+            if best is None or key > (best[0], best[1]):
+                best = (key[0], key[1], resource, chain)
+        if best is None:
+            missing = sorted(uncovered)
+            raise RuntimeError(f"operations without any compatible resource: {missing}")
+        _, _, resource, clique = best
+        uncovered -= set(clique)
+
+        if grow:
+            survivors: List[Tuple[ResourceType, List[str]]] = []
+            for prev_resource, prev_ops in selected:
+                union = clique + prev_ops
+                cover = _cheapest_covering_resource(union, wcg, area_model)
+                if cover is not None and _is_chain(union, schedule, latencies):
+                    clique = sorted(union, key=lambda n: (schedule[n], n))
+                    resource = cover
+                else:
+                    survivors.append((prev_resource, prev_ops))
+            selected = survivors
+        selected.append((resource, sorted(clique, key=lambda n: (schedule[n], n))))
+
+    if shrink:
+        shrunk: List[Tuple[ResourceType, List[str]]] = []
+        for resource, ops in selected:
+            cover = _cheapest_covering_resource(ops, wcg, area_model)
+            shrunk.append((cover if cover is not None else resource, ops))
+        selected = shrunk
+
+    cliques = tuple(
+        BoundClique(resource, tuple(ops))
+        for resource, ops in sorted(
+            selected, key=lambda item: (schedule[item[1][0]], item[1])
+        )
+    )
+    return Binding(cliques)

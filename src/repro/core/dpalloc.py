@@ -1,0 +1,290 @@
+"""Algorithm DPAlloc -- the paper's top-level heuristic (section 2).
+
+Pseudo-code from the paper::
+
+    while( no feasible solution ) do
+        calculate resource set covering each operation;
+        find upper-bounds L_o on latency of each operation o in O;
+        schedule P(O, S) using latency upper-bounds L_o;
+        perform binding and wordlength selection;
+        if( solution violates latency constraint )
+            refine wordlength information;
+        else
+            record this as a feasible solution;
+    end while;
+
+The intuition (paper section 2): "using the largest possible range of
+latencies at the start allows the greatest possible resource sharing".
+Concretely, scheduling runs under the Eqn. 3 resource bound with the
+*minimum* unit counts implied by the wordlength information: one unit per
+scheduling-set member (``N_y = |S_y|``).  Initially the scheduling set has
+a single member per kind -- the whole graph is scheduled "using one
+multiplier", exactly the situation the paper's Fig. 2 discussion
+describes -- which maximally serialises operations and thus maximises
+sharing.  When the resulting makespan misses the user constraint,
+wordlength refinement deletes the slowest ``H`` edges of one
+bound-critical operation: ops get faster *and* the scheduling set may
+grow, adding parallelism, until the constraint is met.
+
+Two completions of the paper's under-specified corners (documented in
+DESIGN.md §5):
+
+* when no operation is refinable but the constraint is still violated,
+  the derived unit count of the bottleneck kind is incremented (pure
+  duplication of units -- needed e.g. for many identical parallel ops
+  under a tight constraint);
+* scheduling with upper bounds guarantees the later binding never
+  violates the schedule, and the achieved makespan is evaluated with the
+  *bound-resource* latencies (results are ready no later than the
+  reserved upper bounds).
+
+Termination: every iteration deletes an ``H`` edge or increments a unit
+count, both bounded, so the loop is polynomial; if neither is possible
+the problem is infeasible (lambda below the fully-refined critical path,
+or user resource constraints below the coverage lower bound).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from .binding import Binding, bindselect
+from .problem import InfeasibleError, Problem
+from .refinement import RefinementStep, refine_once
+from .scheduling import list_schedule
+from .solution import Datapath
+from .wcg import WordlengthCompatibilityGraph
+
+__all__ = ["allocate", "DPAllocOptions"]
+
+
+class DPAllocOptions:
+    """Tunable knobs of the heuristic (defaults = the paper's algorithm).
+
+    Attributes:
+        grow: enable Bindselect's clique-growth compensation.
+        shrink: enable the final cheapest-cover wordlength selection.
+        constraint: scheduling bound, ``"eqn3"`` (paper) or ``"eqn2"``
+            (naive ablation).
+        mode: ``"min-units"`` (paper: schedule under the minimal derived
+            unit counts ``N_y = |S_y|``), ``"asap"`` (ablation: no
+            derived constraints; only user-specified ``N_y`` apply), or
+            ``"best"`` (extension: run both and keep the smaller-area
+            feasible datapath -- the ablation study shows each reading
+            wins on a sizeable fraction of instances).
+        selector: refinement candidate rule, ``"min-edge-loss"`` (paper)
+            or ``"name-order"`` (ablation).
+        blind_refinement: ablation -- skip the bound-critical-path
+            analysis and refine from the whole operation set.
+        max_iterations: optional hard cap on outer-loop iterations.
+    """
+
+    def __init__(
+        self,
+        grow: bool = True,
+        shrink: bool = True,
+        constraint: str = "eqn3",
+        mode: str = "min-units",
+        selector: str = "min-edge-loss",
+        blind_refinement: bool = False,
+        max_iterations: Optional[int] = None,
+    ) -> None:
+        if mode not in ("min-units", "asap", "best"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.grow = grow
+        self.shrink = shrink
+        self.constraint = constraint
+        self.mode = mode
+        self.selector = selector
+        self.blind_refinement = blind_refinement
+        self.max_iterations = max_iterations
+
+
+def _empty_datapath() -> Datapath:
+    return Datapath(
+        schedule={},
+        binding=Binding(()),
+        upper_bounds={},
+        bound_latencies={},
+        makespan=0,
+        area=0.0,
+        iterations=0,
+    )
+
+
+def _derived_constraints(
+    wcg: WordlengthCompatibilityGraph,
+    problem: Problem,
+    bumps: Dict[str, int],
+    ops_per_kind: Dict[str, int],
+) -> Dict[str, int]:
+    """Effective ``N_y``: user ceilings where given, else ``|S_y| + bump``."""
+    scheduling_set = wcg.scheduling_set()
+    member_counts = Counter(s.kind for s in scheduling_set)
+    user = dict(problem.resource_constraints or {})
+    constraints: Dict[str, int] = {}
+    for kind, total in ops_per_kind.items():
+        if kind in user:
+            constraints[kind] = user[kind]
+        else:
+            derived = member_counts.get(kind, 0) + bumps.get(kind, 0)
+            constraints[kind] = min(max(derived, 1), total)
+    return constraints
+
+
+def _bottleneck_kind(
+    problem: Problem,
+    schedule: Dict[str, int],
+    bound_latencies: Dict[str, int],
+) -> str:
+    """Resource kind of the last-finishing operation (deterministic)."""
+    name = max(
+        schedule,
+        key=lambda n: (schedule[n] + bound_latencies[n], n),
+    )
+    return problem.graph.operation(name).resource_kind
+
+
+def allocate(problem: Problem, options: Optional[DPAllocOptions] = None) -> Datapath:
+    """Run Algorithm DPAlloc on ``problem``; return the first feasible datapath.
+
+    Raises:
+        InfeasibleError: the latency constraint is below the fully
+            refined critical path, or the resource-count constraints can
+            never be satisfied.
+    """
+    opts = options or DPAllocOptions()
+    graph = problem.graph
+    ops = graph.operations
+    if not ops:
+        return _empty_datapath()
+
+    if opts.mode == "best":
+        candidates: List[Datapath] = []
+        for mode in ("min-units", "asap"):
+            variant = DPAllocOptions(
+                grow=opts.grow,
+                shrink=opts.shrink,
+                constraint=opts.constraint,
+                mode=mode,
+                selector=opts.selector,
+                blind_refinement=opts.blind_refinement,
+                max_iterations=opts.max_iterations,
+            )
+            try:
+                candidates.append(allocate(problem, variant))
+            except InfeasibleError:
+                continue
+        if not candidates:
+            raise InfeasibleError(
+                f"latency constraint {problem.latency_constraint} unreachable "
+                f"under both scheduling modes"
+            )
+        return min(candidates, key=lambda dp: (dp.area, dp.makespan))
+
+    resources = problem.resource_set()
+    wcg = WordlengthCompatibilityGraph(ops, resources, problem.latency_model)
+    names = graph.names
+    edges = graph.edges()
+    ops_per_kind = dict(Counter(op.resource_kind for op in ops))
+    user_kinds = set(problem.resource_constraints or {})
+
+    # Refinements delete >= 1 H edge each; bumps add >= 1 unit each.
+    iteration_cap = (wcg.edge_count() - len(ops) + 1) + sum(ops_per_kind.values())
+    if opts.max_iterations is not None:
+        iteration_cap = min(iteration_cap, opts.max_iterations)
+
+    bumps: Dict[str, int] = {}
+    refinements: List[RefinementStep] = []
+    iteration = 0
+    while True:
+        iteration += 1
+        upper_bounds = wcg.upper_bound_latencies()
+        if opts.mode == "min-units":
+            constraints = _derived_constraints(wcg, problem, bumps, ops_per_kind)
+        else:
+            constraints = dict(problem.resource_constraints or {})
+        schedule = list_schedule(
+            graph,
+            wcg,
+            upper_bounds,
+            resource_constraints=constraints,
+            constraint=opts.constraint,
+        )
+        binding = bindselect(
+            wcg,
+            schedule,
+            upper_bounds,
+            problem.area_model,
+            grow=opts.grow,
+            shrink=opts.shrink,
+        )
+        bound_latencies = binding.bound_latencies(wcg)
+        makespan = max(schedule[n] + bound_latencies[n] for n in names)
+
+        if makespan <= problem.latency_constraint:
+            return Datapath(
+                schedule=dict(schedule),
+                binding=binding,
+                upper_bounds=upper_bounds,
+                bound_latencies=bound_latencies,
+                makespan=makespan,
+                area=binding.area(problem.area_model),
+                iterations=iteration,
+                refinements=tuple(refinements),
+            )
+
+        if iteration >= iteration_cap:
+            raise InfeasibleError(
+                f"DPAlloc exceeded its iteration bound ({iteration_cap}) "
+                f"without meeting latency {problem.latency_constraint} "
+                f"(best makespan {makespan})"
+            )
+
+        # Preferred move: refine a bound-critical operation (paper §2.4).
+        primary_pools = ("any",) if opts.blind_refinement else ("W", "Qb")
+        try:
+            step = refine_once(
+                wcg, names, edges, schedule, binding,
+                problem.latency_constraint, pools=primary_pools,
+                selector=opts.selector,
+            )
+            refinements.append(step)
+            continue
+        except InfeasibleError:
+            pass
+
+        # The bound critical path is unrefinable.  In min-units mode the
+        # principled move is to duplicate a unit of the bottleneck kind,
+        # directly relieving the serialisation that limits the makespan.
+        if opts.mode == "min-units":
+            bumpable = sorted(
+                kind
+                for kind, limit in _derived_constraints(
+                    wcg, problem, bumps, ops_per_kind
+                ).items()
+                if kind not in user_kinds and limit < ops_per_kind[kind]
+            )
+            if bumpable:
+                preferred = _bottleneck_kind(problem, schedule, bound_latencies)
+                kind = preferred if preferred in bumpable else bumpable[0]
+                bumps[kind] = bumps.get(kind, 0) + 1
+                continue
+
+        # Last resort: refine any refinable operation (it may still grow
+        # the scheduling set and unlock parallelism).
+        try:
+            step = refine_once(
+                wcg, names, edges, schedule, binding,
+                problem.latency_constraint, pools=("any",),
+                selector=opts.selector,
+            )
+            refinements.append(step)
+            continue
+        except InfeasibleError:
+            raise InfeasibleError(
+                f"latency constraint {problem.latency_constraint} unreachable "
+                f"even with fully refined wordlengths and duplicated units "
+                f"(best makespan {makespan})"
+            ) from None

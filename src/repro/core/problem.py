@@ -1,0 +1,86 @@
+"""Problem definition for combined scheduling/binding/wordlength selection.
+
+A :class:`Problem` bundles everything the paper's Algorithm DPAlloc (and
+each baseline) consumes: the sequencing graph ``P(O,S)``, the overall
+latency constraint ``lambda``, the technology models, and optional
+resource-count constraints ``N_y`` per resource kind (section 2.2).  The
+paper's area-minimisation experiments leave the counts unconstrained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..ir.ops import Operation
+from ..ir.seqgraph import SequencingGraph
+from ..resources.area import AreaModel, SonicAreaModel
+from ..resources.extraction import dedicated_resource, extract_resource_set
+from ..resources.latency import LatencyModel, SonicLatencyModel
+from ..resources.types import ResourceType
+
+__all__ = ["Problem", "InfeasibleError"]
+
+
+class InfeasibleError(RuntimeError):
+    """No datapath satisfying the constraints exists (or was found)."""
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One allocation problem instance.
+
+    Attributes:
+        graph: the sequencing graph ``P(O, S)``.
+        latency_constraint: the user-specified overall latency ``lambda``
+            (cycles).
+        latency_model: cycles per resource type (default: the paper's
+            SONIC model).
+        area_model: area per resource type (default: reconstruction of
+            ref. [5]'s model).
+        resource_constraints: optional ``N_y`` upper bounds on the number
+            of units per resource *kind*; ``None`` means unconstrained,
+            matching the paper's experiments.
+    """
+
+    graph: SequencingGraph
+    latency_constraint: int
+    latency_model: LatencyModel = field(default_factory=SonicLatencyModel)
+    area_model: AreaModel = field(default_factory=SonicAreaModel)
+    resource_constraints: Optional[Mapping[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_constraint < 1:
+            raise ValueError("latency constraint must be >= 1 cycle")
+        if self.resource_constraints is not None:
+            bad = {k: v for k, v in self.resource_constraints.items() if v < 1}
+            if bad:
+                raise ValueError(f"resource constraints must be >= 1: {bad}")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def resource_set(self, prune: bool = True) -> Tuple[ResourceType, ...]:
+        """Candidate resource types ``R`` extracted from the operation set."""
+        return extract_resource_set(
+            self.graph.operations,
+            latency_model=self.latency_model,
+            area_model=self.area_model,
+            prune=prune,
+        )
+
+    def min_op_latency(self, op: Operation) -> int:
+        """Latency of ``op`` on its dedicated (exact-wordlength) resource."""
+        return self.latency_model.latency(dedicated_resource(op))
+
+    def minimum_latency(self) -> int:
+        """``lambda_min``: tightest achievable constraint for this graph."""
+        return self.graph.minimum_latency(self.min_op_latency)
+
+    def with_latency_constraint(self, value: int) -> "Problem":
+        """A copy of this problem with a different ``lambda``."""
+        return replace(self, latency_constraint=value)
+
+    def min_latencies(self) -> Dict[str, int]:
+        """Per-operation minimum latencies (dedicated resources)."""
+        return {op.name: self.min_op_latency(op) for op in self.graph.operations}

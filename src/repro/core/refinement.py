@@ -1,0 +1,215 @@
+"""Refining wordlength information (paper section 2.4).
+
+When the scheduled-and-bound datapath misses the user latency constraint,
+Algorithm DPAlloc tightens the latency upper bound of exactly one
+operation by deleting its ``H`` edges to its slowest compatible
+resources.  The operation is picked from the **bound critical path**:
+
+* the sequencing edge set ``S`` is augmented with ``S_b`` -- pairs of
+  operations bound to the *same* resource instance back-to-back
+  (``start(o1) + l(o1) == start(o2)``, ``l`` being the bound resource's
+  latency, Eqn. 7);
+* the bound critical path ``Q_b`` holds the zero-slack operations of the
+  augmented graph (equal ASAP and ALAP times);
+* the candidate subset ``W = {o in Q_b : start(o) + L_o <= lambda}``
+  (as printed in the paper) is preferred; among candidates the paper
+  selects the operation losing the smallest *proportion* of edges in
+  ``{{o1, r} in H : exists {o, r} in H}``, breaking ties in favour of
+  operations currently bound to a resource faster than their upper bound.
+
+We add deterministic final tie-breaking (operation name) and fallbacks
+(refinable members of ``Q_b``, then any refinable operation) so the outer
+loop always makes progress or reports infeasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..resources.types import ResourceType
+from .binding import Binding
+from .problem import InfeasibleError
+from .wcg import WordlengthCompatibilityGraph
+
+__all__ = [
+    "augmented_edges",
+    "bound_critical_path",
+    "candidate_set",
+    "choose_refinement_op",
+    "RefinementStep",
+    "refine_once",
+]
+
+
+def augmented_edges(
+    graph_edges: Tuple[Tuple[str, str], ...],
+    schedule: Mapping[str, int],
+    binding: Binding,
+    bound_latencies: Mapping[str, int],
+) -> Set[Tuple[str, str]]:
+    """Sequencing edges plus the binding edges ``S_b`` of Eqn. 7."""
+    edges: Set[Tuple[str, str]] = set(graph_edges)
+    for clique in binding.cliques:
+        for o1 in clique.ops:
+            finish = schedule[o1] + bound_latencies[o1]
+            for o2 in clique.ops:
+                if o1 != o2 and finish == schedule[o2]:
+                    edges.add((o1, o2))
+    return edges
+
+
+def bound_critical_path(
+    names: Tuple[str, ...],
+    graph_edges: Tuple[Tuple[str, str], ...],
+    schedule: Mapping[str, int],
+    binding: Binding,
+    bound_latencies: Mapping[str, int],
+) -> Set[str]:
+    """``Q_b``: zero-slack operations of the augmented sequencing graph."""
+    dag = nx.DiGraph()
+    dag.add_nodes_from(names)
+    dag.add_edges_from(
+        augmented_edges(graph_edges, schedule, binding, bound_latencies)
+    )
+    order = list(nx.lexicographical_topological_sort(dag))
+
+    asap: Dict[str, int] = {}
+    for name in order:
+        asap[name] = max(
+            (asap[p] + bound_latencies[p] for p in dag.predecessors(name)),
+            default=0,
+        )
+    if not names:
+        return set()
+    deadline = max(asap[n] + bound_latencies[n] for n in names)
+
+    alap: Dict[str, int] = {}
+    for name in reversed(order):
+        finish = min((alap[s] for s in dag.successors(name)), default=deadline)
+        alap[name] = finish - bound_latencies[name]
+
+    return {n for n in names if asap[n] == alap[n]}
+
+
+def candidate_set(
+    q_b: Set[str],
+    schedule: Mapping[str, int],
+    upper_bounds: Mapping[str, int],
+    latency_constraint: int,
+) -> Set[str]:
+    """``W``: bound-critical ops finishing before the constraint."""
+    return {
+        name
+        for name in q_b
+        if schedule[name] + upper_bounds[name] <= latency_constraint
+    }
+
+
+def _edge_loss_proportion(
+    wcg: WordlengthCompatibilityGraph, name: str
+) -> float:
+    """Fraction of neighbourhood ``H`` edges a refinement of ``name`` deletes.
+
+    Numerator: edges ``{name, r}`` with ``latency(r) == L_name`` (the ones
+    the refinement deletes).  Denominator: all ``H`` edges incident to
+    resources compatible with ``name`` -- the paper's
+    ``{{o1, r} in H : exists {o, r} in H}``.
+    """
+    bound = wcg.upper_bound_latency(name)
+    compatible = wcg.compatible_resources(name)
+    deleted = sum(1 for r in compatible if wcg.latency(r) == bound)
+    neighbourhood = sum(len(wcg.ops_for_resource(r)) for r in compatible)
+    assert neighbourhood > 0
+    return deleted / neighbourhood
+
+
+def choose_refinement_op(
+    wcg: WordlengthCompatibilityGraph,
+    candidates: Set[str],
+    binding: Optional[Binding],
+    selector: str = "min-edge-loss",
+) -> Optional[str]:
+    """Pick the candidate whose refinement loses the smallest edge share.
+
+    Ties favour operations bound to a resource strictly faster than their
+    latency upper bound (their binding never used the latency headroom,
+    so removing it is free); remaining ties break on the name.
+    Returns ``None`` when no candidate is refinable.
+
+    ``selector="name-order"`` replaces the paper's min-edge-loss rule by
+    plain name order (ablation of the selection heuristic).
+    """
+    refinable = sorted(n for n in candidates if wcg.can_refine(n))
+    if not refinable:
+        return None
+    if selector == "name-order":
+        return refinable[0]
+    if selector != "min-edge-loss":
+        raise ValueError(f"unknown selector {selector!r}")
+
+    def sort_key(name: str) -> Tuple[float, int, str]:
+        proportion = _edge_loss_proportion(wcg, name)
+        bound_faster = 0
+        if binding is not None:
+            try:
+                resource = binding.resource_of(name)
+                if wcg.latency(resource) < wcg.upper_bound_latency(name):
+                    bound_faster = -1  # preferred
+            except KeyError:
+                pass
+        return (proportion, bound_faster, name)
+
+    return min(refinable, key=sort_key)
+
+
+@dataclass(frozen=True)
+class RefinementStep:
+    """Record of one refinement: which op, which edges were deleted."""
+
+    operation: str
+    deleted: Tuple[ResourceType, ...]
+    source: str  # "W", "Qb" or "any" -- which candidate pool supplied the op
+
+
+def refine_once(
+    wcg: WordlengthCompatibilityGraph,
+    names: Tuple[str, ...],
+    graph_edges: Tuple[Tuple[str, str], ...],
+    schedule: Mapping[str, int],
+    binding: Binding,
+    latency_constraint: int,
+    pools: Tuple[str, ...] = ("W", "Qb", "any"),
+    selector: str = "min-edge-loss",
+) -> RefinementStep:
+    """One full refinement step of Algorithm DPAlloc.
+
+    Tries the paper's candidate set ``W`` first, then the rest of the
+    bound critical path, then (by default) any refinable operation.
+    The ``pools`` argument lets the caller stop earlier -- DPAlloc uses
+    ``("W", "Qb")`` so that when the bound critical path is unrefinable
+    it can duplicate a unit instead of refining an unrelated operation.
+    Mutates ``wcg``.
+
+    Raises:
+        InfeasibleError: none of the requested pools contains a
+            refinable operation.
+    """
+    bound_latencies = binding.bound_latencies(wcg)
+    upper_bounds = wcg.upper_bound_latencies()
+    q_b = bound_critical_path(names, graph_edges, schedule, binding, bound_latencies)
+    w = candidate_set(q_b, schedule, upper_bounds, latency_constraint)
+    available = {"W": w, "Qb": q_b, "any": set(names)}
+
+    for source in pools:
+        chosen = choose_refinement_op(wcg, available[source], binding, selector)
+        if chosen is not None:
+            deleted = tuple(wcg.refine(chosen))
+            return RefinementStep(chosen, deleted, source)
+
+    raise InfeasibleError(
+        f"latency constraint {latency_constraint} unreachable: no operation "
+        f"in pools {pools} has refinable wordlength information left"
+    )

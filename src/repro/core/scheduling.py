@@ -1,0 +1,381 @@
+"""Scheduling with incomplete wordlength information (paper section 2.2).
+
+The scheduler is a resource-constrained list scheduler whose per-type
+constraint is the paper's Eqn. 3.  The scan of the paper loses the body
+of the equation; the reconstruction implemented here (see DESIGN.md §4.2)
+is, for every operation type ``y``::
+
+    sum_{s in S∩R_y}  max_{t in T}  sum_{o in O(s)}  x_{o,t} / |S(o)|   <=  N_y
+
+where ``S`` is the minimum-cardinality *scheduling set* covering all
+operations, ``O(s)`` the ops with an ``H`` edge to ``s``, and ``S(o)``
+the scheduling-set members compatible with ``o``.  Properties (each is
+unit-tested):
+
+* **At least as strict as Eqn. 2** (classic per-step counting): at any
+  step the fractional shares of the executing type-``y`` ops sum to the
+  number of executing ops, and a sum of per-member peaks dominates any
+  single-step total.
+* **Degenerates to Eqn. 2 when |S| = |Y|**: one member per type receives
+  every op with share 1, so the LHS is the peak per-step concurrency.
+* **Exact when |S(o)| = 1 for all o**: each member accumulates the exact
+  peak demand of the ops that can only run on it.
+* **Rejects the paper's Fig. 2 scenario**: two ops forced onto different
+  resource-wordlengths of one type contribute two separate peaks even if
+  they are serialised in time, so ``N_y = 1`` is correctly refused --
+  the situation Eqn. 2 misses.
+
+With no resource constraints (the paper's area-minimisation experiments)
+the list scheduler degenerates to ASAP with the latency upper bounds,
+exactly what Algorithm DPAlloc requires.
+
+An Eqn. 2 tracker is provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..ir.seqgraph import SequencingGraph
+from ..resources.types import ResourceType
+from .problem import InfeasibleError
+from .wcg import WordlengthCompatibilityGraph
+
+__all__ = [
+    "Eqn2Tracker",
+    "Eqn3Tracker",
+    "critical_path_priorities",
+    "list_schedule",
+]
+
+
+def critical_path_priorities(
+    graph: SequencingGraph, latencies: Mapping[str, int]
+) -> Dict[str, int]:
+    """Longest path from each op to a sink (inclusive), the list priority."""
+    priority: Dict[str, int] = {}
+    for name in reversed(graph.topological_order()):
+        succ = graph.successors(name)
+        priority[name] = latencies[name] + max(
+            (priority[s] for s in succ), default=0
+        )
+    return priority
+
+
+class Eqn3Tracker:
+    """Incremental evaluation of the Eqn. 3 resource bound.
+
+    The bound is *time-monotone*: placing an operation at a fresh control
+    step (where all current loads are zero) raises each of its members'
+    peaks to at least the op's share.  Hence if an op fails the check
+    even at a fresh step it can never be scheduled -- the stuck-state
+    test used by the list scheduler.
+    """
+
+    def __init__(
+        self,
+        wcg: WordlengthCompatibilityGraph,
+        constraints: Mapping[str, int],
+    ) -> None:
+        self._constraints = dict(constraints)
+        self._scheduling_set = wcg.scheduling_set()
+        self._members_by_kind: Dict[str, List[ResourceType]] = {}
+        for s in self._scheduling_set:
+            self._members_by_kind.setdefault(s.kind, []).append(s)
+        # S(o) and the equal-sharing fractions of section 2.2.
+        self._share: Dict[str, Fraction] = {}
+        self._members_of: Dict[str, Tuple[ResourceType, ...]] = {}
+        for op in wcg.operations:
+            members = wcg.members_covering(op.name, self._scheduling_set)
+            if not members:
+                raise InfeasibleError(
+                    f"operation {op.name!r} not covered by the scheduling set"
+                )
+            self._members_of[op.name] = members
+            self._share[op.name] = Fraction(1, len(members))
+        # Per member: per-step fractional load and its running peak.
+        self._load: Dict[ResourceType, Dict[int, Fraction]] = {
+            s: {} for s in self._scheduling_set
+        }
+        self._peak: Dict[ResourceType, Fraction] = {
+            s: Fraction(0) for s in self._scheduling_set
+        }
+
+    @property
+    def scheduling_set(self) -> Tuple[ResourceType, ...]:
+        return self._scheduling_set
+
+    def members_of(self, name: str) -> Tuple[ResourceType, ...]:
+        return self._members_of[name]
+
+    def _limit(self, kind: str) -> Optional[int]:
+        return self._constraints.get(kind)
+
+    def _hypothetical_lhs(self, name: str, start: int, duration: int) -> Fraction:
+        """LHS of Eqn. 3 for the op's kind if it were placed at ``start``."""
+        kind = next(iter(self._members_of[name])).kind
+        share = self._share[name]
+        involved = set(self._members_of[name])
+        total = Fraction(0)
+        for s in self._members_by_kind.get(kind, []):
+            peak = self._peak[s]
+            if s in involved:
+                loads = self._load[s]
+                for t in range(start, start + duration):
+                    peak = max(peak, loads.get(t, Fraction(0)) + share)
+            total += peak
+        return total
+
+    def admits(self, name: str, start: int, duration: int) -> bool:
+        """Whether placing ``name`` at ``start`` keeps Eqn. 3 satisfied."""
+        kind = next(iter(self._members_of[name])).kind
+        limit = self._limit(kind)
+        if limit is None:
+            return True
+        return self._hypothetical_lhs(name, start, duration) <= limit
+
+    def ever_admittable(self, name: str, duration: int) -> bool:
+        """Fresh-step feasibility: if this fails, the op can never be placed."""
+        kind = next(iter(self._members_of[name])).kind
+        limit = self._limit(kind)
+        if limit is None:
+            return True
+        share = self._share[name]
+        total = Fraction(0)
+        for s in self._members_by_kind.get(kind, []):
+            peak = self._peak[s]
+            if s in self._members_of[name]:
+                peak = max(peak, share)
+            total += peak
+        return total <= limit
+
+    def place(self, name: str, start: int, duration: int) -> None:
+        """Commit the placement of an operation."""
+        share = self._share[name]
+        for s in self._members_of[name]:
+            loads = self._load[s]
+            for t in range(start, start + duration):
+                loads[t] = loads.get(t, Fraction(0)) + share
+                if loads[t] > self._peak[s]:
+                    self._peak[s] = loads[t]
+
+    def lhs(self, kind: str) -> Fraction:
+        """Current LHS of Eqn. 3 for one resource kind."""
+        return sum(
+            (self._peak[s] for s in self._members_by_kind.get(kind, [])),
+            Fraction(0),
+        )
+
+
+class Eqn2Tracker:
+    """Classic per-step resource counting (paper Eqn. 2) -- ablation only.
+
+    Counts concurrently executing operations per resource kind; blind to
+    wordlength incompatibilities, so it can accept schedules that need
+    more physical units than ``N_y`` (the defect Eqn. 3 repairs).
+    """
+
+    def __init__(
+        self,
+        wcg: WordlengthCompatibilityGraph,
+        constraints: Mapping[str, int],
+    ) -> None:
+        self._constraints = dict(constraints)
+        self._kind_of = {op.name: op.resource_kind for op in wcg.operations}
+        self._load: Dict[str, Dict[int, int]] = {}
+
+    def admits(self, name: str, start: int, duration: int) -> bool:
+        kind = self._kind_of[name]
+        limit = self._constraints.get(kind)
+        if limit is None:
+            return True
+        loads = self._load.setdefault(kind, {})
+        return all(
+            loads.get(t, 0) + 1 <= limit for t in range(start, start + duration)
+        )
+
+    def ever_admittable(self, name: str, duration: int) -> bool:
+        kind = self._kind_of[name]
+        limit = self._constraints.get(kind)
+        return limit is None or limit >= 1
+
+    def place(self, name: str, start: int, duration: int) -> None:
+        kind = self._kind_of[name]
+        loads = self._load.setdefault(kind, {})
+        for t in range(start, start + duration):
+            loads[t] = loads.get(t, 0) + 1
+
+
+@dataclass(frozen=True)
+class _Running:
+    name: str
+    finish: int
+
+
+class _GreedyWedge(Exception):
+    """Internal: the greedy list scheduler blocked itself permanently."""
+
+
+def serial_schedule(
+    graph: SequencingGraph,
+    latencies: Mapping[str, int],
+    constrained_kinds: Set[str],
+) -> Dict[str, int]:
+    """Fully serialised fallback schedule (one op of each kind at a time).
+
+    Operations of the kinds in ``constrained_kinds`` are executed one
+    after another (per kind); other kinds run ASAP.  Under this schedule
+    at most one operation of a constrained kind is active at any step, so
+    the Eqn. 3 LHS of kind ``y`` is at most ``|S_y|`` -- the schedule is
+    therefore feasible whenever ``N_y >= |S_y|``, which is also a *lower
+    bound* on implementable unit counts (any binding uses at least
+    ``|S_y|`` distinct covering types).  This removes the wedge states a
+    greedy constructive scheduler can talk itself into.
+    """
+    priority = critical_path_priorities(graph, latencies)
+    kind_of = {op.name: op.resource_kind for op in graph.operations}
+    horizon: Dict[str, int] = {}
+    start: Dict[str, int] = {}
+    remaining = set(graph.names)
+    while remaining:
+        ready = [
+            n for n in remaining
+            if all(p in start for p in graph.predecessors(n))
+        ]
+        ready.sort(key=lambda n: (-priority[n], n))
+        name = ready[0]
+        release = max(
+            (start[p] + latencies[p] for p in graph.predecessors(name)),
+            default=0,
+        )
+        kind = kind_of[name]
+        if kind in constrained_kinds:
+            begin = max(release, horizon.get(kind, 0))
+            horizon[kind] = begin + latencies[name]
+        else:
+            begin = release
+        start[name] = begin
+        remaining.discard(name)
+    return start
+
+
+def _greedy_schedule(
+    graph: SequencingGraph,
+    tracker,
+    latencies: Mapping[str, int],
+) -> Dict[str, int]:
+    priority = critical_path_priorities(graph, latencies)
+    pending: Set[str] = set(graph.names)
+    start_times: Dict[str, int] = {}
+    running: List[_Running] = []
+    now = 0
+
+    def release_time(name: str) -> int:
+        preds = graph.predecessors(name)
+        return max((start_times[p] + latencies[p] for p in preds
+                    if p in start_times), default=0)
+
+    while pending:
+        ready = [
+            n
+            for n in pending
+            if all(p in start_times for p in graph.predecessors(n))
+            and release_time(n) <= now
+        ]
+        ready.sort(key=lambda n: (-priority[n], n))
+        for name in ready:
+            if tracker.admits(name, now, latencies[name]):
+                start_times[name] = now
+                tracker.place(name, now, latencies[name])
+                running.append(_Running(name, now + latencies[name]))
+                pending.discard(name)
+        if not pending:
+            break
+
+        # Advance time to the next event: a running op finishing or a
+        # dependency releasing a new ready op.
+        events = [r.finish for r in running if r.finish > now]
+        for n in pending:
+            if all(p in start_times for p in graph.predecessors(n)):
+                rel = release_time(n)
+                if rel > now:
+                    events.append(rel)
+        if events:
+            now = min(events)
+            running = [r for r in running if r.finish > now]
+            continue
+
+        # No future events and nothing placeable now.  With no running
+        # ops the current step is fresh, so by time-monotonicity of the
+        # bound the remaining ready ops are blocked permanently.
+        raise _GreedyWedge(sorted(ready) or sorted(pending))
+
+    return start_times
+
+
+def list_schedule(
+    graph: SequencingGraph,
+    wcg: WordlengthCompatibilityGraph,
+    latencies: Mapping[str, int],
+    resource_constraints: Optional[Mapping[str, int]] = None,
+    constraint: str = "eqn3",
+) -> Dict[str, int]:
+    """Resource-constrained list scheduling with latency upper bounds.
+
+    Args:
+        graph: sequencing graph ``P(O, S)``.
+        wcg: current wordlength compatibility graph (supplies ``S`` and
+            ``O(s)`` for the Eqn. 3 tracker).
+        latencies: per-op latencies -- Algorithm DPAlloc passes the upper
+            bounds ``L_o`` so that later binding can never violate the
+            schedule.
+        resource_constraints: ``N_y`` per resource kind; ``None`` or an
+            empty mapping yields a pure ASAP schedule.
+        constraint: ``"eqn3"`` (paper) or ``"eqn2"`` (ablation).
+
+    Returns:
+        start control step per operation.
+
+    Raises:
+        InfeasibleError: some operation can never satisfy the resource
+            bound, i.e. ``N_y`` is below the coverage lower bound
+            ``|S_y|`` (or, for Eqn. 2, below 1).
+
+    The greedy constructive pass can occasionally wedge itself: committed
+    peaks may permanently exhaust the type budget for an op that a
+    cleverer schedule would have accommodated.  In that case the
+    scheduler falls back to :func:`serial_schedule`, which provably
+    satisfies Eqn. 3 whenever ``N_y >= |S_y|``; if even the serial
+    schedule fails the check the constraints are genuinely infeasible.
+    """
+    if not resource_constraints:
+        return graph.asap(latencies)
+
+    def make_tracker():
+        if constraint == "eqn3":
+            return Eqn3Tracker(wcg, resource_constraints)
+        if constraint == "eqn2":
+            return Eqn2Tracker(wcg, resource_constraints)
+        raise ValueError(f"unknown constraint {constraint!r}")
+
+    try:
+        return _greedy_schedule(graph, make_tracker(), latencies)
+    except _GreedyWedge:
+        pass
+
+    schedule = serial_schedule(
+        graph, latencies, constrained_kinds=set(resource_constraints)
+    )
+    checker = make_tracker()
+    order = sorted(schedule, key=lambda n: (schedule[n], n))
+    for name in order:
+        if not checker.admits(name, schedule[name], latencies[name]):
+            raise InfeasibleError(
+                f"resource constraints {dict(resource_constraints)} are "
+                f"infeasible (operation {name!r} fails even under the "
+                f"serialised schedule)"
+            )
+        checker.place(name, schedule[name], latencies[name])
+    return schedule

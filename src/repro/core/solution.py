@@ -1,0 +1,77 @@
+"""Datapath solutions: the output of DPAlloc and of every baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..resources.area import AreaModel
+from ..resources.types import ResourceType
+from .binding import Binding, BoundClique
+from .refinement import RefinementStep
+
+__all__ = ["Datapath"]
+
+
+@dataclass(frozen=True)
+class Datapath:
+    """A scheduled, bound, wordlength-selected datapath.
+
+    Attributes:
+        schedule: start control step per operation.
+        binding: clique partition; one clique per physical unit.
+        upper_bounds: the latency upper bounds ``L_o`` in force when the
+            schedule was built (what the scheduler reserved).
+        bound_latencies: actual latency of each op on its bound resource.
+        makespan: completion time of the slowest op under the bound
+            latencies -- the achieved overall latency.
+        area: total unit area (paper Eqn. 5).
+        iterations: DPAlloc outer-loop iterations (1 for one-shot
+            baselines).
+        refinements: the refinement trace (empty for baselines).
+        method: identifier of the producing algorithm.
+    """
+
+    schedule: Dict[str, int]
+    binding: Binding
+    upper_bounds: Dict[str, int]
+    bound_latencies: Dict[str, int]
+    makespan: int
+    area: float
+    iterations: int = 1
+    refinements: Tuple[RefinementStep, ...] = ()
+    method: str = "dpalloc"
+
+    @property
+    def cliques(self) -> Tuple[BoundClique, ...]:
+        return self.binding.cliques
+
+    def unit_count(self, kind: str = "") -> int:
+        """Number of physical units (optionally of one resource kind)."""
+        if not kind:
+            return len(self.binding.cliques)
+        return sum(1 for c in self.binding.cliques if c.resource.kind == kind)
+
+    def units_by_kind(self) -> Dict[str, List[ResourceType]]:
+        grouped: Dict[str, List[ResourceType]] = {}
+        for clique in self.binding.cliques:
+            grouped.setdefault(clique.resource.kind, []).append(clique.resource)
+        return {k: sorted(v) for k, v in sorted(grouped.items())}
+
+    def recompute_area(self, area_model: AreaModel) -> float:
+        return self.binding.area(area_model)
+
+    def summary(self) -> str:
+        """Human-readable allocation report (used by the examples)."""
+        lines = [
+            f"method         : {self.method}",
+            f"achieved latency: {self.makespan} cycles",
+            f"area           : {self.area:g}",
+            f"units          : {self.unit_count()}",
+        ]
+        for index, clique in enumerate(self.binding.cliques):
+            ops = ", ".join(
+                f"{name}@{self.schedule[name]}" for name in clique.ops
+            )
+            lines.append(f"  unit {index}: {clique.resource}  <- {ops}")
+        return "\n".join(lines)

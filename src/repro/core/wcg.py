@@ -1,0 +1,200 @@
+"""The wordlength compatibility graph ``G(V, E)`` (paper section 2.1).
+
+``V = O ∪ R``: operations and resource-wordlength types.
+``E = C ∪ H``:
+
+* ``H`` -- undirected edges ``{o, r}`` meaning operation ``o`` can be
+  executed by resource type ``r``.  Initially these are exactly the
+  coverage edges (same resource kind, sufficient wordlength); Algorithm
+  DPAlloc *refines* wordlength information by deleting the edges to an
+  operation's slowest compatible resources, which lowers that operation's
+  latency upper bound ``L_o``.
+* ``C`` -- directed edges ``(o1, o2)`` meaning ``o1`` is scheduled to
+  complete before ``o2`` starts.  ``C`` is derived from a schedule (see
+  :meth:`compatibility_edges`) and forms a transitive orientation of the
+  subgraph ``G'(O, C)`` -- the property that lets binding find maximum
+  cliques in linear time (Golumbic [11]).
+
+This class owns the mutable ``H`` edge set plus the latency quantities
+derived from it, and computes the *scheduling set* ``S`` (minimum subset
+of ``R`` covering all operations) required by the Eqn. 3 constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..ir.ops import Operation
+from ..resources.latency import LatencyModel
+from ..resources.types import ResourceType
+from ..utils.covering import min_cardinality_cover
+
+__all__ = ["WordlengthCompatibilityGraph"]
+
+
+class WordlengthCompatibilityGraph:
+    """Operations, resource types, and the mutable ``H`` edge set."""
+
+    def __init__(
+        self,
+        ops: Iterable[Operation],
+        resources: Iterable[ResourceType],
+        latency_model: LatencyModel,
+        h_edges: Optional[Mapping[str, Iterable[ResourceType]]] = None,
+    ) -> None:
+        self._ops: Dict[str, Operation] = {op.name: op for op in ops}
+        self._resources: Tuple[ResourceType, ...] = tuple(sorted(set(resources)))
+        self._latency_model = latency_model
+        self._latency_cache: Dict[ResourceType, int] = {
+            r: latency_model.latency(r) for r in self._resources
+        }
+
+        if h_edges is None:
+            self._h: Dict[str, Set[ResourceType]] = {
+                name: {r for r in self._resources if r.covers(op)}
+                for name, op in self._ops.items()
+            }
+        else:
+            self._h = {
+                name: set(h_edges.get(name, ())) for name in self._ops
+            }
+        for name, compatible in self._h.items():
+            if not compatible:
+                raise ValueError(
+                    f"operation {name!r} has no compatible resource type"
+                )
+            for r in compatible:
+                if not r.covers(self._ops[name]):
+                    raise ValueError(f"edge {{{name}, {r}}} is not a coverage edge")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        return tuple(self._ops.values())
+
+    @property
+    def resources(self) -> Tuple[ResourceType, ...]:
+        return self._resources
+
+    def operation(self, name: str) -> Operation:
+        return self._ops[name]
+
+    def latency(self, resource: ResourceType) -> int:
+        """Cycles needed by one execution on ``resource``."""
+        return self._latency_cache[resource]
+
+    def compatible_resources(self, name: str) -> Tuple[ResourceType, ...]:
+        """Current ``H`` neighbours of operation ``name``, sorted."""
+        return tuple(sorted(self._h[name]))
+
+    def ops_for_resource(self, resource: ResourceType) -> Tuple[str, ...]:
+        """``O(r)``: operations with a current ``H`` edge to ``resource``."""
+        return tuple(
+            sorted(name for name, res in self._h.items() if resource in res)
+        )
+
+    def has_edge(self, name: str, resource: ResourceType) -> bool:
+        return resource in self._h[name]
+
+    def edge_count(self) -> int:
+        """Total number of ``H`` edges (monotone under refinement)."""
+        return sum(len(res) for res in self._h.values())
+
+    # ------------------------------------------------------------------
+    # latency bounds (Table 1: L_o and the per-resource latencies)
+    # ------------------------------------------------------------------
+    def upper_bound_latency(self, name: str) -> int:
+        """``L_o``: slowest compatible resource of operation ``name``."""
+        return max(self._latency_cache[r] for r in self._h[name])
+
+    def min_latency(self, name: str) -> int:
+        """Fastest compatible resource of operation ``name``."""
+        return min(self._latency_cache[r] for r in self._h[name])
+
+    def upper_bound_latencies(self) -> Dict[str, int]:
+        """``L_o`` for every operation."""
+        return {name: self.upper_bound_latency(name) for name in self._ops}
+
+    def can_refine(self, name: str) -> bool:
+        """Whether deleting the slowest edges would leave the op coverable."""
+        latencies = {self._latency_cache[r] for r in self._h[name]}
+        return len(latencies) > 1
+
+    def refine(self, name: str) -> List[ResourceType]:
+        """Delete all edges ``{name, r}`` with ``latency(r) == L_name``.
+
+        Paper section 2.4, final step.  Returns the deleted resource
+        types.  Raises ``ValueError`` if the operation cannot be refined
+        (all its compatible resources share one latency).
+        """
+        if not self.can_refine(name):
+            raise ValueError(f"operation {name!r} cannot be refined further")
+        bound = self.upper_bound_latency(name)
+        victims = sorted(
+            r for r in self._h[name] if self._latency_cache[r] == bound
+        )
+        self._h[name] -= set(victims)
+        return victims
+
+    # ------------------------------------------------------------------
+    # scheduling set (section 2.2)
+    # ------------------------------------------------------------------
+    def scheduling_set(self) -> Tuple[ResourceType, ...]:
+        """Minimum-cardinality ``S ⊆ R`` with an ``H`` edge to every op."""
+        universe: Set[str] = set(self._ops)
+        sets = {
+            r: {name for name, res in self._h.items() if r in res}
+            for r in self._resources
+        }
+        cover = min_cardinality_cover(universe, sets)
+        return tuple(sorted(cover))
+
+    def members_covering(
+        self, name: str, scheduling_set: Iterable[ResourceType]
+    ) -> Tuple[ResourceType, ...]:
+        """``S(o)``: scheduling-set members with an ``H`` edge to ``name``."""
+        return tuple(sorted(s for s in scheduling_set if s in self._h[name]))
+
+    # ------------------------------------------------------------------
+    # compatibility edges C (derived from a schedule)
+    # ------------------------------------------------------------------
+    def compatibility_edges(
+        self, schedule: Mapping[str, int], latencies: Mapping[str, int]
+    ) -> Set[Tuple[str, str]]:
+        """``C``: pairs ``(o1, o2)`` with ``o1`` finishing before ``o2`` starts.
+
+        Using the latency upper bounds here guarantees any binding derived
+        from these cliques never violates the schedule (section 2.3).
+        The relation is an interval order, hence transitively closed.
+        """
+        names = sorted(self._ops)
+        edges: Set[Tuple[str, str]] = set()
+        for o1 in names:
+            finish = schedule[o1] + latencies[o1]
+            for o2 in names:
+                if o1 != o2 and finish <= schedule[o2]:
+                    edges.add((o1, o2))
+        return edges
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def h_snapshot(self) -> Dict[str, FrozenSet[ResourceType]]:
+        """Immutable snapshot of the current ``H`` edges (for traces)."""
+        return {name: frozenset(res) for name, res in self._h.items()}
+
+    def copy(self) -> "WordlengthCompatibilityGraph":
+        return WordlengthCompatibilityGraph(
+            self.operations,
+            self._resources,
+            self._latency_model,
+            h_edges={name: set(res) for name, res in self._h.items()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WordlengthCompatibilityGraph(|O|={len(self._ops)}, "
+            f"|R|={len(self._resources)}, |H|={self.edge_count()})"
+        )

@@ -1,0 +1,25 @@
+"""Experiment harness regenerating every figure and table of the paper."""
+
+from . import ablations, fig3, fig4, fig5, table2
+from .common import (
+    DEFAULT_BASE_SEED,
+    ExperimentCase,
+    build_case,
+    relaxed_constraint,
+    resolve_samples,
+    time_call,
+)
+
+__all__ = [
+    "DEFAULT_BASE_SEED",
+    "ExperimentCase",
+    "ablations",
+    "build_case",
+    "fig3",
+    "fig4",
+    "fig5",
+    "relaxed_constraint",
+    "resolve_samples",
+    "table2",
+    "time_call",
+]

@@ -1,0 +1,57 @@
+"""Command-line entry point: ``python -m repro.experiments <target>``.
+
+Targets regenerate the paper's evaluation artefacts as text tables:
+
+* ``fig3``   -- area penalty of two-stage [4] vs problem size/relaxation
+* ``fig4``   -- area premium of the heuristic vs the optimal ILP [5]
+* ``fig5``   -- execution-time scaling, heuristic vs ILP
+* ``table2`` -- execution time vs latency relaxation at |O| = 9
+* ``ablations`` -- design-choice ablations
+* ``all``    -- everything above
+
+``--samples`` overrides the per-point graph count (paper: 200; default
+here is 20 to keep a full run in minutes -- see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from . import ablations, fig3, fig4, fig5, table2
+
+TARGETS: Dict[str, Callable[[Optional[int]], str]] = {
+    "fig3": fig3.main,
+    "fig4": fig4.main,
+    "fig5": fig5.main,
+    "table2": table2.main,
+    "ablations": ablations.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures and tables.",
+    )
+    parser.add_argument("target", choices=[*TARGETS, "all"])
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        help="graphs per evaluation point (paper: 200)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "all":
+        for name in ("fig3", "fig4", "fig5", "table2", "ablations"):
+            TARGETS[name](args.samples)
+            print()
+    else:
+        TARGETS[args.target](args.samples)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Ablation studies of the heuristic's design choices (DESIGN.md §7).
+
+The paper motivates several internal mechanisms without isolating their
+contribution; these ablations quantify each one on the standard TGFF
+sweep:
+
+* **grow** -- Bindselect's clique-growth compensation for greedy
+  selections (section 2.3, "the other modification to the heuristic
+  presented in [1]");
+* **shrink** -- the final cheapest-cover wordlength selection per clique;
+* **selector** -- the minimum-edge-loss refinement rule of section 2.4
+  vs arbitrary (name-order) choice;
+* **blind refinement** -- refining any operation vs restricting to the
+  bound critical path;
+* **mode** -- scheduling under the derived minimal unit counts
+  (``min-units``) vs the resource-unconstrained reading (``asap``).
+
+Each ablation reports the mean area increase (%) of the crippled variant
+over the full heuristic; positive numbers mean the mechanism pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import mean, percent_increase
+from ..analysis.reporting import format_table
+from ..core.dpalloc import DPAllocOptions, allocate
+from .common import build_case, resolve_samples
+
+__all__ = ["AblationResult", "VARIANTS", "run", "render"]
+
+VARIANTS: Dict[str, DPAllocOptions] = {
+    "no-grow": DPAllocOptions(grow=False),
+    "no-shrink": DPAllocOptions(shrink=False),
+    "name-order-selector": DPAllocOptions(selector="name-order"),
+    "blind-refinement": DPAllocOptions(blind_refinement=True),
+    "asap-mode": DPAllocOptions(mode="asap"),
+    # Extension, not an ablation: best-of-both scheduling modes.  Its
+    # mean increase is expected to be <= 0 (it can only match or beat
+    # the default on every instance).
+    "best-of-modes": DPAllocOptions(mode="best"),
+}
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Mean area increase (%) of each variant over the full heuristic."""
+
+    sizes: Tuple[int, ...]
+    relaxations: Tuple[float, ...]
+    mean_increase: Dict[str, float]
+    worst_increase: Dict[str, float]
+    wins: Dict[str, int]  # cases where the variant was strictly better
+    cases: int
+
+    def rows(self) -> List[List[object]]:
+        return [
+            [
+                name,
+                self.mean_increase[name],
+                self.worst_increase[name],
+                self.wins[name],
+            ]
+            for name in sorted(self.mean_increase)
+        ]
+
+
+def run(
+    sizes: Sequence[int] = (6, 10, 14, 18),
+    relaxations: Sequence[float] = (0.1, 0.3),
+    samples: Optional[int] = None,
+) -> AblationResult:
+    """Compare every ablation variant against the full heuristic."""
+    count = resolve_samples(samples, default=10)
+    increases: Dict[str, List[float]] = {name: [] for name in VARIANTS}
+    wins: Dict[str, int] = {name: 0 for name in VARIANTS}
+    cases = 0
+    for n in sizes:
+        for relaxation in relaxations:
+            for sample in range(count):
+                case = build_case(n, sample, relaxation)
+                full = allocate(case.problem)
+                cases += 1
+                for name, options in VARIANTS.items():
+                    variant = allocate(case.problem, options)
+                    increases[name].append(
+                        percent_increase(variant.area, full.area)
+                    )
+                    if variant.area < full.area - 1e-9:
+                        wins[name] += 1
+    return AblationResult(
+        tuple(sizes),
+        tuple(relaxations),
+        {name: mean(vals) for name, vals in increases.items()},
+        {name: max(vals) if vals else 0.0 for name, vals in increases.items()},
+        wins,
+        cases,
+    )
+
+
+def render(result: AblationResult) -> str:
+    return format_table(
+        ["variant", "mean area +%", "worst +%", "wins"],
+        result.rows(),
+        title=(
+            f"Ablations -- area increase over the full heuristic "
+            f"({result.cases} cases; sizes {list(result.sizes)}, "
+            f"relaxations {list(result.relaxations)})"
+        ),
+    )
+
+
+def main(samples: Optional[int] = None) -> str:
+    text = render(run(samples=samples))
+    print(text)
+    return text

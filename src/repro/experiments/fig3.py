@@ -1,0 +1,84 @@
+"""Figure 3: area penalty of the two-stage approach [4] over the heuristic.
+
+Paper: "The increase in implementation area of using the two-stage
+approach [4] solution over the heuristic presented in the present paper
+was found for each graph/constraint combination ... Each point represents
+the mean of the two hundred representative designs."  The published
+surface rises with both the number of operations (1--24) and the latency
+relaxation (0%--30%): even small slack buys tens of percent of area.
+
+This module regenerates the surface as a table: one row per problem
+size, one column per relaxation, cells are mean penalties in percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import area_penalty, mean
+from ..analysis.reporting import format_table
+from ..baselines.two_stage import allocate_two_stage
+from ..core.dpalloc import allocate
+from .common import build_case, resolve_samples
+
+__all__ = ["Fig3Result", "run", "render"]
+
+DEFAULT_SIZES = tuple(range(2, 25))
+DEFAULT_RELAXATIONS = (0.0, 0.1, 0.2, 0.3)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Mean area penalty (%) of [4] over DPAlloc per (size, relaxation)."""
+
+    sizes: Tuple[int, ...]
+    relaxations: Tuple[float, ...]
+    mean_penalty: Dict[Tuple[int, float], float]
+    samples: int
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for n in self.sizes:
+            row: List[object] = [n]
+            row.extend(self.mean_penalty[(n, r)] for r in self.relaxations)
+            out.append(row)
+        return out
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    relaxations: Sequence[float] = DEFAULT_RELAXATIONS,
+    samples: Optional[int] = None,
+) -> Fig3Result:
+    """Regenerate the Fig. 3 data (means over ``samples`` graphs/point)."""
+    count = resolve_samples(samples)
+    table: Dict[Tuple[int, float], float] = {}
+    for n in sizes:
+        for relaxation in relaxations:
+            penalties: List[float] = []
+            for sample in range(count):
+                case = build_case(n, sample, relaxation)
+                heuristic = allocate(case.problem)
+                two_stage, _ = allocate_two_stage(case.problem)
+                penalties.append(area_penalty(two_stage, heuristic))
+            table[(n, relaxation)] = mean(penalties)
+    return Fig3Result(tuple(sizes), tuple(relaxations), table, count)
+
+
+def render(result: Fig3Result) -> str:
+    headers = ["|O|"] + [f"{int(100 * r)}% relax" for r in result.relaxations]
+    return format_table(
+        headers,
+        result.rows(),
+        title=(
+            f"Fig. 3 -- mean area penalty (%) of two-stage [4] over the "
+            f"heuristic ({result.samples} graphs/point)"
+        ),
+    )
+
+
+def main(samples: Optional[int] = None) -> str:
+    text = render(run(samples=samples))
+    print(text)
+    return text

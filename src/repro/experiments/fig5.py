@@ -1,0 +1,137 @@
+"""Figure 5: execution-time scaling of the heuristic vs the ILP.
+
+Paper: "The variation of execution time with problem size for 200 graphs
+using the ILP model (executing on 'LP Solve') and the heuristic algorithm
+is shown in Fig. 5, illustrating the polynomial complexity of the
+heuristic against the exponential complexity of the ILP ... the ILP
+solution takes between one and two orders of magnitude greater time."
+
+Absolute times are incomparable across a 1997 LP solver on a Pentium III
+450 and HiGHS on a modern CPU; the *shape* is what we validate, and we
+additionally report the ILP variable count -- a solver-independent size
+measure that the paper itself uses to explain the scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import mean
+from ..analysis.reporting import format_table
+from ..baselines.ilp import allocate_ilp
+from ..core.dpalloc import allocate
+from .common import build_case, resolve_samples, time_call
+
+__all__ = ["Fig5Result", "run", "render"]
+
+DEFAULT_SIZES = tuple(range(1, 11))
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Total execution time (s) over the sample set, per problem size."""
+
+    sizes: Tuple[int, ...]
+    heuristic_seconds: Dict[int, float]
+    ilp_seconds: Dict[int, float]
+    ilp_variables: Dict[int, float]
+    samples: int
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for n in self.sizes:
+            heuristic = self.heuristic_seconds[n]
+            ilp = self.ilp_seconds[n]
+            ratio = ilp / heuristic if heuristic > 0 else float("inf")
+            out.append(
+                [n, f"{heuristic:.3f}", f"{ilp:.3f}", f"{ratio:.1f}x",
+                 f"{self.ilp_variables[n]:.0f}"]
+            )
+        return out
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    samples: Optional[int] = None,
+    relaxation: float = 0.0,
+    ilp_time_limit: Optional[float] = 120.0,
+) -> Fig5Result:
+    """Regenerate the Fig. 5 data: total runtime over the sample batch."""
+    count = resolve_samples(samples)
+    heuristic_s: Dict[int, float] = {}
+    ilp_s: Dict[int, float] = {}
+    ilp_vars: Dict[int, float] = {}
+    for n in sizes:
+        h_total = 0.0
+        i_total = 0.0
+        var_counts: List[float] = []
+        for sample in range(count):
+            case = build_case(n, sample, relaxation)
+            _, h_time = time_call(lambda: allocate(case.problem))
+            h_total += h_time
+            try:
+                (_, stats), i_time = time_call(
+                    lambda: allocate_ilp(case.problem, time_limit=ilp_time_limit)
+                )
+                var_counts.append(stats.num_variables)
+            except TimeoutError:
+                i_time = float(ilp_time_limit or 0.0)
+            i_total += i_time
+        heuristic_s[n] = h_total
+        ilp_s[n] = i_total
+        ilp_vars[n] = mean(var_counts)
+    return Fig5Result(tuple(sizes), heuristic_s, ilp_s, ilp_vars, count)
+
+
+def render(result: Fig5Result, relaxation: float = 0.0) -> str:
+    note = (
+        "lambda = lambda_min"
+        if relaxation == 0.0
+        else f"lambda = {1.0 + relaxation:.1f} * lambda_min"
+    )
+    return format_table(
+        ["|O|", "heuristic s", "ILP s", "ILP/heur", "mean ILP vars"],
+        result.rows(),
+        title=(
+            f"Fig. 5 -- execution time vs problem size, total over "
+            f"{result.samples} graphs ({note})"
+        ),
+    )
+
+
+EXTENDED_SIZES = (8, 12, 16, 20)
+EXTENDED_RELAXATION = 0.3
+
+
+def run_extended(
+    samples: Optional[int] = None,
+    ilp_time_limit: Optional[float] = 60.0,
+) -> Fig5Result:
+    """Modern-hardware variant of Fig. 5.
+
+    HiGHS solves the paper's 1-10-op instances at lambda_min in
+    milliseconds, hiding the exponential gap lp_solve exhibited in 2001.
+    The gap reappears at today's frontier: larger graphs with a relaxed
+    constraint (more start-time variables -- the same mechanism as
+    Table 2).  This run demonstrates the paper's one-to-two orders of
+    magnitude claim at sizes 8-20 with 30% relaxation.
+    """
+    count = resolve_samples(samples, default=3)
+    return run(
+        sizes=EXTENDED_SIZES,
+        samples=count,
+        relaxation=EXTENDED_RELAXATION,
+        ilp_time_limit=ilp_time_limit,
+    )
+
+
+def main(samples: Optional[int] = None) -> str:
+    parts = [render(run(samples=samples))]
+    extended_samples = min(resolve_samples(samples), 5)
+    parts.append(
+        render(run_extended(samples=extended_samples), EXTENDED_RELAXATION)
+    )
+    text = "\n\n".join(parts)
+    print(text)
+    return text

@@ -1,0 +1,120 @@
+"""Table 2: execution time vs latency-constraint relaxation (|O| = 9).
+
+Paper Table 2 reports, for 200 nine-operation graphs, how total execution
+time varies with lambda/lambda_min in {1.00, 1.05, 1.10, 1.15}: the
+heuristic stays flat (~3.5-3.7 s on their Pentium III) while the ILP
+explodes (2:07 -> 4:05 -> 15:55 -> >30:00), because the number of ILP
+variables scales with the latency constraint.
+
+We regenerate the same rows, and also report the mean ILP variable count
+-- the solver-independent quantity behind the blow-up (our HiGHS solver
+is far stronger than 1997's lp_solve, so absolute seconds differ; the
+monotone growth with lambda and the flat heuristic row are the claims
+under test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import mean
+from ..analysis.reporting import format_seconds, format_table
+from ..baselines.ilp import allocate_ilp
+from ..core.dpalloc import allocate
+from .common import build_case, resolve_samples, time_call
+
+__all__ = ["Table2Result", "run", "render"]
+
+DEFAULT_RATIOS = (1.00, 1.05, 1.10, 1.15)
+DEFAULT_NUM_OPS = 9
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Total runtimes per lambda/lambda_min ratio for |O| = num_ops."""
+
+    num_ops: int
+    ratios: Tuple[float, ...]
+    heuristic_seconds: Dict[float, float]
+    ilp_seconds: Dict[float, float]
+    ilp_variables: Dict[float, float]
+    ilp_timeouts: Dict[float, int]
+    samples: int
+
+    def rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for ratio in self.ratios:
+            timeouts = self.ilp_timeouts[ratio]
+            ilp_cell = format_seconds(self.ilp_seconds[ratio])
+            if timeouts:
+                ilp_cell = f">{ilp_cell} ({timeouts} timeouts)"
+            out.append(
+                [
+                    f"{ratio:.2f}",
+                    format_seconds(self.heuristic_seconds[ratio]),
+                    ilp_cell,
+                    f"{self.ilp_variables[ratio]:.0f}",
+                ]
+            )
+        return out
+
+
+def run(
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    num_ops: int = DEFAULT_NUM_OPS,
+    samples: Optional[int] = None,
+    ilp_time_limit: Optional[float] = 60.0,
+) -> Table2Result:
+    """Regenerate Table 2 (runtime vs lambda/lambda_min at |O| = 9)."""
+    count = resolve_samples(samples)
+    h_seconds: Dict[float, float] = {}
+    i_seconds: Dict[float, float] = {}
+    i_vars: Dict[float, float] = {}
+    i_timeouts: Dict[float, int] = {}
+    for ratio in ratios:
+        relaxation = ratio - 1.0
+        h_total = 0.0
+        i_total = 0.0
+        timeouts = 0
+        var_counts: List[float] = []
+        for sample in range(count):
+            case = build_case(num_ops, sample, relaxation)
+            _, h_time = time_call(lambda: allocate(case.problem))
+            h_total += h_time
+            began_vars = None
+            try:
+                (_, stats), i_time = time_call(
+                    lambda: allocate_ilp(case.problem, time_limit=ilp_time_limit)
+                )
+                began_vars = stats.num_variables
+            except TimeoutError:
+                i_time = float(ilp_time_limit or 0.0)
+                timeouts += 1
+            i_total += i_time
+            if began_vars is not None:
+                var_counts.append(began_vars)
+        h_seconds[ratio] = h_total
+        i_seconds[ratio] = i_total
+        i_vars[ratio] = mean(var_counts)
+        i_timeouts[ratio] = timeouts
+    return Table2Result(
+        num_ops, tuple(ratios), h_seconds, i_seconds, i_vars, i_timeouts, count
+    )
+
+
+def render(result: Table2Result) -> str:
+    return format_table(
+        ["lambda/lambda_min", "heuristic (m:ss)", "ILP (m:ss)", "mean ILP vars"],
+        result.rows(),
+        title=(
+            f"Table 2 -- execution time for {result.samples} "
+            f"{result.num_ops}-operation graphs vs latency relaxation"
+        ),
+    )
+
+
+def main(samples: Optional[int] = None) -> str:
+    text = render(run(samples=samples))
+    print(text)
+    return text

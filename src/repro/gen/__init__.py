@@ -1,0 +1,43 @@
+"""Workload generation: TGFF-style random graphs and named DSP kernels."""
+
+from .tgff import TgffConfig, random_graphs, random_sequencing_graph
+from .workloads import (
+    complex_multiply,
+    complex_multiply_netlist,
+    conv3x3,
+    conv3x3_netlist,
+    dct4,
+    dct4_netlist,
+    fir_filter,
+    fir_filter_netlist,
+    iir_biquad,
+    iir_biquad_netlist,
+    lattice_filter,
+    lattice_filter_netlist,
+    motivational_example,
+    motivational_example_netlist,
+    rgb_to_ycbcr,
+    rgb_to_ycbcr_netlist,
+)
+
+__all__ = [
+    "TgffConfig",
+    "complex_multiply",
+    "complex_multiply_netlist",
+    "conv3x3",
+    "conv3x3_netlist",
+    "dct4",
+    "dct4_netlist",
+    "fir_filter",
+    "fir_filter_netlist",
+    "iir_biquad",
+    "iir_biquad_netlist",
+    "lattice_filter",
+    "lattice_filter_netlist",
+    "motivational_example",
+    "motivational_example_netlist",
+    "random_graphs",
+    "random_sequencing_graph",
+    "rgb_to_ycbcr",
+    "rgb_to_ycbcr_netlist",
+]

@@ -1,0 +1,122 @@
+"""TGFF-style random sequencing graphs (paper section 3, ref. [8]).
+
+The evaluation generates "200 random sequencing graphs for each problem
+size |O| between 1 and 24 using an adaptation of the TGFF algorithm"
+(Dick, Rhodes & Wolf, *Task Graphs For Free*, CODES 1998).  TGFF grows a
+DAG by alternating *fan-out* steps (attach a new node below an existing
+one with spare out-degree) and *fan-in* steps (attach a new node fed by
+several existing nodes), which produces the series-parallel-ish shapes of
+DSP data-flow graphs.
+
+The paper does not publish the adaptation's parameters, so they are
+explicit and documented here: operation kinds are multipliers with
+probability ``p_mul`` (default 0.5) and adders otherwise; operand
+wordlengths are uniform integers on ``[width_low, width_high]``
+(default 4..24 bits, the regime of the paper's fixed-point examples).
+All draws come from a private ``random.Random(seed)``, so a given
+``(num_ops, seed)`` pair always yields the same graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..ir.ops import Operation
+from ..ir.seqgraph import SequencingGraph
+
+__all__ = ["TgffConfig", "random_sequencing_graph", "random_graphs"]
+
+
+@dataclass(frozen=True)
+class TgffConfig:
+    """Parameters of the TGFF adaptation (see module docstring)."""
+
+    p_mul: float = 0.5
+    width_low: int = 4
+    width_high: int = 24
+    max_in_degree: int = 3
+    max_out_degree: int = 3
+    p_fan_out: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_mul <= 1.0:
+            raise ValueError("p_mul must be within [0, 1]")
+        if not 1 <= self.width_low <= self.width_high:
+            raise ValueError("need 1 <= width_low <= width_high")
+        if self.max_in_degree < 1 or self.max_out_degree < 1:
+            raise ValueError("degrees must be >= 1")
+        if not 0.0 <= self.p_fan_out <= 1.0:
+            raise ValueError("p_fan_out must be within [0, 1]")
+
+
+def _random_operation(
+    index: int, rng: random.Random, config: TgffConfig
+) -> Operation:
+    kind = "mul" if rng.random() < config.p_mul else "add"
+    widths = (
+        rng.randint(config.width_low, config.width_high),
+        rng.randint(config.width_low, config.width_high),
+    )
+    return Operation(f"o{index}", kind, widths)
+
+
+def random_sequencing_graph(
+    num_ops: int,
+    seed: int,
+    config: Optional[TgffConfig] = None,
+) -> SequencingGraph:
+    """Generate one random multiple-wordlength sequencing graph.
+
+    Args:
+        num_ops: problem size |O| (>= 1).
+        seed: RNG seed; graphs are fully reproducible.
+        config: generator parameters (defaults follow the module doc).
+    """
+    if num_ops < 1:
+        raise ValueError("num_ops must be >= 1")
+    cfg = config or TgffConfig()
+    rng = random.Random(seed)
+    graph = SequencingGraph()
+    graph.add_operation(_random_operation(0, rng, cfg))
+    out_degree = {"o0": 0}
+
+    while len(graph) < num_ops:
+        index = len(graph)
+        op = _random_operation(index, rng, cfg)
+        graph.add_operation(op)
+        out_degree[op.name] = 0
+        existing = [n for n in graph.names if n != op.name]
+        fan_out = rng.random() < cfg.p_fan_out
+        if fan_out:
+            # Attach the new node below one parent with spare out-degree.
+            parents_pool = [
+                n for n in existing if out_degree[n] < cfg.max_out_degree
+            ]
+            parents = [rng.choice(parents_pool)] if parents_pool else []
+        else:
+            # Fan-in: join several existing results.
+            parents_pool = [
+                n for n in existing if out_degree[n] < cfg.max_out_degree
+            ]
+            rng.shuffle(parents_pool)
+            count = rng.randint(1, cfg.max_in_degree)
+            parents = parents_pool[:count]
+        for parent in parents:
+            graph.add_dependency(parent, op.name)
+            out_degree[parent] += 1
+    return graph
+
+
+def random_graphs(
+    num_ops: int,
+    samples: int,
+    base_seed: int = 2001,
+    config: Optional[TgffConfig] = None,
+) -> List[SequencingGraph]:
+    """A reproducible batch of graphs: seeds ``base_seed*10000 + i``."""
+    return [
+        random_sequencing_graph(num_ops, base_seed * 10_000 + i, config)
+        for i in range(samples)
+    ]

@@ -1,0 +1,389 @@
+"""Named multiple-wordlength DSP workloads.
+
+The paper motivates multiple-wordlength synthesis with custom fixed-point
+DSP designs whose per-signal wordlengths come from an output-error
+specification tool (Synoptix, refs. [3, 6]).  These kernels provide
+realistic such graphs for the examples, tests, and extra benchmarks:
+
+* :func:`motivational_example` -- a graph in the spirit of the paper's
+  Fig. 1 (its exact labels are unreadable in the scanned source): mixed
+  wordlength multiplies and adds where latency slack lets small products
+  share a larger, slower multiplier.
+* :func:`fir_filter` -- direct-form FIR with per-tap coefficient widths.
+* :func:`iir_biquad` -- one direct-form-I biquad section.
+* :func:`rgb_to_ycbcr` -- 3x3 constant matrix colour-space conversion
+  (the SONIC platform's video domain, ref. [12]).
+* :func:`dct4` -- 4-point DCT butterfly.
+* :func:`lattice_filter` -- normalised lattice stages.
+* :func:`conv3x3` -- 3x3 image convolution (one output pixel).
+* :func:`complex_multiply` -- one complex multiply (FFT butterfly core).
+
+Every kernel is available in two forms: ``<kernel>()`` returns the
+sequencing graph the allocators consume, and ``<kernel>_netlist()``
+returns the full :class:`~repro.sim.netlist.Netlist` (operand wiring and
+signal widths) that the simulator and RTL back-end need.  All
+wordlengths are representative hand-quantised values; each builder
+documents its choices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.builder import DFGBuilder
+from ..ir.seqgraph import SequencingGraph
+from ..sim.netlist import Netlist
+
+__all__ = [
+    "motivational_example",
+    "motivational_example_netlist",
+    "fir_filter",
+    "fir_filter_netlist",
+    "iir_biquad",
+    "iir_biquad_netlist",
+    "rgb_to_ycbcr",
+    "rgb_to_ycbcr_netlist",
+    "dct4",
+    "dct4_netlist",
+    "lattice_filter",
+    "lattice_filter_netlist",
+    "conv3x3",
+    "conv3x3_netlist",
+    "complex_multiply",
+    "complex_multiply_netlist",
+]
+
+
+# ----------------------------------------------------------------------
+# motivational example (paper Fig. 1 spirit)
+# ----------------------------------------------------------------------
+
+def _motivational_builder() -> DFGBuilder:
+    """Two narrow multiplies (8x8, 10x6), one wide (16x12), two adds.
+
+    With latency slack, the narrow products can execute on the wide
+    multiplier (latency 4 at SONIC timing) instead of dedicated 2-cycle
+    units, saving multiplier area at the cost of schedule length.
+    """
+    b = DFGBuilder()
+    x1, c1 = b.input("x1", 8), b.constant("c1", 8)
+    x2, c2 = b.input("x2", 10), b.constant("c2", 6)
+    x3, c3 = b.input("x3", 16), b.constant("c3", 12)
+    m1 = b.mul(x1, c1, name="m1", out_width=16)
+    m2 = b.mul(x2, c2, name="m2", out_width=16)
+    m3 = b.mul(x3, c3, name="m3", out_width=20)
+    a1 = b.add(m1, m2, name="a1", out_width=20)
+    b.add(a1, m3, name="a2", out_width=21)
+    return b
+
+
+def motivational_example() -> SequencingGraph:
+    """Sequencing graph of the Fig. 1-style motivational kernel."""
+    return _motivational_builder().graph()
+
+
+def motivational_example_netlist() -> Netlist:
+    """Netlist (with wiring) of the motivational kernel."""
+    return Netlist.from_builder(_motivational_builder())
+
+
+# ----------------------------------------------------------------------
+# FIR filter
+# ----------------------------------------------------------------------
+
+def _fir_builder(
+    taps: int = 4,
+    data_width: int = 12,
+    coeff_widths: Optional[Sequence[int]] = None,
+) -> DFGBuilder:
+    if taps < 1:
+        raise ValueError("taps must be >= 1")
+    if coeff_widths is None:
+        coeff_widths = [max(4, 12 - 2 * abs(i - taps // 2)) for i in range(taps)]
+    if len(coeff_widths) != taps:
+        raise ValueError("need one coefficient width per tap")
+
+    b = DFGBuilder()
+    acc = None
+    out_width = data_width + 4
+    for i, c_width in enumerate(coeff_widths):
+        x = b.input(f"x{i}", data_width)
+        c = b.constant(f"c{i}", c_width)
+        product = b.mul(x, c, name=f"mul{i}", out_width=out_width)
+        if acc is None:
+            acc = product
+        else:
+            acc = b.add(acc, product, name=f"acc{i}", out_width=out_width + 1)
+    return b
+
+
+def fir_filter(
+    taps: int = 4,
+    data_width: int = 12,
+    coeff_widths: Optional[Sequence[int]] = None,
+) -> SequencingGraph:
+    """Direct-form FIR: ``y = sum_i c_i * x[n-i]`` with an adder chain.
+
+    Per-tap coefficient widths default to a tapering profile (outer taps
+    need fewer bits), the classic source of multiple wordlengths in
+    filter design.  Products are truncated to ``data_width + 4`` bits as
+    an error-specification front-end would.
+    """
+    return _fir_builder(taps, data_width, coeff_widths).graph()
+
+
+def fir_filter_netlist(
+    taps: int = 4,
+    data_width: int = 12,
+    coeff_widths: Optional[Sequence[int]] = None,
+) -> Netlist:
+    """Netlist form of :func:`fir_filter`."""
+    return Netlist.from_builder(_fir_builder(taps, data_width, coeff_widths))
+
+
+# ----------------------------------------------------------------------
+# IIR biquad
+# ----------------------------------------------------------------------
+
+def _biquad_builder(
+    data_width: int = 12,
+    feedforward_widths: Sequence[int] = (10, 8, 10),
+    feedback_widths: Sequence[int] = (9, 7),
+) -> DFGBuilder:
+    if len(feedforward_widths) != 3 or len(feedback_widths) != 2:
+        raise ValueError("biquad needs 3 feedforward and 2 feedback widths")
+    b = DFGBuilder()
+    out_width = data_width + 4
+    x0 = b.input("x0", data_width)
+    x1 = b.input("x1", data_width)
+    x2 = b.input("x2", data_width)
+    y1 = b.input("y1", data_width)
+    y2 = b.input("y2", data_width)
+
+    b0, b1, b2 = (b.constant(f"b{i}", w) for i, w in enumerate(feedforward_widths))
+    a1, a2 = (b.constant(f"a{i+1}", w) for i, w in enumerate(feedback_widths))
+
+    ff0 = b.mul(x0, b0, name="ff0", out_width=out_width)
+    ff1 = b.mul(x1, b1, name="ff1", out_width=out_width)
+    ff2 = b.mul(x2, b2, name="ff2", out_width=out_width)
+    fb1 = b.mul(y1, a1, name="fb1", out_width=out_width)
+    fb2 = b.mul(y2, a2, name="fb2", out_width=out_width)
+
+    s1 = b.add(ff0, ff1, name="s1", out_width=out_width + 1)
+    s2 = b.add(s1, ff2, name="s2", out_width=out_width + 1)
+    s3 = b.add(fb1, fb2, name="s3", out_width=out_width + 1)
+    b.sub(s2, s3, name="out", out_width=out_width + 1)
+    return b
+
+
+def iir_biquad(
+    data_width: int = 12,
+    feedforward_widths: Sequence[int] = (10, 8, 10),
+    feedback_widths: Sequence[int] = (9, 7),
+) -> SequencingGraph:
+    """Direct-form-I biquad: 5 multiplies, 4 adds, mixed widths."""
+    return _biquad_builder(data_width, feedforward_widths, feedback_widths).graph()
+
+
+def iir_biquad_netlist(
+    data_width: int = 12,
+    feedforward_widths: Sequence[int] = (10, 8, 10),
+    feedback_widths: Sequence[int] = (9, 7),
+) -> Netlist:
+    """Netlist form of :func:`iir_biquad`."""
+    return Netlist.from_builder(
+        _biquad_builder(data_width, feedforward_widths, feedback_widths)
+    )
+
+
+# ----------------------------------------------------------------------
+# RGB -> YCbCr
+# ----------------------------------------------------------------------
+
+def _ycbcr_builder(channel_width: int = 8) -> DFGBuilder:
+    coeff_widths = [
+        (8, 9, 6),  # Y  row
+        (6, 7, 8),  # Cb row
+        (8, 7, 5),  # Cr row
+    ]
+    b = DFGBuilder()
+    channels = [b.input(c, channel_width) for c in ("r", "g", "bch")]
+    for row, widths in enumerate(coeff_widths):
+        partial = None
+        for col, width in enumerate(widths):
+            coeff = b.constant(f"k{row}{col}", width)
+            product = b.mul(
+                channels[col], coeff,
+                name=f"m{row}{col}", out_width=channel_width + 6,
+            )
+            if partial is None:
+                partial = product
+            else:
+                partial = b.add(
+                    partial, product,
+                    name=f"s{row}{col}", out_width=channel_width + 7,
+                )
+    return b
+
+
+def rgb_to_ycbcr(channel_width: int = 8) -> SequencingGraph:
+    """3x3 constant-matrix colour conversion: 9 multiplies, 6 adds.
+
+    Coefficient widths follow the precision each ITU-R BT.601 coefficient
+    needs (luma weights wider than chroma).
+    """
+    return _ycbcr_builder(channel_width).graph()
+
+
+def rgb_to_ycbcr_netlist(channel_width: int = 8) -> Netlist:
+    """Netlist form of :func:`rgb_to_ycbcr`."""
+    return Netlist.from_builder(_ycbcr_builder(channel_width))
+
+
+# ----------------------------------------------------------------------
+# 4-point DCT
+# ----------------------------------------------------------------------
+
+def _dct4_builder(data_width: int = 10) -> DFGBuilder:
+    b = DFGBuilder()
+    x = [b.input(f"x{i}", data_width) for i in range(4)]
+    s0 = b.add(x[0], x[3], name="bf_s0")
+    s1 = b.add(x[1], x[2], name="bf_s1")
+    d0 = b.sub(x[0], x[3], name="bf_d0")
+    d1 = b.sub(x[1], x[2], name="bf_d1")
+
+    c2 = b.constant("c2", 9)
+    c1 = b.constant("c1", 12)
+    c3 = b.constant("c3", 7)
+    b.add(s0, s1, name="y0")
+    b.mul(b.sub(s0, s1, name="bf_d2"), c2, name="y2", out_width=data_width + 6)
+    b.mul(d0, c1, name="y1a", out_width=data_width + 8)
+    b.mul(d1, c3, name="y3a", out_width=data_width + 5)
+    return b
+
+
+def dct4(data_width: int = 10) -> SequencingGraph:
+    """4-point DCT: butterfly adds/subs then coefficient multiplies."""
+    return _dct4_builder(data_width).graph()
+
+
+def dct4_netlist(data_width: int = 10) -> Netlist:
+    """Netlist form of :func:`dct4`."""
+    return Netlist.from_builder(_dct4_builder(data_width))
+
+
+# ----------------------------------------------------------------------
+# lattice filter
+# ----------------------------------------------------------------------
+
+def _lattice_builder(stages: int = 2, data_width: int = 12) -> DFGBuilder:
+    if stages < 1:
+        raise ValueError("stages must be >= 1")
+    b = DFGBuilder()
+    forward = b.input("f_in", data_width)
+    backward = b.input("b_in", data_width)
+    for stage in range(stages):
+        k_width = max(4, 10 - 2 * stage)
+        k = b.constant(f"k{stage}", k_width)
+        mf = b.mul(backward, k, name=f"mf{stage}", out_width=data_width + 3)
+        mb = b.mul(forward, k, name=f"mb{stage}", out_width=data_width + 3)
+        forward = b.sub(forward, mf, name=f"f{stage}", out_width=data_width + 4)
+        backward = b.add(backward, mb, name=f"b{stage}", out_width=data_width + 4)
+    return b
+
+
+def lattice_filter(stages: int = 2, data_width: int = 12) -> SequencingGraph:
+    """Normalised lattice filter: per stage 2 multiplies and 2 adds.
+
+    Reflection-coefficient widths shrink with stage index, giving the
+    stage-dependent wordlengths typical of lattice realisations.
+    """
+    return _lattice_builder(stages, data_width).graph()
+
+
+def lattice_filter_netlist(stages: int = 2, data_width: int = 12) -> Netlist:
+    """Netlist form of :func:`lattice_filter`."""
+    return Netlist.from_builder(_lattice_builder(stages, data_width))
+
+
+# ----------------------------------------------------------------------
+# 3x3 convolution
+# ----------------------------------------------------------------------
+
+def _conv3x3_builder(pixel_width: int = 8) -> DFGBuilder:
+    """One output pixel of a 3x3 convolution with a mixed-width kernel.
+
+    Centre coefficient needs the most precision; corners the least --
+    the profile of a Gaussian-like blur kernel.
+    """
+    kernel_widths = [
+        [4, 6, 4],
+        [6, 8, 6],
+        [4, 6, 4],
+    ]
+    b = DFGBuilder()
+    acc = None
+    out_width = pixel_width + 8
+    for r in range(3):
+        for c in range(3):
+            pixel = b.input(f"p{r}{c}", pixel_width)
+            coeff = b.constant(f"k{r}{c}", kernel_widths[r][c])
+            product = b.mul(
+                pixel, coeff, name=f"m{r}{c}", out_width=out_width
+            )
+            if acc is None:
+                acc = product
+            else:
+                acc = b.add(acc, product, name=f"a{r}{c}", out_width=out_width)
+    return b
+
+
+def conv3x3(pixel_width: int = 8) -> SequencingGraph:
+    """3x3 convolution (one output pixel): 9 multiplies, 8 adds."""
+    return _conv3x3_builder(pixel_width).graph()
+
+
+def conv3x3_netlist(pixel_width: int = 8) -> Netlist:
+    """Netlist form of :func:`conv3x3`."""
+    return Netlist.from_builder(_conv3x3_builder(pixel_width))
+
+
+# ----------------------------------------------------------------------
+# complex multiply
+# ----------------------------------------------------------------------
+
+def _complex_multiply_builder(
+    data_width: int = 10, twiddle_width: int = 8
+) -> DFGBuilder:
+    """(ar + j*ai) * (wr + j*wi): 4 multiplies, 1 sub, 1 add.
+
+    The core of an FFT butterfly; twiddle factors are quantised more
+    coarsely than data, giving asymmetric multiply wordlengths.
+    """
+    b = DFGBuilder()
+    ar, ai = b.input("ar", data_width), b.input("ai", data_width)
+    wr, wi = b.constant("wr", twiddle_width), b.constant("wi", twiddle_width)
+    out_width = data_width + twiddle_width
+    rr = b.mul(ar, wr, name="rr", out_width=out_width)
+    ii = b.mul(ai, wi, name="ii", out_width=out_width)
+    ri = b.mul(ar, wi, name="ri", out_width=out_width)
+    ir = b.mul(ai, wr, name="ir", out_width=out_width)
+    b.sub(rr, ii, name="re", out_width=out_width + 1)
+    b.add(ri, ir, name="im", out_width=out_width + 1)
+    return b
+
+
+def complex_multiply(
+    data_width: int = 10, twiddle_width: int = 8
+) -> SequencingGraph:
+    """Complex multiply (FFT butterfly core): 4 multiplies, 2 add/subs."""
+    return _complex_multiply_builder(data_width, twiddle_width).graph()
+
+
+def complex_multiply_netlist(
+    data_width: int = 10, twiddle_width: int = 8
+) -> Netlist:
+    """Netlist form of :func:`complex_multiply`."""
+    return Netlist.from_builder(
+        _complex_multiply_builder(data_width, twiddle_width)
+    )

@@ -1,0 +1,26 @@
+"""Serialisation: JSON round-trips and Graphviz DOT export."""
+
+from .dot import datapath_to_dot, graph_to_dot
+from .json_io import (
+    datapath_from_dict,
+    datapath_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_json,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_json,
+)
+
+__all__ = [
+    "datapath_from_dict",
+    "datapath_to_dict",
+    "datapath_to_dot",
+    "graph_from_dict",
+    "graph_to_dict",
+    "graph_to_dot",
+    "load_json",
+    "netlist_from_dict",
+    "netlist_to_dict",
+    "save_json",
+]

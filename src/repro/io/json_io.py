@@ -1,0 +1,159 @@
+"""JSON serialisation of graphs, netlists, and datapaths.
+
+Enables tool-flow composition: dump a kernel from one process, allocate
+in another, archive solutions next to EXPERIMENTS.md, or hand a datapath
+to external tooling.  All dictionaries are plain JSON-compatible types;
+``save_*`` / ``load_*`` wrap them with files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..core.binding import Binding, BoundClique
+from ..core.solution import Datapath
+from ..ir.ops import Operation
+from ..ir.seqgraph import SequencingGraph
+from ..resources.types import ResourceType
+from ..sim.netlist import Netlist
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "netlist_to_dict",
+    "netlist_from_dict",
+    "datapath_to_dict",
+    "datapath_from_dict",
+    "save_json",
+    "load_json",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# sequencing graphs
+# ----------------------------------------------------------------------
+
+def graph_to_dict(graph: SequencingGraph) -> Dict:
+    """Serialise a sequencing graph."""
+    return {
+        "kind": "sequencing-graph",
+        "operations": [
+            {
+                "name": op.name,
+                "op": op.kind,
+                "widths": list(op.operand_widths),
+            }
+            for op in graph.operations
+        ],
+        "dependencies": [list(edge) for edge in graph.edges()],
+    }
+
+
+def graph_from_dict(data: Dict) -> SequencingGraph:
+    """Deserialise a sequencing graph."""
+    if data.get("kind") != "sequencing-graph":
+        raise ValueError(f"not a sequencing graph payload: {data.get('kind')!r}")
+    graph = SequencingGraph()
+    for entry in data["operations"]:
+        graph.add_operation(
+            Operation(entry["name"], entry["op"], tuple(entry["widths"]))
+        )
+    for producer, consumer in data["dependencies"]:
+        graph.add_dependency(producer, consumer)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# netlists
+# ----------------------------------------------------------------------
+
+def netlist_to_dict(netlist: Netlist) -> Dict:
+    """Serialise a netlist (graph + wiring + widths)."""
+    return {
+        "kind": "netlist",
+        "graph": graph_to_dict(netlist.graph),
+        "inputs": dict(netlist.inputs),
+        "constants": dict(netlist.constants),
+        "wiring": {op: list(src) for op, src in netlist.wiring.items()},
+        "out_widths": dict(netlist.out_widths),
+    }
+
+
+def netlist_from_dict(data: Dict) -> Netlist:
+    """Deserialise a netlist."""
+    if data.get("kind") != "netlist":
+        raise ValueError(f"not a netlist payload: {data.get('kind')!r}")
+    return Netlist(
+        graph=graph_from_dict(data["graph"]),
+        inputs={k: int(v) for k, v in data["inputs"].items()},
+        constants={k: int(v) for k, v in data["constants"].items()},
+        wiring={k: tuple(v) for k, v in data["wiring"].items()},
+        out_widths={k: int(v) for k, v in data["out_widths"].items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# datapaths
+# ----------------------------------------------------------------------
+
+def datapath_to_dict(datapath: Datapath) -> Dict:
+    """Serialise a datapath solution (refinement trace omitted)."""
+    return {
+        "kind": "datapath",
+        "method": datapath.method,
+        "schedule": dict(datapath.schedule),
+        "cliques": [
+            {
+                "resource_kind": clique.resource.kind,
+                "resource_widths": list(clique.resource.widths),
+                "ops": list(clique.ops),
+            }
+            for clique in datapath.binding.cliques
+        ],
+        "upper_bounds": dict(datapath.upper_bounds),
+        "bound_latencies": dict(datapath.bound_latencies),
+        "makespan": datapath.makespan,
+        "area": datapath.area,
+        "iterations": datapath.iterations,
+    }
+
+
+def datapath_from_dict(data: Dict) -> Datapath:
+    """Deserialise a datapath solution."""
+    if data.get("kind") != "datapath":
+        raise ValueError(f"not a datapath payload: {data.get('kind')!r}")
+    cliques = tuple(
+        BoundClique(
+            ResourceType(entry["resource_kind"], tuple(entry["resource_widths"])),
+            tuple(entry["ops"]),
+        )
+        for entry in data["cliques"]
+    )
+    return Datapath(
+        schedule={k: int(v) for k, v in data["schedule"].items()},
+        binding=Binding(cliques),
+        upper_bounds={k: int(v) for k, v in data["upper_bounds"].items()},
+        bound_latencies={k: int(v) for k, v in data["bound_latencies"].items()},
+        makespan=int(data["makespan"]),
+        area=float(data["area"]),
+        iterations=int(data.get("iterations", 1)),
+        method=data.get("method", "unknown"),
+    )
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+
+def save_json(payload: Dict, path: PathLike) -> None:
+    """Write a serialised payload as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike) -> Dict:
+    """Read a JSON payload written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,19 @@
+"""Intermediate representation: operations, kinds, and sequencing graphs."""
+
+from .builder import DFGBuilder, Signal
+from .kinds import KindSpec, get_kind, known_kinds, register_kind, requirement_vector
+from .ops import Operation
+from .seqgraph import CycleError, SequencingGraph
+
+__all__ = [
+    "CycleError",
+    "DFGBuilder",
+    "KindSpec",
+    "Operation",
+    "SequencingGraph",
+    "Signal",
+    "get_kind",
+    "known_kinds",
+    "register_kind",
+    "requirement_vector",
+]

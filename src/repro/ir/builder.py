@@ -1,0 +1,159 @@
+"""Fluent construction of multiple-wordlength data-flow graphs.
+
+The sequencing graph of the paper only models operations and their
+dependencies; when describing real DSP kernels it is more natural to think
+in terms of *signals* with wordlengths flowing between operations.  The
+:class:`DFGBuilder` provides that view and takes care of deriving each
+operation's operand widths from its input signals.
+
+Default result-width rules follow full-precision fixed-point arithmetic
+(product of ``a`` and ``b`` bits is ``a+b`` bits; sum is ``max(a,b)+1``),
+and every operation accepts an explicit ``out_width`` to model the
+truncation/rounding a wordlength-optimisation front-end (e.g. the
+Synoptix tool referenced by the paper) would have chosen.
+
+Example::
+
+    b = DFGBuilder()
+    x = b.input("x", 12)
+    c = b.input("c", 8)
+    y = b.mul(x, c, out_width=16)
+    z = b.add(y, x)
+    graph = b.graph()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .ops import Operation
+from .seqgraph import SequencingGraph
+
+__all__ = ["Signal", "DFGBuilder"]
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A value flowing through the DFG: its width and producing op (if any)."""
+
+    name: str
+    width: int
+    producer: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"signal {self.name!r}: width must be positive")
+
+
+class DFGBuilder:
+    """Builds a :class:`SequencingGraph` from signal-level descriptions.
+
+    Besides the sequencing graph (the allocation algorithms' input), the
+    builder records the full operand *wiring* -- which signal feeds which
+    operand port of which operation -- so that the simulation and RTL
+    back-ends (:mod:`repro.sim`, :mod:`repro.rtl`) can reconstruct the
+    computation, not just its dependence structure.
+    """
+
+    def __init__(self) -> None:
+        self._graph = SequencingGraph()
+        self._counts: Dict[str, int] = {}
+        self._signal_widths: Dict[str, int] = {}
+        self._inputs: Dict[str, int] = {}
+        self._constants: Dict[str, int] = {}
+        self._wiring: Dict[str, tuple] = {}  # op name -> operand signal names
+        self._out_widths: Dict[str, int] = {}
+
+    def _fresh_name(self, prefix: str) -> str:
+        n = self._counts.get(prefix, 0)
+        self._counts[prefix] = n + 1
+        return f"{prefix}{n}"
+
+    def _register_signal(self, name: str, width: int) -> None:
+        if name in self._signal_widths:
+            raise ValueError(f"duplicate signal name {name!r}")
+        self._signal_widths[name] = width
+
+    def input(self, name: str, width: int) -> Signal:
+        """Declare a primary input signal (no producing operation)."""
+        self._register_signal(name, width)
+        self._inputs[name] = width
+        return Signal(name, width)
+
+    def constant(self, name: str, width: int) -> Signal:
+        """Declare a constant coefficient signal (no producing operation)."""
+        self._register_signal(name, width)
+        self._constants[name] = width
+        return Signal(name, width)
+
+    def _binary(
+        self,
+        kind: str,
+        a: Signal,
+        b: Signal,
+        default_width: int,
+        name: Optional[str],
+        out_width: Optional[int],
+    ) -> Signal:
+        op_name = name or self._fresh_name(kind)
+        op = Operation(op_name, kind, (a.width, b.width))
+        self._graph.add_operation(op)
+        for operand in (a, b):
+            if operand.producer is not None:
+                self._graph.add_dependency(operand.producer, op_name)
+        result_width = out_width or default_width
+        self._register_signal(op_name, result_width)
+        self._wiring[op_name] = (a.name, b.name)
+        self._out_widths[op_name] = result_width
+        return Signal(op_name, result_width, producer=op_name)
+
+    def mul(
+        self,
+        a: Signal,
+        b: Signal,
+        name: Optional[str] = None,
+        out_width: Optional[int] = None,
+    ) -> Signal:
+        """Multiply two signals; default result width is full precision."""
+        return self._binary("mul", a, b, a.width + b.width, name, out_width)
+
+    def add(
+        self,
+        a: Signal,
+        b: Signal,
+        name: Optional[str] = None,
+        out_width: Optional[int] = None,
+    ) -> Signal:
+        """Add two signals; default result width grows by one guard bit."""
+        return self._binary("add", a, b, max(a.width, b.width) + 1, name, out_width)
+
+    def sub(
+        self,
+        a: Signal,
+        b: Signal,
+        name: Optional[str] = None,
+        out_width: Optional[int] = None,
+    ) -> Signal:
+        """Subtract two signals; executes on the adder resource family."""
+        return self._binary("sub", a, b, max(a.width, b.width) + 1, name, out_width)
+
+    def graph(self) -> SequencingGraph:
+        """The sequencing graph built so far (live object, not a copy)."""
+        return self._graph
+
+    def export_wiring(self) -> Dict[str, object]:
+        """Plain-data wiring description for the sim/RTL back-ends.
+
+        Returns a dict with ``inputs`` / ``constants`` (name -> width),
+        ``wiring`` (op name -> ordered operand signal names) and
+        ``out_widths`` (op name -> result signal width).  Higher layers
+        (e.g. :class:`repro.sim.Netlist`) consume this without the IR
+        layer depending on them.
+        """
+        return {
+            "inputs": dict(self._inputs),
+            "constants": dict(self._constants),
+            "wiring": dict(self._wiring),
+            "out_widths": dict(self._out_widths),
+        }

@@ -1,0 +1,117 @@
+"""Operation-kind registry for multiple-wordlength datapaths.
+
+The paper (Table 1) works with a set of *operation types* ``Y`` -- in the
+examples these are adders and multipliers.  Different operation kinds may
+map onto the same *resource kind*: an addition and a subtraction both
+execute on an adder/subtractor unit.
+
+Each kind also defines how the operand wordlengths of an operation are
+turned into a canonical *requirement vector*, the coordinate system in
+which resource coverage is a simple componentwise ``>=`` test:
+
+* multiplication is commutative, so an ``a x b`` multiply is canonicalised
+  to ``(max(a, b), min(a, b))``; a multiplier resource ``(n, m)`` with
+  ``n >= m`` covers it iff ``n >= max(a, b)`` and ``m >= min(a, b)``;
+* addition/subtraction is characterised by a single wordlength, the widest
+  operand: an ``n``-bit adder covers any add whose operands are ``<= n``
+  bits wide.
+
+New kinds can be registered with :func:`register_kind`, which is how a
+user extends the library to, say, MAC units or dividers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+__all__ = [
+    "KindSpec",
+    "register_kind",
+    "get_kind",
+    "known_kinds",
+    "requirement_vector",
+]
+
+
+def _commutative_pair(widths: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Canonical requirement of a commutative two-operand operation."""
+    if len(widths) != 2:
+        raise ValueError(f"expected exactly two operand widths, got {widths!r}")
+    a, b = widths
+    return (max(a, b), min(a, b))
+
+
+def _widest_operand(widths: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Canonical requirement of a carry-chain style operation (add/sub)."""
+    if not widths:
+        raise ValueError("operation must have at least one operand width")
+    return (max(widths),)
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """Static description of an operation kind.
+
+    Attributes:
+        name: operation-kind name, e.g. ``"mul"``.
+        resource_kind: the functional-unit family executing this kind.
+        arity: number of requirement-vector components (not operands).
+        requirement: maps operand widths to the canonical requirement
+            vector of length ``arity``.
+    """
+
+    name: str
+    resource_kind: str
+    arity: int
+    requirement: Callable[[Tuple[int, ...]], Tuple[int, ...]]
+
+    def requirement_of(self, operand_widths: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Canonical requirement vector of an operation of this kind."""
+        vec = tuple(self.requirement(tuple(operand_widths)))
+        if len(vec) != self.arity:
+            raise ValueError(
+                f"kind {self.name!r}: requirement vector {vec!r} has arity "
+                f"{len(vec)}, expected {self.arity}"
+            )
+        if any(w <= 0 for w in vec):
+            raise ValueError(f"kind {self.name!r}: non-positive width in {vec!r}")
+        return vec
+
+
+_REGISTRY: Dict[str, KindSpec] = {}
+
+
+def register_kind(spec: KindSpec, replace: bool = False) -> KindSpec:
+    """Register an operation kind; returns the spec for chaining."""
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(f"operation kind {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_kind(name: str) -> KindSpec:
+    """Look up a registered operation kind by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown operation kind {name!r}; known kinds: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def known_kinds() -> Tuple[str, ...]:
+    """Names of all registered operation kinds, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def requirement_vector(kind: str, operand_widths: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Canonical requirement vector for an operation of ``kind``."""
+    return get_kind(kind).requirement_of(operand_widths)
+
+
+# Built-in kinds: the paper's examples use adders and multipliers; `sub`
+# shares the adder resource family.
+register_kind(KindSpec("mul", resource_kind="mul", arity=2, requirement=_commutative_pair))
+register_kind(KindSpec("add", resource_kind="add", arity=1, requirement=_widest_operand))
+register_kind(KindSpec("sub", resource_kind="add", arity=1, requirement=_widest_operand))

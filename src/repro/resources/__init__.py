@@ -1,0 +1,34 @@
+"""Resource-wordlength types, latency/area models, and set extraction."""
+
+from .area import AreaModel, SonicAreaModel, TableAreaModel, check_monotone_area
+from .extraction import (
+    cheapest_covering,
+    covering_resources,
+    dedicated_resource,
+    extract_resource_set,
+    group_requirement,
+)
+from .latency import (
+    LatencyModel,
+    SonicLatencyModel,
+    TableLatencyModel,
+    check_monotone,
+)
+from .types import ResourceType
+
+__all__ = [
+    "AreaModel",
+    "LatencyModel",
+    "ResourceType",
+    "SonicAreaModel",
+    "SonicLatencyModel",
+    "TableAreaModel",
+    "TableLatencyModel",
+    "cheapest_covering",
+    "check_monotone",
+    "check_monotone_area",
+    "covering_resources",
+    "dedicated_resource",
+    "extract_resource_set",
+    "group_requirement",
+]

@@ -1,0 +1,6 @@
+"""RTL export: structural Verilog reflecting the allocation decisions."""
+
+from .execute import execute_rtl_semantics
+from .verilog import VerilogDesign, generate_verilog
+
+__all__ = ["VerilogDesign", "execute_rtl_semantics", "generate_verilog"]

@@ -1,0 +1,136 @@
+"""Cycle-driven execution of the generated RTL's semantics.
+
+No Verilog simulator ships in this environment, so this module executes
+the *exact semantics* of the text :func:`repro.rtl.generate_verilog`
+emits -- independently from :mod:`repro.sim`'s event-driven engine:
+
+* a cycle counter sweeps ``0 .. makespan``;
+* each unit's operand muxes select the active operation's sources during
+  its ``[start, finish)`` window (zero otherwise), reading producer
+  *registers* and input ports;
+* the unit computes at the emitted output width (port-derived width,
+  widened to the widest consumer register -- Verilog's assignment-context
+  sizing), so subtraction wraps exactly as the RTL does;
+* on the clock edge ending cycle ``finish - 1``, the operation's result
+  register captures the unit output truncated to the declared width.
+
+Agreement between this executor, the event-driven simulator, and the
+golden reference on random inputs is the repository's substitute for an
+RTL co-simulation, and is enforced by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.solution import Datapath
+from ..sim.netlist import Netlist
+from ..sim.reference import truncate
+from .verilog import _unit_port_widths
+
+__all__ = ["execute_rtl_semantics"]
+
+
+@dataclass(frozen=True)
+class _Window:
+    """One operation's execution window on its unit (a mux arm)."""
+
+    op_name: str
+    begin: int
+    finish: int
+    src_a: str
+    src_b: str
+    operator: str  # '*', '+', or '-'
+
+
+@dataclass(frozen=True)
+class _UnitTable:
+    """Static description of one emitted unit."""
+
+    a_width: int
+    b_width: int
+    y_width: int
+    windows: Tuple[_Window, ...]
+
+
+def _build_unit_tables(netlist: Netlist, datapath: Datapath) -> List[_UnitTable]:
+    graph = netlist.graph
+    tables: List[_UnitTable] = []
+    for clique in datapath.binding.cliques:
+        a_width, b_width, y_width = _unit_port_widths(
+            clique.resource.kind, clique.resource.widths
+        )
+        y_width = max(y_width, max(netlist.out_widths[o] for o in clique.ops))
+        windows: List[_Window] = []
+        for op_name in sorted(clique.ops, key=lambda n: datapath.schedule[n]):
+            op = graph.operation(op_name)
+            begin = datapath.schedule[op_name]
+            finish = begin + datapath.bound_latencies[op_name]
+            src_a, src_b = netlist.wiring[op_name]
+            if clique.resource.kind == "mul":
+                if op.operand_widths[0] < op.operand_widths[1]:
+                    src_a, src_b = src_b, src_a
+                operator = "*"
+            elif op.kind == "sub":
+                operator = "-"
+            else:
+                operator = "+"
+            windows.append(
+                _Window(op_name, begin, finish, src_a, src_b, operator)
+            )
+        tables.append(_UnitTable(a_width, b_width, y_width, tuple(windows)))
+    return tables
+
+
+def execute_rtl_semantics(
+    netlist: Netlist,
+    datapath: Datapath,
+    values: Mapping[str, int],
+) -> Dict[str, int]:
+    """Run the generated RTL's semantics; returns every register's value.
+
+    Raises:
+        KeyError: a free signal has no supplied value.
+    """
+    free = netlist.free_signals()
+    ports: Dict[str, int] = {
+        name: truncate(int(values[name]), width) for name, width in free.items()
+    }
+    registers: Dict[str, int] = {name: 0 for name in netlist.graph.names}
+    tables = _build_unit_tables(netlist, datapath)
+
+    def read_signal(name: str) -> int:
+        return ports[name] if name in ports else registers[name]
+
+    makespan = max(1, datapath.makespan)
+    for cnt in range(makespan):
+        # Combinational phase: each unit's output for this cycle.
+        outputs: List[Optional[Tuple[_Window, int]]] = []
+        for table in tables:
+            active: Optional[Tuple[_Window, int]] = None
+            for window in table.windows:
+                if window.begin <= cnt < window.finish:
+                    a = truncate(read_signal(window.src_a), table.a_width)
+                    b = truncate(read_signal(window.src_b), table.b_width)
+                    if window.operator == "*":
+                        raw = a * b
+                    elif window.operator == "-":
+                        raw = a - b
+                    else:
+                        raw = a + b
+                    active = (window, truncate(raw, table.y_width))
+                    break
+            outputs.append(active)
+
+        # Clock edge: capture results whose final cycle this is.
+        for active in outputs:
+            if active is None:
+                continue
+            window, value = active
+            if cnt == window.finish - 1:
+                registers[window.op_name] = truncate(
+                    value, netlist.out_widths[window.op_name]
+                )
+
+    return dict(registers)

@@ -1,0 +1,16 @@
+"""Bit-true functional verification of allocated datapaths."""
+
+from .engine import SimulationError, SimulationResult, UnitEvent, simulate
+from .netlist import Netlist
+from .reference import apply_operation, evaluate, truncate
+
+__all__ = [
+    "Netlist",
+    "SimulationError",
+    "SimulationResult",
+    "UnitEvent",
+    "apply_operation",
+    "evaluate",
+    "simulate",
+    "truncate",
+]

@@ -1,0 +1,105 @@
+"""Netlists: sequencing graphs plus full operand wiring.
+
+The allocation algorithms only need the *dependence* structure of a
+kernel, but functional verification and RTL generation need to know
+exactly which signal drives which operand port.  A :class:`Netlist`
+couples a :class:`~repro.ir.seqgraph.SequencingGraph` with:
+
+* the primary input and constant signals (name and width);
+* per operation, the ordered operand source signals;
+* per operation, the declared result-signal width (the wordlength a
+  front-end such as the Synoptix-style optimiser chose).
+
+Netlists are produced from a :class:`~repro.ir.builder.DFGBuilder` via
+:meth:`Netlist.from_builder`; all value semantics (truncation, operator
+meaning) live in :mod:`repro.sim.reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ir.builder import DFGBuilder
+from ..ir.seqgraph import SequencingGraph
+
+__all__ = ["Netlist"]
+
+
+@dataclass(frozen=True)
+class Netlist:
+    """A sequencing graph with operand wiring and signal widths.
+
+    Attributes:
+        graph: the sequencing graph (operation set + dependencies).
+        inputs: primary input signal widths by name.
+        constants: constant (coefficient) signal widths by name.
+        wiring: operation name -> ordered tuple of operand signal names
+            (each an input, a constant, or another operation's name).
+        out_widths: operation name -> result signal width in bits.
+    """
+
+    graph: SequencingGraph
+    inputs: Dict[str, int]
+    constants: Dict[str, int]
+    wiring: Dict[str, Tuple[str, ...]]
+    out_widths: Dict[str, int]
+
+    def __post_init__(self) -> None:
+        known = set(self.inputs) | set(self.constants) | set(self.graph.names)
+        for op_name in self.graph.names:
+            if op_name not in self.wiring:
+                raise ValueError(f"operation {op_name!r} has no wiring")
+            for source in self.wiring[op_name]:
+                if source not in known:
+                    raise ValueError(
+                        f"operation {op_name!r} reads unknown signal {source!r}"
+                    )
+            if op_name not in self.out_widths:
+                raise ValueError(f"operation {op_name!r} has no result width")
+            if self.out_widths[op_name] < 1:
+                raise ValueError(f"operation {op_name!r}: result width < 1")
+        overlap = (set(self.inputs) | set(self.constants)) & set(self.graph.names)
+        if overlap:
+            raise ValueError(f"signal names collide with op names: {sorted(overlap)}")
+
+    @classmethod
+    def from_builder(cls, builder: DFGBuilder) -> "Netlist":
+        """Build a netlist from a :class:`DFGBuilder`'s recorded wiring."""
+        exported = builder.export_wiring()
+        return cls(
+            graph=builder.graph(),
+            inputs=dict(exported["inputs"]),
+            constants=dict(exported["constants"]),
+            wiring={k: tuple(v) for k, v in exported["wiring"].items()},
+            out_widths=dict(exported["out_widths"]),
+        )
+
+    # ------------------------------------------------------------------
+    # convenience queries
+    # ------------------------------------------------------------------
+    def signal_width(self, name: str) -> int:
+        """Declared width of any signal (input, constant, or op result)."""
+        if name in self.inputs:
+            return self.inputs[name]
+        if name in self.constants:
+            return self.constants[name]
+        if name in self.out_widths:
+            return self.out_widths[name]
+        raise KeyError(f"unknown signal {name!r}")
+
+    def free_signals(self) -> Dict[str, int]:
+        """All externally supplied signals (inputs and constants)."""
+        merged = dict(self.inputs)
+        merged.update(self.constants)
+        return merged
+
+    def output_ops(self) -> List[str]:
+        """Operations whose results leave the kernel (graph sinks)."""
+        return self.graph.sinks()
+
+    def consumers_of(self, signal: str) -> List[str]:
+        """Operations reading ``signal`` on any operand port."""
+        return sorted(
+            op for op, sources in self.wiring.items() if signal in sources
+        )

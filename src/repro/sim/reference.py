@@ -1,0 +1,77 @@
+"""Golden reference evaluation of a netlist (bit-true fixed point).
+
+Value semantics shared by the reference evaluator, the cycle-accurate
+datapath simulator, and the RTL back-end:
+
+* every signal is an **unsigned integer truncated to its declared
+  width** (``value mod 2**width``), the conventional behaviour of
+  fixed-point datapaths after wordlength optimisation;
+* ``mul`` computes the exact product of its operands, then truncates to
+  the result width; executing on a *wider* multiplier cannot change the
+  value because the unit computes the exact product of the
+  (zero-extended) operands -- the invariant that makes the paper's
+  "small op on a big unit" sharing semantically free;
+* ``add`` / ``sub`` compute modulo ``2**out_width`` (wrap-around).
+
+The simulator asserts cycle-by-cycle equality against this evaluator,
+so any allocation bug that corrupts data movement is caught.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .netlist import Netlist
+
+__all__ = ["truncate", "apply_operation", "evaluate"]
+
+
+def truncate(value: int, width: int) -> int:
+    """Keep the low ``width`` bits of ``value`` (fixed-point truncation)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return value & ((1 << width) - 1)
+
+
+def apply_operation(kind: str, operands: Mapping[int, int] | list, out_width: int) -> int:
+    """Execute one operation on integer operand values."""
+    a, b = operands
+    if kind == "mul":
+        raw = a * b
+    elif kind == "add":
+        raw = a + b
+    elif kind == "sub":
+        raw = a - b
+    else:
+        raise KeyError(f"no value semantics for operation kind {kind!r}")
+    return truncate(raw, out_width)
+
+
+def evaluate(netlist: Netlist, values: Mapping[str, int]) -> Dict[str, int]:
+    """Evaluate the whole netlist on the given input/constant values.
+
+    Args:
+        netlist: the kernel.
+        values: one integer per free signal (inputs and constants);
+            values are truncated to the signal's declared width.
+
+    Returns:
+        value of *every* signal, free and computed.
+
+    Raises:
+        KeyError: a free signal is missing from ``values``.
+    """
+    state: Dict[str, int] = {}
+    for name, width in netlist.free_signals().items():
+        if name not in values:
+            raise KeyError(f"no value supplied for free signal {name!r}")
+        state[name] = truncate(int(values[name]), width)
+
+    for op_name in netlist.graph.topological_order():
+        op = netlist.graph.operation(op_name)
+        sources = netlist.wiring[op_name]
+        operands = [state[s] for s in sources]
+        state[op_name] = apply_operation(
+            op.kind, operands, netlist.out_widths[op_name]
+        )
+    return state

@@ -1,0 +1,5 @@
+"""Shared combinatorial utilities."""
+
+from .covering import greedy_weighted_cover, min_cardinality_cover
+
+__all__ = ["greedy_weighted_cover", "min_cardinality_cover"]

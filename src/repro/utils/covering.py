@@ -1,0 +1,118 @@
+"""Set-covering utilities.
+
+Two covering problems appear in the paper:
+
+* section 2.2 needs a **minimum-cardinality scheduling set** ``S ⊆ R``
+  such that every operation is covered by some member -- solved here
+  exactly by branch-and-bound (``R`` is small) with a greedy fallback for
+  pathological inputs;
+* section 2.3 reduces binding to **weighted unate covering** (Eqn. 6),
+  solved by an implicit adaptation of Chvátal's greedy heuristic [1].
+  The explicit version in this module is used as a test oracle for the
+  implicit one in :mod:`repro.core.binding`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Mapping, Set, Tuple
+
+__all__ = ["greedy_weighted_cover", "min_cardinality_cover"]
+
+Element = Hashable
+SetName = Hashable
+
+
+def greedy_weighted_cover(
+    universe: Set[Element],
+    sets: Mapping[SetName, Set[Element]],
+    cost: Mapping[SetName, float],
+) -> List[SetName]:
+    """Chvátal's greedy heuristic for weighted set cover.
+
+    Repeatedly picks the set maximising (newly covered elements) / cost.
+    Ties are broken on lower cost, then on the set name for determinism.
+
+    Raises ``ValueError`` if the union of sets does not cover the universe.
+    """
+    union_all: Set[Element] = set()
+    for members in sets.values():
+        union_all |= members
+    if not universe <= union_all:
+        raise ValueError(f"uncoverable elements: {sorted(universe - union_all)!r}")
+
+    chosen: List[SetName] = []
+    remaining = set(universe)
+    while remaining:
+        best_name = None
+        best_key: Tuple[float, float, str] = (0.0, 0.0, "")
+        for name in sorted(sets, key=repr):
+            gain = len(sets[name] & remaining)
+            if gain == 0:
+                continue
+            key = (gain / cost[name], -cost[name], repr(name))
+            if best_name is None or key > best_key:
+                best_name, best_key = name, key
+        assert best_name is not None  # guaranteed by the coverage check
+        chosen.append(best_name)
+        remaining -= sets[best_name]
+    return chosen
+
+
+def min_cardinality_cover(
+    universe: Set[Element],
+    sets: Mapping[SetName, Set[Element]],
+    exact_limit: int = 24,
+) -> List[SetName]:
+    """Minimum-cardinality set cover.
+
+    Exact branch-and-bound when the number of candidate sets does not
+    exceed ``exact_limit``; otherwise the unweighted greedy heuristic
+    (whose ln-approximation is ample for the scheduling-set role).
+    Deterministic: candidates are explored in sorted order.
+    """
+    union_all: Set[Element] = set()
+    for members in sets.values():
+        union_all |= members
+    if not universe <= union_all:
+        raise ValueError(f"uncoverable elements: {sorted(universe - union_all)!r}")
+    if not universe:
+        return []
+
+    names = sorted(sets, key=repr)
+    useful = [n for n in names if sets[n] & universe]
+    if len(useful) > exact_limit:
+        unit_cost = {n: 1.0 for n in useful}
+        restricted = {n: sets[n] for n in useful}
+        return greedy_weighted_cover(set(universe), restricted, unit_cost)
+
+    # Greedy solution provides the initial upper bound.
+    best = greedy_weighted_cover(
+        set(universe), {n: sets[n] for n in useful}, {n: 1.0 for n in useful}
+    )
+
+    max_gain = max(len(sets[n] & universe) for n in useful)
+
+    def search(remaining: Set[Element], chosen: List[SetName], depth: int) -> None:
+        nonlocal best
+        if not remaining:
+            if len(chosen) < len(best):
+                best = list(chosen)
+            return
+        # Lower bound: even perfect sets need ceil(|remaining|/max_gain) more.
+        lower = (len(remaining) + max_gain - 1) // max_gain
+        if len(chosen) + lower >= len(best):
+            return
+        # Branch on an arbitrary uncovered element (fewest-candidates first).
+        pivot = min(
+            remaining,
+            key=lambda e: (sum(1 for n in useful if e in sets[n]), repr(e)),
+        )
+        candidates = [n for n in useful if pivot in sets[n]]
+        candidates.sort(key=lambda n: (-len(sets[n] & remaining), repr(n)))
+        for name in candidates:
+            chosen.append(name)
+            search(remaining - sets[name], chosen, depth + 1)
+            chosen.pop()
+
+    search(set(universe), [], 0)
+    return best

@@ -1,0 +1,21 @@
+"""Error-driven wordlength derivation (Synoptix-style front-end)."""
+
+from .optimizer import (
+    WordlengthResult,
+    injected_variance,
+    natural_width,
+    optimize_wordlengths,
+    output_noise,
+    path_counts,
+    rebuild_netlist,
+)
+
+__all__ = [
+    "WordlengthResult",
+    "injected_variance",
+    "natural_width",
+    "optimize_wordlengths",
+    "output_noise",
+    "path_counts",
+    "rebuild_netlist",
+]

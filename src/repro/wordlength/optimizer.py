@@ -1,0 +1,256 @@
+"""Error-driven wordlength derivation (a Synoptix-style front-end).
+
+The paper takes each operation's wordlength as given "either by hand or
+from output-error specification by a further design automation tool such
+as Synoptix [3, 6]", and names the interaction between that derivation
+and high-level synthesis as future work.  This module closes the loop
+with a small, self-contained front-end in the spirit of refs. [3, 6]:
+
+**Noise model.**  Signals are fixed-point fractions with ``w`` fraction
+bits.  Truncating a signal from its natural (full-precision) width
+``w_nat`` down to ``w`` bits injects quantisation noise of variance
+``(2^(-2w) - 2^(-2 w_nat)) / 12`` at that point.  Noise propagates to
+each kernel output with a conservative unit gain per path (coefficients
+are assumed scaled below one, the DSP convention), so an output's noise
+variance is the path-count-weighted sum of all injected variances.
+Correlation between recombining paths is ignored, which only
+*over*-estimates the noise -- the bound stays safe.
+
+**Optimisation.**  Starting from the netlist's declared widths, a greedy
+trimmer repeatedly removes one fraction bit from the signal offering the
+best estimated area saving, as long as every output stays within its
+error budget.  Primary inputs are fixed (their precision is given by the
+environment); constants and operation results are optimisable.
+
+The result is a new :class:`~repro.sim.netlist.Netlist` (and sequencing
+graph) with the derived wordlengths, ready for :func:`repro.allocate` --
+see ``examples/wordlength_flow.py`` for the full front-end-to-datapath
+flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..ir.builder import DFGBuilder
+from ..ir.seqgraph import SequencingGraph
+from ..sim.netlist import Netlist
+
+__all__ = [
+    "WordlengthResult",
+    "natural_width",
+    "injected_variance",
+    "path_counts",
+    "output_noise",
+    "optimize_wordlengths",
+    "rebuild_netlist",
+]
+
+
+def natural_width(kind: str, operand_widths: Tuple[int, ...]) -> int:
+    """Full-precision result width of one operation."""
+    a, b = operand_widths
+    if kind == "mul":
+        return a + b
+    if kind in ("add", "sub"):
+        return max(a, b) + 1
+    raise KeyError(f"no width rule for kind {kind!r}")
+
+
+def injected_variance(width: int, nat: int) -> float:
+    """Quantisation noise variance injected by truncating nat -> width bits."""
+    if width >= nat:
+        return 0.0
+    return (2.0 ** (-2 * width) - 2.0 ** (-2 * nat)) / 12.0
+
+
+def path_counts(netlist: Netlist) -> Dict[str, Dict[str, int]]:
+    """``paths[signal][output]``: number of directed paths to each output.
+
+    The conservative per-path gain is 1, so this is also the noise gain.
+    Paths are counted per operand *port*: a signal feeding both ports of
+    one operation contributes twice, and reconvergent fan-out counts each
+    route separately -- over-estimating variance, never under.
+    """
+    graph = netlist.graph
+    outputs = netlist.output_ops()
+    # Per-port consumer multiset: signal -> [(consumer op, occurrences)].
+    fanout: Dict[str, Dict[str, int]] = {}
+    for op_name, sources in netlist.wiring.items():
+        for source in sources:
+            fanout.setdefault(source, {})
+            fanout[source][op_name] = fanout[source].get(op_name, 0) + 1
+
+    counts: Dict[str, Dict[str, int]] = {}
+    order = list(graph.topological_order())
+    for op_name in reversed(order):
+        row: Dict[str, int] = {}
+        if op_name in outputs:
+            row[op_name] = 1
+        for consumer, multiplicity in fanout.get(op_name, {}).items():
+            for out, n in counts[consumer].items():
+                row[out] = row.get(out, 0) + multiplicity * n
+        counts[op_name] = row
+    for free in netlist.free_signals():
+        row = {}
+        for consumer, multiplicity in fanout.get(free, {}).items():
+            for out, n in counts[consumer].items():
+                row[out] = row.get(out, 0) + multiplicity * n
+        counts[free] = row
+    return counts
+
+
+def _natural_widths(
+    netlist: Netlist, widths: Mapping[str, int]
+) -> Dict[str, int]:
+    """Natural (pre-truncation) width of every op result, given signal widths."""
+    graph = netlist.graph
+    nat: Dict[str, int] = {}
+    for op_name in graph.topological_order():
+        op = graph.operation(op_name)
+        sources = netlist.wiring[op_name]
+        nat[op_name] = natural_width(op.kind, tuple(widths[s] for s in sources))
+    return nat
+
+
+def output_noise(
+    netlist: Netlist, widths: Mapping[str, int]
+) -> Dict[str, float]:
+    """Predicted noise variance at every kernel output.
+
+    Sources: truncation of op results below their natural width, and
+    quantisation of constants (whose reference is taken as ideal, so a
+    ``w``-bit constant injects ``2^(-2w)/12``).
+    """
+    counts = path_counts(netlist)
+    nat = _natural_widths(netlist, widths)
+    outputs = netlist.output_ops()
+    noise = {out: 0.0 for out in outputs}
+    for op_name in netlist.graph.names:
+        var = injected_variance(widths[op_name], nat[op_name])
+        if var:
+            for out, gain in counts[op_name].items():
+                noise[out] += gain * var
+    for const in netlist.constants:
+        var = 2.0 ** (-2 * widths[const]) / 12.0
+        for out, gain in counts[const].items():
+            noise[out] += gain * var
+    return noise
+
+
+def _area_saving_score(netlist: Netlist, signal: str) -> float:
+    """Estimated area saved by removing one bit from ``signal``.
+
+    A multiply consumer shrinks by roughly the partner operand's width;
+    an add consumer by one unit; producing one fewer result bit saves a
+    register bit.  Only a ranking is needed, not absolute areas.
+    """
+    graph = netlist.graph
+    score = 1.0  # the result/coefficient storage itself
+    for consumer in netlist.consumers_of(signal):
+        op = graph.operation(consumer)
+        if op.kind == "mul":
+            partner = [s for s in netlist.wiring[consumer] if s != signal]
+            partner_width = (
+                netlist.signal_width(partner[0]) if partner else 1
+            )
+            score += partner_width
+        else:
+            score += 1.0
+    return score
+
+
+@dataclass(frozen=True)
+class WordlengthResult:
+    """Outcome of the error-driven wordlength derivation."""
+
+    widths: Dict[str, int]
+    predicted_noise: Dict[str, float]
+    netlist: Netlist
+    trimmed_bits: int
+
+    @property
+    def graph(self) -> SequencingGraph:
+        return self.netlist.graph
+
+
+def rebuild_netlist(netlist: Netlist, widths: Mapping[str, int]) -> Netlist:
+    """Materialise a netlist with new signal widths (same structure)."""
+    builder = DFGBuilder()
+    signals = {}
+    for name, _ in sorted(netlist.inputs.items()):
+        signals[name] = builder.input(name, widths[name])
+    for name, _ in sorted(netlist.constants.items()):
+        signals[name] = builder.constant(name, widths[name])
+    for op_name in netlist.graph.topological_order():
+        op = netlist.graph.operation(op_name)
+        a, b = (signals[s] for s in netlist.wiring[op_name])
+        method = {"mul": builder.mul, "add": builder.add, "sub": builder.sub}[op.kind]
+        signals[op_name] = method(a, b, name=op_name, out_width=widths[op_name])
+    return Netlist.from_builder(builder)
+
+
+def optimize_wordlengths(
+    netlist: Netlist,
+    error_budget: float,
+    min_width: int = 2,
+    max_trims: Optional[int] = None,
+) -> WordlengthResult:
+    """Derive wordlengths meeting a per-output noise budget.
+
+    Args:
+        netlist: the kernel at its declared (e.g. full) precision.
+        error_budget: maximum tolerated noise variance at any output
+            (fractions normalised to [0, 1)); e.g. ``2**-16 / 12`` for
+            roughly 8 noise-free fraction bits.
+        min_width: lower bound on every signal width.
+        max_trims: optional cap on trimming steps (testing hook).
+
+    Returns:
+        the derived widths, their predicted output noise, and the
+        rebuilt netlist.
+
+    Raises:
+        ValueError: the starting netlist already violates the budget.
+    """
+    if error_budget <= 0:
+        raise ValueError("error budget must be positive")
+    widths: Dict[str, int] = {
+        name: netlist.signal_width(name)
+        for name in (
+            list(netlist.free_signals()) + list(netlist.graph.names)
+        )
+    }
+    noise = output_noise(netlist, widths)
+    if any(v > error_budget for v in noise.values()):
+        raise ValueError(
+            f"declared widths already exceed the error budget: {noise}"
+        )
+
+    optimisable = sorted(set(netlist.constants) | set(netlist.graph.names))
+    trimmed = 0
+    while max_trims is None or trimmed < max_trims:
+        best: Optional[Tuple[float, str]] = None
+        for signal in optimisable:
+            if widths[signal] <= min_width:
+                continue
+            widths[signal] -= 1
+            candidate_noise = output_noise(netlist, widths)
+            widths[signal] += 1
+            if all(v <= error_budget for v in candidate_noise.values()):
+                key = (_area_saving_score(netlist, signal), signal)
+                if best is None or key > best:
+                    best = key
+        if best is None:
+            break
+        widths[best[1]] -= 1
+        trimmed += 1
+
+    final_noise = output_noise(netlist, widths)
+    return WordlengthResult(
+        widths=dict(widths),
+        predicted_noise=final_noise,
+        netlist=rebuild_netlist(netlist, widths),
+        trimmed_bits=trimmed,
+    )

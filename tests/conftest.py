@@ -1,0 +1,72 @@
+"""Shared fixtures: canonical graphs and technology models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Problem
+from repro.ir.ops import Operation
+from repro.ir.seqgraph import SequencingGraph
+from repro.resources.area import SonicAreaModel
+from repro.resources.latency import SonicLatencyModel
+
+
+@pytest.fixture
+def latency_model() -> SonicLatencyModel:
+    return SonicLatencyModel()
+
+
+@pytest.fixture
+def area_model() -> SonicAreaModel:
+    return SonicAreaModel()
+
+
+@pytest.fixture
+def chain_graph() -> SequencingGraph:
+    """mul -> add -> mul chain with distinct wordlengths."""
+    g = SequencingGraph()
+    g.add("m0", "mul", (8, 8))
+    g.add("a0", "add", (16, 16))
+    g.add("m1", "mul", (12, 10))
+    g.add_dependency("m0", "a0")
+    g.add_dependency("a0", "m1")
+    return g
+
+
+@pytest.fixture
+def diamond_graph() -> SequencingGraph:
+    """One producer fanning out to two multiplies joined by an add."""
+    g = SequencingGraph()
+    g.add("src", "mul", (6, 6))
+    g.add("left", "mul", (8, 4))
+    g.add("right", "mul", (10, 8))
+    g.add("join", "add", (20, 20))
+    g.add_dependency("src", "left")
+    g.add_dependency("src", "right")
+    g.add_dependency("left", "join")
+    g.add_dependency("right", "join")
+    return g
+
+
+@pytest.fixture
+def parallel_muls_graph() -> SequencingGraph:
+    """Four independent multiplies of assorted wordlengths."""
+    g = SequencingGraph()
+    g.add("p0", "mul", (8, 8))
+    g.add("p1", "mul", (10, 6))
+    g.add("p2", "mul", (12, 12))
+    g.add("p3", "mul", (6, 4))
+    return g
+
+
+def make_problem(graph: SequencingGraph, relaxation: float = 0.0) -> Problem:
+    """Problem at a relaxed lambda_min, with default SONIC models."""
+    scratch = Problem(graph, latency_constraint=1_000_000)
+    lam_min = scratch.minimum_latency()
+    lam = max(1, int(lam_min * (1.0 + relaxation)))
+    return scratch.with_latency_constraint(lam)
+
+
+@pytest.fixture
+def problem_factory():
+    return make_problem

@@ -1,0 +1,80 @@
+"""Tests for the signal-level DFG builder."""
+
+import pytest
+
+from repro.ir.builder import DFGBuilder, Signal
+
+
+class TestSignals:
+    def test_input_signal(self):
+        b = DFGBuilder()
+        x = b.input("x", 12)
+        assert x.width == 12 and x.producer is None
+
+    def test_zero_width_signal_rejected(self):
+        with pytest.raises(ValueError):
+            Signal("x", 0)
+
+
+class TestOperations:
+    def test_mul_full_precision_default(self):
+        b = DFGBuilder()
+        y = b.mul(b.input("x", 12), b.constant("c", 8))
+        assert y.width == 20
+        op = b.graph().operation(y.producer)
+        assert op.kind == "mul" and op.operand_widths == (12, 8)
+
+    def test_mul_out_width_override(self):
+        b = DFGBuilder()
+        y = b.mul(b.input("x", 12), b.constant("c", 8), out_width=16)
+        assert y.width == 16
+
+    def test_add_guard_bit_default(self):
+        b = DFGBuilder()
+        y = b.add(b.input("x", 10), b.input("z", 12))
+        assert y.width == 13
+
+    def test_sub_maps_to_adder(self):
+        b = DFGBuilder()
+        y = b.sub(b.input("x", 10), b.input("z", 12))
+        assert b.graph().operation(y.producer).resource_kind == "add"
+
+    def test_dependencies_follow_producers(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        p = b.mul(x, b.constant("c", 4), name="p")
+        q = b.add(p, x, name="q")
+        g = b.graph()
+        assert g.predecessors("q") == ["p"]
+        assert g.successors("p") == ["q"]
+
+    def test_inputs_create_no_nodes(self):
+        b = DFGBuilder()
+        b.input("x", 8)
+        b.constant("c", 4)
+        assert len(b.graph()) == 0
+
+    def test_auto_naming_is_sequential(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        s0 = b.mul(x, x)
+        s1 = b.mul(x, x)
+        assert (s0.producer, s1.producer) == ("mul0", "mul1")
+
+    def test_explicit_name_collision_rejected(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        b.mul(x, x, name="same")
+        with pytest.raises(ValueError):
+            b.mul(x, x, name="same")
+
+    def test_diamond_structure(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        left = b.mul(x, b.constant("c1", 4), name="left")
+        right = b.mul(x, b.constant("c2", 6), name="right")
+        join = b.add(left, right, name="join")
+        g = b.graph()
+        assert sorted(g.predecessors("join")) == ["left", "right"]
+        assert g.sources() == ["left", "right"]
+        assert join.width == max(left.width, right.width) + 1

@@ -1,0 +1,99 @@
+"""Tests for the top-level CLI (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import WORKLOADS, main
+from repro.io import datapath_from_dict, graph_to_dict, load_json, save_json
+
+
+class TestListWorkloads:
+    def test_lists_all(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+
+class TestAllocate:
+    def test_basic(self, capsys):
+        assert main(["allocate", "fir", "--relax", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "method         : dpalloc" in out
+        assert "unit 0:" in out
+
+    @pytest.mark.parametrize("method", ["ilp", "two-stage", "clique-sort"])
+    def test_methods(self, method, capsys):
+        assert main(["allocate", "dct4", "--relax", "0.5", "--method", method]) == 0
+        assert "unit 0:" in capsys.readouterr().out
+
+    def test_absolute_latency(self, capsys):
+        assert main(["allocate", "motivational", "--latency", "24"]) == 0
+        assert "lambda=24" in capsys.readouterr().out
+
+    def test_infeasible_reports_error(self, capsys):
+        # uniform cannot reach lambda_min on the motivational kernel
+        code = main([
+            "allocate", "motivational", "--relax", "0.0", "--method", "uniform",
+        ])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_json_export(self, tmp_path, capsys):
+        out = tmp_path / "dp.json"
+        assert main(["allocate", "fir", "--json", str(out)]) == 0
+        clone = datapath_from_dict(load_json(out))
+        assert clone.method == "dpalloc"
+
+    def test_dot_export(self, tmp_path, capsys):
+        out = tmp_path / "dp.dot"
+        assert main(["allocate", "fir", "--dot", str(out)]) == 0
+        assert out.read_text().startswith("digraph")
+
+    def test_verilog_export(self, tmp_path, capsys):
+        out = tmp_path / "dp.v"
+        assert main(["allocate", "fir", "--relax", "1.0", "--verilog", str(out)]) == 0
+        text = out.read_text()
+        assert "module datapath (" in text and text.rstrip().endswith("endmodule")
+
+    def test_json_graph_input(self, tmp_path, capsys):
+        from repro.gen.workloads import dct4
+
+        path = tmp_path / "graph.json"
+        save_json(graph_to_dict(dct4()), path)
+        assert main(["allocate", str(path), "--relax", "0.5"]) == 0
+        assert "unit 0:" in capsys.readouterr().out
+
+    def test_verilog_rejected_for_json_graph(self, tmp_path, capsys):
+        from repro.gen.workloads import dct4
+
+        path = tmp_path / "graph.json"
+        save_json(graph_to_dict(dct4()), path)
+        code = main([
+            "allocate", str(path), "--relax", "0.5",
+            "--verilog", str(tmp_path / "x.v"),
+        ])
+        assert code == 1
+
+
+class TestCompare:
+    def test_table_has_all_methods(self, capsys):
+        assert main(["compare", "motivational", "--relax", "1.0"]) == 0
+        out = capsys.readouterr().out
+        for method in (
+            "dpalloc", "ilp", "two-stage", "fds", "clique-sort", "uniform"
+        ):
+            assert method in out
+
+    def test_unknown_workload_fails(self):
+        with pytest.raises(FileNotFoundError):
+            main(["compare", "not-a-workload"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["allocate", "fir", "--method", "quantum"])

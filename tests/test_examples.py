@@ -1,0 +1,36 @@
+"""Every example script must run to completion and print sane output."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+
+
+def test_quickstart_prints_units(capsys):
+    script = next(p for p in EXAMPLES if p.stem == "quickstart")
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "unit 0:" in out and "lambda_min" in out
+
+
+def test_wcg_walkthrough_shows_eqn3_verdict(capsys):
+    script = next(p for p in EXAMPLES if p.stem == "wcg_walkthrough")
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Eqn. 2 admits o2 at step 10: True" in out
+    assert "Eqn. 3 admits o2 at step 10: False" in out

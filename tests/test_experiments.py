@@ -1,0 +1,127 @@
+"""Tests for the experiment harness (fig3/fig4/fig5/table2/ablations)."""
+
+import pytest
+
+from repro.experiments import ablations, build_case, fig3, fig4, fig5, table2
+from repro.experiments.common import relaxed_constraint, resolve_samples, time_call
+
+
+class TestCommon:
+    def test_build_case_deterministic(self):
+        a = build_case(6, sample=2, relaxation=0.1)
+        b = build_case(6, sample=2, relaxation=0.1)
+        assert a.graph.operations == b.graph.operations
+        assert a.problem.latency_constraint == b.problem.latency_constraint
+
+    def test_build_case_relaxation_applied(self):
+        tight = build_case(6, sample=0, relaxation=0.0)
+        loose = build_case(6, sample=0, relaxation=0.5)
+        assert tight.lambda_min == loose.lambda_min
+        assert loose.problem.latency_constraint >= tight.problem.latency_constraint
+
+    def test_relaxed_constraint(self):
+        assert relaxed_constraint(10, 0.0) == 10
+        assert relaxed_constraint(10, 0.15) == 11
+        assert relaxed_constraint(1, 0.0) == 1
+        with pytest.raises(ValueError):
+            relaxed_constraint(10, -0.1)
+
+    def test_resolve_samples_priority(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLES", raising=False)
+        assert resolve_samples(None, default=7) == 7
+        assert resolve_samples(3, default=7) == 3
+        monkeypatch.setenv("REPRO_SAMPLES", "11")
+        assert resolve_samples(None, default=7) == 11
+        assert resolve_samples(2, default=7) == 2
+
+    def test_time_call(self):
+        value, seconds = time_call(lambda: 42)
+        assert value == 42 and seconds >= 0.0
+
+
+class TestFig3:
+    def test_small_run_shape(self):
+        result = fig3.run(sizes=(3, 5), relaxations=(0.0, 0.3), samples=3)
+        assert result.sizes == (3, 5)
+        assert set(result.mean_penalty) == {
+            (3, 0.0), (3, 0.3), (5, 0.0), (5, 0.3)
+        }
+
+    def test_penalty_grows_with_relaxation_on_average(self):
+        result = fig3.run(sizes=(10,), relaxations=(0.0, 0.3), samples=8)
+        assert result.mean_penalty[(10, 0.3)] >= result.mean_penalty[(10, 0.0)]
+
+    def test_render_contains_rows(self):
+        result = fig3.run(sizes=(4,), relaxations=(0.0,), samples=2)
+        text = fig3.render(result)
+        assert "Fig. 3" in text and "0% relax" in text
+
+
+class TestFig4:
+    def test_small_run(self):
+        result = fig4.run(sizes=(2, 4), samples=3)
+        assert all(result.mean_premium[n] >= 0.0 for n in (2, 4))
+        assert all(result.max_premium[n] >= result.mean_premium[n] - 1e-9
+                   for n in (2, 4))
+
+    def test_render(self):
+        result = fig4.run(sizes=(3,), samples=2)
+        assert "Fig. 4" in fig4.render(result)
+
+
+class TestFig5:
+    def test_small_run(self):
+        result = fig5.run(sizes=(2, 4), samples=2)
+        assert result.heuristic_seconds[2] > 0.0
+        assert result.ilp_seconds[2] > 0.0
+        assert result.ilp_variables[4] >= result.ilp_variables[2]
+
+    def test_render(self):
+        result = fig5.run(sizes=(2,), samples=1)
+        assert "Fig. 5" in fig5.render(result)
+
+    def test_relaxed_run_has_bigger_models(self):
+        tight = fig5.run(sizes=(6,), samples=2, relaxation=0.0)
+        relaxed = fig5.run(sizes=(6,), samples=2, relaxation=0.5)
+        assert relaxed.ilp_variables[6] > tight.ilp_variables[6]
+
+    def test_render_notes_relaxation(self):
+        result = fig5.run(sizes=(2,), samples=1, relaxation=0.3)
+        assert "1.3 * lambda_min" in fig5.render(result, 0.3)
+
+
+class TestTable2:
+    def test_variables_grow_with_relaxation(self):
+        result = table2.run(ratios=(1.0, 1.15), samples=3)
+        assert result.ilp_variables[1.15] > result.ilp_variables[1.0]
+
+    def test_render(self):
+        result = table2.run(ratios=(1.0,), samples=1)
+        text = table2.render(result)
+        assert "Table 2" in text and "1.00" in text
+
+
+class TestAblations:
+    def test_small_run(self):
+        result = ablations.run(sizes=(5,), relaxations=(0.2,), samples=2)
+        assert set(result.mean_increase) == set(ablations.VARIANTS)
+        assert result.cases == 2
+
+    def test_render(self):
+        result = ablations.run(sizes=(4,), relaxations=(0.1,), samples=1)
+        assert "Ablations" in ablations.render(result)
+
+
+class TestCli:
+    def test_cli_fig3(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig3", "--samples", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_cli_rejects_unknown_target(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig9"])

@@ -1,0 +1,152 @@
+"""Tests for resource-set extraction (the algorithm of ref. [5])."""
+
+import pytest
+
+from repro.ir.ops import Operation
+from repro.resources.area import SonicAreaModel
+from repro.resources.extraction import (
+    cheapest_covering,
+    covering_resources,
+    dedicated_resource,
+    extract_resource_set,
+    group_requirement,
+)
+from repro.resources.latency import SonicLatencyModel
+from repro.resources.types import ResourceType
+
+LAT = SonicLatencyModel()
+AREA = SonicAreaModel()
+
+
+def extract(ops, prune=True):
+    return extract_resource_set(ops, latency_model=LAT, area_model=AREA, prune=prune)
+
+
+class TestDedicated:
+    def test_dedicated_resource(self):
+        op = Operation("o", "mul", (8, 12))
+        assert dedicated_resource(op) == ResourceType("mul", (12, 8))
+
+    def test_dedicated_adder(self):
+        op = Operation("o", "add", (9, 14))
+        assert dedicated_resource(op) == ResourceType("add", (14,))
+
+
+class TestGroupRequirement:
+    def test_pointwise_maximum(self):
+        ops = [Operation("a", "mul", (8, 12)), Operation("b", "mul", (16, 4))]
+        assert group_requirement(ops) == ResourceType("mul", (16, 8))
+
+    def test_mixed_kinds_rejected(self):
+        ops = [Operation("a", "mul", (8, 8)), Operation("b", "add", (8, 8))]
+        with pytest.raises(ValueError, match="mixes"):
+            group_requirement(ops)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            group_requirement([])
+
+
+class TestGridExtraction:
+    def test_every_op_covered(self):
+        ops = [
+            Operation("a", "mul", (8, 12)),
+            Operation("b", "mul", (16, 4)),
+            Operation("c", "add", (9, 9)),
+        ]
+        resources = extract(ops)
+        for op in ops:
+            assert covering_resources(op, resources), f"{op} uncovered"
+
+    def test_unpruned_grid_contains_observed_combinations(self):
+        ops = [Operation("a", "mul", (12, 8)), Operation("b", "mul", (20, 10))]
+        resources = extract(ops, prune=False)
+        # Canonical axes: {12, 20} x {8, 10}; (12,10) covers op a.
+        assert ResourceType("mul", (12, 8)) in resources
+        assert ResourceType("mul", (20, 10)) in resources
+        assert ResourceType("mul", (12, 10)) in resources
+        assert ResourceType("mul", (20, 8)) in resources
+
+    def test_noncanonical_points_excluded(self):
+        ops = [Operation("a", "mul", (4, 20))]
+        resources = extract(ops, prune=False)
+        assert all(r.widths[0] >= r.widths[1] for r in resources)
+
+    def test_grid_point_covering_nothing_excluded(self):
+        # Ops (10,9) and (12,1): the canonical grid point (10,1) covers
+        # neither and must be dropped.
+        ops = [Operation("a", "mul", (10, 9)), Operation("b", "mul", (12, 1))]
+        resources = extract(ops, prune=False)
+        assert ResourceType("mul", (10, 1)) not in resources
+
+    def test_group_cover_always_in_grid(self):
+        ops = [
+            Operation("a", "mul", (8, 12)),
+            Operation("b", "mul", (16, 4)),
+            Operation("c", "mul", (10, 10)),
+        ]
+        resources = extract(ops, prune=False)
+        assert group_requirement(ops) in resources
+
+    def test_adder_grid_is_width_set(self):
+        ops = [Operation("a", "add", (9, 5)), Operation("b", "add", (14, 2))]
+        resources = extract(ops, prune=False)
+        assert set(resources) == {ResourceType("add", (9,)), ResourceType("add", (14,))}
+
+    def test_deterministic_order(self):
+        ops = [Operation("a", "mul", (8, 12)), Operation("b", "add", (6, 6))]
+        assert extract(ops) == extract(ops)
+
+
+class TestPruning:
+    def test_pruning_requires_models(self):
+        with pytest.raises(ValueError, match="requires"):
+            extract_resource_set([Operation("a", "mul", (8, 8))], prune=True)
+
+    def test_redundant_type_removed(self):
+        # (20, 8) covers only op b, but (20, 10) covers both a and b; the
+        # dominated coverage of (20, 8) keeps it only if cheaper -- it is
+        # cheaper (160 < 200), so both survive.  A type with identical
+        # coverage but higher cost must be removed instead.
+        ops = [Operation("a", "mul", (20, 10)), Operation("b", "mul", (20, 8))]
+        resources = extract(ops)
+        assert ResourceType("mul", (20, 10)) in resources
+        assert ResourceType("mul", (20, 8)) in resources
+
+    def test_dedicated_types_survive_pruning(self):
+        ops = [
+            Operation("a", "mul", (8, 12)),
+            Operation("b", "mul", (16, 4)),
+            Operation("c", "add", (9, 9)),
+        ]
+        resources = extract(ops)
+        for op in ops:
+            assert dedicated_resource(op) in resources
+
+    def test_pruned_is_subset_of_unpruned(self):
+        ops = [
+            Operation("a", "mul", (8, 12)),
+            Operation("b", "mul", (16, 4)),
+            Operation("c", "mul", (10, 10)),
+            Operation("d", "mul", (16, 12)),
+        ]
+        assert set(extract(ops)) <= set(extract(ops, prune=False))
+
+
+class TestCheapestCovering:
+    def test_picks_min_area(self):
+        resources = [
+            ResourceType("mul", (16, 16)),
+            ResourceType("mul", (16, 8)),
+            ResourceType("mul", (12, 8)),
+        ]
+        got = cheapest_covering(ResourceType("mul", (12, 8)), resources, AREA)
+        assert got == ResourceType("mul", (12, 8))
+
+    def test_no_cover_raises(self):
+        with pytest.raises(LookupError):
+            cheapest_covering(
+                ResourceType("mul", (32, 32)),
+                [ResourceType("mul", (16, 16))],
+                AREA,
+            )

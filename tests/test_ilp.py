@@ -1,0 +1,117 @@
+"""Tests for the optimal ILP baseline (ref. [5] reconstruction)."""
+
+import pytest
+
+from repro import InfeasibleError, Problem, allocate, validate_datapath
+from repro.baselines.ilp import allocate_ilp, build_model
+from repro.gen.tgff import random_sequencing_graph
+from repro.ir.seqgraph import SequencingGraph
+from tests.conftest import make_problem
+
+
+class TestModelConstruction:
+    def test_variable_count_grows_with_lambda(self, chain_graph):
+        p = make_problem(chain_graph, relaxation=0.0)
+        tight = build_model(p)
+        loose = build_model(p.with_latency_constraint(p.latency_constraint + 5))
+        assert loose.num_variables > tight.num_variables
+
+    def test_infeasible_window_detected(self, chain_graph):
+        p = Problem(chain_graph, latency_constraint=1)
+        with pytest.raises(InfeasibleError):
+            build_model(p)
+
+    def test_x_columns_respect_coverage(self, chain_graph):
+        p = make_problem(chain_graph, relaxation=0.2)
+        model = build_model(p)
+        for name, r, _ in model.variables:
+            assert r.covers(p.graph.operation(name))
+
+
+class TestOptimality:
+    def test_single_op_dedicated_resource(self):
+        g = SequencingGraph()
+        g.add("m", "mul", (8, 8))
+        p = make_problem(g)
+        dp, stats = allocate_ilp(p)
+        validate_datapath(p, dp)
+        assert dp.area == 64.0
+        assert stats.num_variables > 0
+
+    def test_two_parallel_identical_muls_tight(self):
+        g = SequencingGraph()
+        g.add("x", "mul", (8, 8))
+        g.add("y", "mul", (8, 8))
+        p = make_problem(g, relaxation=0.0)  # lambda = 2
+        dp, _ = allocate_ilp(p)
+        validate_datapath(p, dp)
+        assert dp.area == 128.0  # two dedicated units, no sharing possible
+
+    def test_two_parallel_identical_muls_slack(self):
+        g = SequencingGraph()
+        g.add("x", "mul", (8, 8))
+        g.add("y", "mul", (8, 8))
+        p = Problem(g, latency_constraint=4)
+        dp, _ = allocate_ilp(p)
+        validate_datapath(p, dp)
+        assert dp.area == 64.0  # serialised onto one unit
+
+    def test_mixed_widths_share_one_big_unit(self):
+        g = SequencingGraph()
+        g.add("small", "mul", (8, 8))
+        g.add("wide", "mul", (16, 16))
+        p = Problem(g, latency_constraint=8)
+        dp, _ = allocate_ilp(p)
+        validate_datapath(p, dp)
+        # One 16x16 unit (256) beats dedicated 64 + 256.
+        assert dp.area == 256.0
+
+    def test_never_worse_than_heuristic(self):
+        for seed in range(8):
+            g = random_sequencing_graph(6, seed=400 + seed)
+            for relaxation in (0.0, 0.4):
+                p = make_problem(g, relaxation)
+                heuristic = allocate(p)
+                optimal, _ = allocate_ilp(p)
+                validate_datapath(p, optimal)
+                assert optimal.area <= heuristic.area + 1e-9
+
+    def test_respects_user_resource_constraints(self):
+        g = SequencingGraph()
+        g.add("x", "mul", (8, 8))
+        g.add("y", "mul", (8, 8))
+        p = Problem(g, latency_constraint=4, resource_constraints={"mul": 1})
+        dp, _ = allocate_ilp(p)
+        validate_datapath(p, dp)
+        assert dp.unit_count("mul") == 1
+
+    def test_infeasible_user_constraints(self):
+        g = SequencingGraph()
+        g.add("x", "mul", (8, 8))
+        g.add("y", "mul", (8, 8))
+        p = Problem(g, latency_constraint=2, resource_constraints={"mul": 1})
+        with pytest.raises(InfeasibleError):
+            allocate_ilp(p)
+
+
+class TestHousekeeping:
+    def test_empty_graph(self):
+        dp, stats = allocate_ilp(Problem(SequencingGraph(), latency_constraint=1))
+        assert dp.area == 0.0 and stats.num_variables == 0
+
+    def test_stats_populated(self, diamond_graph):
+        p = make_problem(diamond_graph, relaxation=0.2)
+        _, stats = allocate_ilp(p)
+        assert stats.num_variables > 0
+        assert stats.num_constraints > 0
+        assert stats.solve_seconds >= 0.0
+
+    def test_monotone_in_lambda(self, diamond_graph):
+        """Optimal area never increases when the constraint relaxes."""
+        p0 = make_problem(diamond_graph, relaxation=0.0)
+        areas = []
+        for extra in (0, 2, 5, 10):
+            p = p0.with_latency_constraint(p0.latency_constraint + extra)
+            dp, _ = allocate_ilp(p)
+            areas.append(dp.area)
+        assert all(a >= b - 1e-9 for a, b in zip(areas, areas[1:]))

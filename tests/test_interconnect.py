@@ -1,0 +1,141 @@
+"""Tests for interconnect estimation (muxes + left-edge registers)."""
+
+import pytest
+
+from repro import allocate
+from repro.analysis.interconnect import (
+    ValueLifetime,
+    estimate_interconnect,
+    left_edge_registers,
+    value_lifetimes,
+)
+from repro.baselines.two_stage import allocate_two_stage
+from repro.gen.workloads import fir_filter_netlist, iir_biquad_netlist
+from repro.resources.area import SonicAreaModel
+from tests.conftest import make_problem
+
+AREA = SonicAreaModel()
+
+
+class TestLifetimes:
+    def test_births_at_bound_finish(self):
+        nl = fir_filter_netlist(taps=3)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        for lt in value_lifetimes(nl, dp):
+            expected = dp.schedule[lt.name] + dp.bound_latencies[lt.name]
+            assert lt.birth == expected
+
+    def test_outputs_live_to_makespan(self):
+        nl = fir_filter_netlist(taps=3)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        lifetimes = {lt.name: lt for lt in value_lifetimes(nl, dp)}
+        for sink in nl.output_ops():
+            assert lifetimes[sink].death == dp.makespan
+
+    def test_death_at_last_consumer(self):
+        nl = fir_filter_netlist(taps=3)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        lifetimes = {lt.name: lt for lt in value_lifetimes(nl, dp)}
+        for op_name in nl.graph.names:
+            consumers = nl.consumers_of(op_name)
+            if consumers:
+                last = max(dp.schedule[c] for c in consumers)
+                assert lifetimes[op_name].death >= last
+
+
+class TestLeftEdge:
+    def lt(self, name, birth, death, width=8):
+        return ValueLifetime(name, birth, death, width)
+
+    def test_disjoint_share_one_register(self):
+        packed = left_edge_registers(
+            [self.lt("a", 0, 2), self.lt("b", 2, 4), self.lt("c", 4, 6)]
+        )
+        assert len(packed) == 1
+
+    def test_overlapping_need_separate_registers(self):
+        packed = left_edge_registers(
+            [self.lt("a", 0, 5), self.lt("b", 1, 6), self.lt("c", 2, 7)]
+        )
+        assert len(packed) == 3
+
+    def test_count_equals_peak_overlap(self):
+        lifetimes = [
+            self.lt("a", 0, 4),
+            self.lt("b", 1, 3),
+            self.lt("c", 3, 6),
+            self.lt("d", 4, 8),
+            self.lt("e", 6, 9),
+        ]
+        packed = left_edge_registers(lifetimes)
+        # Peak simultaneous lifetimes: at t=1..3 {a,b}; at 4..6 {c,d}: 2.
+        assert len(packed) == 2
+
+    def test_zero_length_values_do_not_vanish(self):
+        packed = left_edge_registers(
+            [self.lt("a", 3, 3), self.lt("b", 3, 3)]
+        )
+        assert len(packed) == 2
+
+    def test_empty(self):
+        assert left_edge_registers([]) == []
+
+
+class TestEstimate:
+    def test_report_components_positive(self):
+        nl = fir_filter_netlist(taps=4)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        report = estimate_interconnect(nl, dp, AREA)
+        assert report.unit_area == dp.area
+        assert report.register_area > 0
+        assert report.register_count >= 1
+        assert report.total_area == (
+            report.unit_area + report.mux_area + report.register_area
+        )
+
+    def test_shared_unit_ports_have_muxes(self):
+        nl = fir_filter_netlist(taps=4)
+        dp = allocate(make_problem(nl.graph, 2.0))  # heavy sharing
+        report = estimate_interconnect(nl, dp, AREA)
+        assert any(k > 1 for k in report.mux_inputs.values())
+        assert report.mux_area > 0
+
+    def test_dedicated_units_have_no_muxes(self):
+        nl = fir_filter_netlist(taps=4)
+        dp, _ = allocate_two_stage(make_problem(nl.graph, 0.0))
+        report = estimate_interconnect(nl, dp, AREA)
+        # Parallel ASAP schedule: singleton cliques, one source per port.
+        if all(len(c.ops) == 1 for c in dp.binding.cliques):
+            assert report.mux_area == 0.0
+
+    def test_per_op_model_upper_bounds_left_edge_count(self):
+        nl = iir_biquad_netlist()
+        dp = allocate(make_problem(nl.graph, 0.5))
+        per_op = estimate_interconnect(nl, dp, AREA, register_model="per-op")
+        left_edge = estimate_interconnect(nl, dp, AREA, register_model="left-edge")
+        assert left_edge.register_count <= per_op.register_count
+        assert left_edge.register_area <= per_op.register_area
+
+    def test_unknown_register_model(self):
+        nl = fir_filter_netlist(taps=3)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        with pytest.raises(ValueError):
+            estimate_interconnect(nl, dp, AREA, register_model="magic")
+
+    def test_mux_units_scale(self):
+        nl = fir_filter_netlist(taps=4)
+        dp = allocate(make_problem(nl.graph, 2.0))
+        base = estimate_interconnect(nl, dp, AREA, mux_unit=1.0)
+        doubled = estimate_interconnect(nl, dp, AREA, mux_unit=2.0)
+        assert doubled.mux_area == 2 * base.mux_area
+
+    def test_sharing_tradeoff_is_quantified(self):
+        """Sharing shrinks unit area but grows mux area -- the report
+        must expose both sides of the trade."""
+        nl = fir_filter_netlist(taps=6)
+        shared = allocate(make_problem(nl.graph, 2.0))
+        parallel, _ = allocate_two_stage(make_problem(nl.graph, 2.0))
+        shared_report = estimate_interconnect(nl, shared, AREA)
+        parallel_report = estimate_interconnect(nl, parallel, AREA)
+        assert shared_report.unit_area < parallel_report.unit_area
+        assert shared_report.mux_area >= parallel_report.mux_area

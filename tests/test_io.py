@@ -1,0 +1,108 @@
+"""Tests for JSON round-trips and DOT export."""
+
+import json
+
+import pytest
+
+from repro import allocate, validate_datapath
+from repro.gen.workloads import fir_filter, fir_filter_netlist, iir_biquad
+from repro.io import (
+    datapath_from_dict,
+    datapath_to_dict,
+    datapath_to_dot,
+    graph_from_dict,
+    graph_to_dict,
+    graph_to_dot,
+    load_json,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_json,
+)
+from repro.sim import evaluate
+from tests.conftest import make_problem
+
+
+class TestGraphRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        graph = iir_biquad()
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert clone.operations == graph.operations
+        assert set(clone.edges()) == set(graph.edges())
+
+    def test_round_trip_is_json_serialisable(self):
+        payload = graph_to_dict(fir_filter(taps=3))
+        text = json.dumps(payload)
+        assert graph_from_dict(json.loads(text)).names == fir_filter(taps=3).names
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a sequencing graph"):
+            graph_from_dict({"kind": "sandwich"})
+
+
+class TestNetlistRoundTrip:
+    def test_round_trip(self):
+        nl = fir_filter_netlist(taps=3)
+        clone = netlist_from_dict(netlist_to_dict(nl))
+        assert clone.inputs == nl.inputs
+        assert clone.constants == nl.constants
+        assert clone.wiring == nl.wiring
+        assert clone.out_widths == nl.out_widths
+
+    def test_round_trip_evaluates_identically(self):
+        nl = fir_filter_netlist(taps=3)
+        clone = netlist_from_dict(netlist_to_dict(nl))
+        values = {name: 3 for name in nl.free_signals()}
+        assert evaluate(clone, values) == evaluate(nl, values)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a netlist"):
+            netlist_from_dict({"kind": "graph"})
+
+
+class TestDatapathRoundTrip:
+    def test_round_trip_validates(self):
+        problem = make_problem(iir_biquad(), 0.4)
+        dp = allocate(problem)
+        clone = datapath_from_dict(datapath_to_dict(dp))
+        validate_datapath(problem, clone)
+        assert clone.schedule == dp.schedule
+        assert clone.binding == dp.binding
+        assert clone.area == dp.area
+        assert clone.method == dp.method
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a datapath"):
+            datapath_from_dict({"kind": "netlist"})
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        problem = make_problem(fir_filter(taps=3), 0.4)
+        dp = allocate(problem)
+        path = tmp_path / "dp.json"
+        save_json(datapath_to_dict(dp), path)
+        clone = datapath_from_dict(load_json(path))
+        assert clone.area == dp.area
+
+
+class TestDot:
+    def test_graph_dot_mentions_all_ops(self):
+        graph = fir_filter(taps=3)
+        dot = graph_to_dot(graph)
+        assert dot.startswith("digraph")
+        for name in graph.names:
+            assert f'"{name}"' in dot
+        assert dot.count("->") == len(graph.edges())
+
+    def test_datapath_dot_encodes_allocation(self):
+        problem = make_problem(fir_filter(taps=3), 1.0)
+        dp = allocate(problem)
+        dot = datapath_to_dot(problem.graph, dp)
+        assert f"area={dp.area:g}" in dot
+        for name in problem.graph.names:
+            assert f"@{dp.schedule[name]}" in dot
+        assert "fillcolor" in dot
+
+    def test_dot_is_deterministic(self):
+        graph = fir_filter(taps=3)
+        assert graph_to_dot(graph) == graph_to_dot(graph)

@@ -1,0 +1,86 @@
+"""Tests for the operation-kind registry and canonicalisation."""
+
+import pytest
+
+from repro.ir.kinds import (
+    KindSpec,
+    get_kind,
+    known_kinds,
+    register_kind,
+    requirement_vector,
+)
+
+
+class TestBuiltinKinds:
+    def test_known_kinds_contains_builtins(self):
+        assert {"add", "mul", "sub"} <= set(known_kinds())
+
+    def test_mul_is_commutative_canonical(self):
+        assert requirement_vector("mul", (8, 12)) == (12, 8)
+        assert requirement_vector("mul", (12, 8)) == (12, 8)
+
+    def test_mul_equal_widths(self):
+        assert requirement_vector("mul", (16, 16)) == (16, 16)
+
+    def test_add_takes_widest_operand(self):
+        assert requirement_vector("add", (9, 14)) == (14,)
+
+    def test_sub_shares_adder_resource_kind(self):
+        assert get_kind("sub").resource_kind == "add"
+        assert requirement_vector("sub", (7, 5)) == (7,)
+
+    def test_mul_maps_to_mul_resource(self):
+        assert get_kind("mul").resource_kind == "mul"
+
+    def test_mul_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            requirement_vector("mul", (8,))
+        with pytest.raises(ValueError):
+            requirement_vector("mul", (8, 8, 8))
+
+    def test_add_requires_at_least_one_operand(self):
+        with pytest.raises(ValueError):
+            requirement_vector("add", ())
+
+
+class TestRegistry:
+    def test_unknown_kind_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown operation kind"):
+            get_kind("divide-by-zero")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kind(
+                KindSpec("mul", resource_kind="mul", arity=2,
+                         requirement=lambda w: tuple(w))
+            )
+
+    def test_register_custom_kind(self):
+        spec = KindSpec(
+            "mac_test_kind",
+            resource_kind="mac",
+            arity=2,
+            requirement=lambda w: (max(w), min(w)),
+        )
+        register_kind(spec)
+        try:
+            assert get_kind("mac_test_kind").resource_kind == "mac"
+            assert requirement_vector("mac_test_kind", (4, 9)) == (9, 4)
+        finally:
+            register_kind(spec, replace=True)  # leave a clean state
+
+    def test_requirement_arity_mismatch_detected(self):
+        spec = KindSpec(
+            "broken_arity_kind",
+            resource_kind="x",
+            arity=2,
+            requirement=lambda w: (max(w),),
+        )
+        register_kind(spec)
+        with pytest.raises(ValueError, match="arity"):
+            spec.requirement_of((3, 4))
+
+    def test_nonpositive_requirement_rejected(self):
+        spec = get_kind("mul")
+        with pytest.raises(ValueError):
+            spec.requirement_of((0, 4))

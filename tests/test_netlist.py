@@ -1,0 +1,102 @@
+"""Tests for netlists and the builder's wiring export."""
+
+import pytest
+
+from repro.ir.builder import DFGBuilder
+from repro.gen.workloads import fir_filter_netlist, iir_biquad_netlist
+from repro.sim.netlist import Netlist
+
+
+def small_netlist():
+    b = DFGBuilder()
+    x = b.input("x", 8)
+    c = b.constant("c", 4)
+    p = b.mul(x, c, name="p", out_width=10)
+    b.add(p, x, name="q")
+    return Netlist.from_builder(b)
+
+
+class TestConstruction:
+    def test_from_builder(self):
+        nl = small_netlist()
+        assert nl.inputs == {"x": 8}
+        assert nl.constants == {"c": 4}
+        assert nl.wiring == {"p": ("x", "c"), "q": ("p", "x")}
+        assert nl.out_widths["p"] == 10
+
+    def test_signal_width_lookup(self):
+        nl = small_netlist()
+        assert nl.signal_width("x") == 8
+        assert nl.signal_width("c") == 4
+        assert nl.signal_width("p") == 10
+        with pytest.raises(KeyError):
+            nl.signal_width("ghost")
+
+    def test_free_signals(self):
+        nl = small_netlist()
+        assert nl.free_signals() == {"x": 8, "c": 4}
+
+    def test_output_ops(self):
+        nl = small_netlist()
+        assert nl.output_ops() == ["q"]
+
+    def test_consumers_of(self):
+        nl = small_netlist()
+        assert nl.consumers_of("x") == ["p", "q"]
+        assert nl.consumers_of("p") == ["q"]
+        assert nl.consumers_of("q") == []
+
+    def test_missing_wiring_rejected(self):
+        nl = small_netlist()
+        with pytest.raises(ValueError, match="no wiring"):
+            Netlist(
+                graph=nl.graph,
+                inputs=nl.inputs,
+                constants=nl.constants,
+                wiring={"p": ("x", "c")},  # q missing
+                out_widths=nl.out_widths,
+            )
+
+    def test_unknown_source_rejected(self):
+        nl = small_netlist()
+        wiring = dict(nl.wiring)
+        wiring["p"] = ("x", "phantom")
+        with pytest.raises(ValueError, match="unknown signal"):
+            Netlist(nl.graph, nl.inputs, nl.constants, wiring, nl.out_widths)
+
+    def test_name_collision_rejected(self):
+        nl = small_netlist()
+        inputs = dict(nl.inputs)
+        inputs["p"] = 8  # collides with op name
+        with pytest.raises(ValueError, match="collide"):
+            Netlist(nl.graph, inputs, nl.constants, nl.wiring, nl.out_widths)
+
+
+class TestBuilderDuplicates:
+    def test_duplicate_input_name_rejected(self):
+        b = DFGBuilder()
+        b.input("x", 8)
+        with pytest.raises(ValueError, match="duplicate signal"):
+            b.input("x", 10)
+
+    def test_input_colliding_with_op_rejected(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        b.mul(x, x, name="p")
+        with pytest.raises(ValueError, match="duplicate signal"):
+            b.constant("p", 4)
+
+
+class TestWorkloadNetlists:
+    def test_fir_netlist_consistent_with_graph(self):
+        nl = fir_filter_netlist(taps=4)
+        assert set(nl.wiring) == set(nl.graph.names)
+        # Every multiply reads one input and one constant.
+        for op in nl.graph.operations:
+            if op.kind == "mul":
+                a, b = nl.wiring[op.name]
+                assert a in nl.inputs and b in nl.constants
+
+    def test_biquad_netlist_output(self):
+        nl = iir_biquad_netlist()
+        assert nl.output_ops() == ["out"]

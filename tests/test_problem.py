@@ -1,0 +1,67 @@
+"""Tests for the Problem definition and its derived quantities."""
+
+import pytest
+
+from repro import Problem
+from repro.resources.extraction import dedicated_resource
+from repro.resources.latency import TableLatencyModel
+from repro.resources.types import ResourceType
+
+
+class TestValidation:
+    def test_nonpositive_lambda_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            Problem(chain_graph, latency_constraint=0)
+
+    def test_nonpositive_resource_constraint_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            Problem(
+                chain_graph,
+                latency_constraint=10,
+                resource_constraints={"mul": 0},
+            )
+
+
+class TestDerived:
+    def test_resource_set_covers_all_ops(self, diamond_graph):
+        problem = Problem(diamond_graph, latency_constraint=100)
+        resources = problem.resource_set()
+        for op in diamond_graph.operations:
+            assert any(r.covers(op) for r in resources)
+
+    def test_unpruned_resource_set_is_superset(self, diamond_graph):
+        problem = Problem(diamond_graph, latency_constraint=100)
+        assert set(problem.resource_set()) <= set(problem.resource_set(prune=False))
+
+    def test_min_op_latency_uses_dedicated_resource(self, chain_graph):
+        problem = Problem(chain_graph, latency_constraint=100)
+        for op in chain_graph.operations:
+            expected = problem.latency_model.latency(dedicated_resource(op))
+            assert problem.min_op_latency(op) == expected
+
+    def test_minimum_latency_is_critical_path(self, chain_graph):
+        problem = Problem(chain_graph, latency_constraint=100)
+        # chain: mul 8x8 (2) -> add (2) -> mul 12x10 (ceil(22/8)=3)
+        assert problem.minimum_latency() == 7
+
+    def test_min_latencies_map(self, chain_graph):
+        problem = Problem(chain_graph, latency_constraint=100)
+        latencies = problem.min_latencies()
+        assert latencies == {"m0": 2, "a0": 2, "m1": 3}
+
+    def test_with_latency_constraint_copies(self, chain_graph):
+        problem = Problem(chain_graph, latency_constraint=100)
+        other = problem.with_latency_constraint(50)
+        assert other.latency_constraint == 50
+        assert problem.latency_constraint == 100
+        assert other.graph is problem.graph
+
+    def test_custom_latency_model_respected(self, chain_graph):
+        model = TableLatencyModel({"mul": lambda w: 1, "add": lambda w: 1})
+        problem = Problem(chain_graph, latency_constraint=100,
+                          latency_model=model)
+        assert problem.minimum_latency() == 3
+
+    def test_resource_set_is_deterministic(self, diamond_graph):
+        problem = Problem(diamond_graph, latency_constraint=100)
+        assert problem.resource_set() == problem.resource_set()

@@ -1,0 +1,87 @@
+"""Tests for resource-wordlength types and the coverage relation."""
+
+import pytest
+
+from repro.ir.ops import Operation
+from repro.resources.types import ResourceType
+
+
+class TestConstruction:
+    def test_widths_coerced(self):
+        r = ResourceType("mul", (16.0, 12.0))
+        assert r.widths == (16, 12)
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceType("mul", ())
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceType("add", (0,))
+
+    def test_str(self):
+        assert str(ResourceType("mul", (16, 12))) == "16x12 mul"
+        assert str(ResourceType("add", (12,))) == "12 add"
+
+    def test_ordering_is_total(self):
+        types = [
+            ResourceType("mul", (16, 12)),
+            ResourceType("add", (4,)),
+            ResourceType("mul", (8, 8)),
+        ]
+        assert sorted(types)[0].kind == "add"
+
+
+class TestCoverage:
+    def test_covers_matching_op(self):
+        r = ResourceType("mul", (16, 12))
+        assert r.covers(Operation("o", "mul", (12, 10)))
+        assert r.covers(Operation("o", "mul", (10, 12)))  # commutative swap
+        assert r.covers(Operation("o", "mul", (16, 12)))
+
+    def test_does_not_cover_wider_op(self):
+        r = ResourceType("mul", (16, 12))
+        assert not r.covers(Operation("o", "mul", (16, 13)))
+        assert not r.covers(Operation("o", "mul", (17, 4)))
+
+    def test_canonical_comparison_catches_shape_mismatch(self):
+        # An 18x6 multiplier must not cover a 12x12 multiply.
+        r = ResourceType("mul", (18, 6))
+        assert not r.covers(Operation("o", "mul", (12, 12)))
+
+    def test_kind_mismatch(self):
+        r = ResourceType("mul", (16, 12))
+        assert not r.covers(Operation("o", "add", (8, 8)))
+
+    def test_adder_coverage(self):
+        r = ResourceType("add", (12,))
+        assert r.covers(Operation("o", "add", (12, 3)))
+        assert not r.covers(Operation("o", "add", (13, 3)))
+
+    def test_sub_covered_by_adder(self):
+        r = ResourceType("add", (12,))
+        assert r.covers(Operation("o", "sub", (10, 11)))
+
+    def test_covers_requirement_arity_mismatch(self):
+        r = ResourceType("mul", (16, 12))
+        assert not r.covers_requirement((16,))
+
+
+class TestDominance:
+    def test_dominates_reflexive(self):
+        r = ResourceType("mul", (16, 12))
+        assert r.dominates(r)
+
+    def test_dominates_strict(self):
+        big = ResourceType("mul", (16, 12))
+        small = ResourceType("mul", (8, 8))
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_incomparable_pair(self):
+        a = ResourceType("mul", (18, 6))
+        b = ResourceType("mul", (12, 12))
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_cross_kind_never_dominates(self):
+        assert not ResourceType("mul", (16, 12)).dominates(ResourceType("add", (4,)))

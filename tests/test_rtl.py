@@ -1,0 +1,152 @@
+"""Tests for the Verilog back-end and its semantics executor."""
+
+import random
+import re
+
+import pytest
+
+from repro import allocate
+from repro.baselines.two_stage import allocate_two_stage
+from repro.gen.workloads import (
+    complex_multiply_netlist,
+    dct4_netlist,
+    fir_filter_netlist,
+    iir_biquad_netlist,
+    motivational_example_netlist,
+)
+from repro.rtl import execute_rtl_semantics, generate_verilog
+from repro.sim import evaluate
+from tests.conftest import make_problem
+
+
+def fir_setup(relaxation=1.0):
+    nl = fir_filter_netlist(taps=4)
+    dp = allocate(make_problem(nl.graph, relaxation))
+    return nl, dp
+
+
+def random_inputs(netlist, seed=0):
+    rng = random.Random(seed)
+    return {
+        name: rng.randrange(1 << width)
+        for name, width in netlist.free_signals().items()
+    }
+
+
+class TestStructure:
+    def test_module_wrapper(self):
+        nl, dp = fir_setup()
+        design = generate_verilog(nl, dp, module_name="fir")
+        assert design.source.count("module fir (") == 1
+        assert design.source.rstrip().endswith("endmodule")
+        assert design.module_name == "fir"
+
+    def test_ports_declared(self):
+        nl, dp = fir_setup()
+        design = generate_verilog(nl, dp)
+        for port in design.port_list():
+            assert re.search(rf"\b{port}\b", design.source), port
+
+    def test_one_register_per_op(self):
+        nl, dp = fir_setup()
+        design = generate_verilog(nl, dp)
+        for op_name in nl.graph.names:
+            assert f"r_{op_name};" in design.source
+
+    def test_one_unit_per_clique(self):
+        nl, dp = fir_setup()
+        design = generate_verilog(nl, dp)
+        assert design.unit_count == len(dp.binding.cliques)
+        for index in range(design.unit_count):
+            assert f"u{index}_y" in design.source
+
+    def test_mux_windows_match_schedule(self):
+        nl, dp = fir_setup()
+        design = generate_verilog(nl, dp)
+        for op_name in nl.graph.names:
+            begin = dp.schedule[op_name]
+            finish = begin + dp.bound_latencies[op_name]
+            window = f"if (cnt >= {begin} && cnt < {finish}) begin // {op_name}"
+            assert window in design.source, window
+
+    def test_capture_conditions_match_schedule(self):
+        nl, dp = fir_setup()
+        design = generate_verilog(nl, dp)
+        for op_name in nl.graph.names:
+            finish = dp.schedule[op_name] + dp.bound_latencies[op_name]
+            assert f"if (cnt == {finish - 1}) r_{op_name} <=" in design.source
+
+    def test_input_port_widths(self):
+        nl, dp = fir_setup()
+        design = generate_verilog(nl, dp)
+        for name, width in nl.free_signals().items():
+            assert f"input  wire [{width - 1}:0] {name}" in design.source
+
+    def test_done_uses_makespan(self):
+        nl, dp = fir_setup()
+        design = generate_verilog(nl, dp)
+        assert f"assign done = running && (cnt == {dp.makespan});" in design.source
+
+    def test_deterministic(self):
+        nl, dp = fir_setup()
+        assert generate_verilog(nl, dp).source == generate_verilog(nl, dp).source
+
+    def test_mismatched_datapath_rejected(self):
+        nl, _ = fir_setup()
+        other = allocate(make_problem(dct4_netlist().graph, 0.5))
+        with pytest.raises(ValueError):
+            generate_verilog(nl, other)
+
+    def test_begin_end_balanced(self):
+        nl, dp = fir_setup()
+        text = generate_verilog(nl, dp).source
+        assert len(re.findall(r"\bbegin\b", text)) == len(
+            re.findall(r"\bend\b(?!module)", text)
+        )
+
+
+class TestRtlSemantics:
+    NETLISTS = [
+        fir_filter_netlist,
+        iir_biquad_netlist,
+        dct4_netlist,
+        complex_multiply_netlist,
+        motivational_example_netlist,
+    ]
+
+    @pytest.mark.parametrize("factory", NETLISTS, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("relaxation", [0.0, 1.0])
+    def test_matches_golden_reference(self, factory, relaxation):
+        nl = factory()
+        dp = allocate(make_problem(nl.graph, relaxation))
+        for seed in range(3):
+            values = random_inputs(nl, seed)
+            registers = execute_rtl_semantics(nl, dp, values)
+            golden = evaluate(nl, values)
+            for op_name in nl.graph.names:
+                assert registers[op_name] == golden[op_name], op_name
+
+    def test_matches_for_baseline_binding(self):
+        nl = iir_biquad_netlist()
+        dp, _ = allocate_two_stage(make_problem(nl.graph, 0.5))
+        values = random_inputs(nl, 5)
+        registers = execute_rtl_semantics(nl, dp, values)
+        golden = evaluate(nl, values)
+        assert all(registers[n] == golden[n] for n in nl.graph.names)
+
+    def test_subtraction_wraps_at_register_width(self):
+        """The Verilog assignment-context sizing detail: a sub result
+        register wider than the adder's natural n+1 bits must still wrap
+        at the register width."""
+        from repro.ir.builder import DFGBuilder
+        from repro.sim import Netlist
+
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        z = b.input("z", 8)
+        b.sub(x, z, name="d", out_width=12)  # wider than 8+1
+        nl = Netlist.from_builder(b)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        registers = execute_rtl_semantics(nl, dp, {"x": 1, "z": 3})
+        assert registers["d"] == (1 - 3) % (1 << 12)
+        assert registers["d"] == evaluate(nl, {"x": 1, "z": 3})["d"]

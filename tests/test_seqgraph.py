@@ -1,0 +1,159 @@
+"""Tests for the sequencing graph and its timing primitives."""
+
+import pytest
+
+from repro.ir.ops import Operation
+from repro.ir.seqgraph import CycleError, SequencingGraph
+
+
+def simple_chain():
+    g = SequencingGraph()
+    g.add("a", "mul", (8, 8))
+    g.add("b", "add", (16, 16))
+    g.add("c", "mul", (4, 4))
+    g.add_dependency("a", "b")
+    g.add_dependency("b", "c")
+    return g
+
+
+class TestConstruction:
+    def test_add_and_len(self):
+        g = simple_chain()
+        assert len(g) == 3
+        assert set(g.names) == {"a", "b", "c"}
+
+    def test_duplicate_name_rejected(self):
+        g = SequencingGraph()
+        g.add("a", "mul", (8, 8))
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add("a", "add", (4, 4))
+
+    def test_dependency_on_unknown_op(self):
+        g = SequencingGraph()
+        g.add("a", "mul", (8, 8))
+        with pytest.raises(KeyError):
+            g.add_dependency("a", "ghost")
+
+    def test_self_dependency_rejected(self):
+        g = SequencingGraph()
+        g.add("a", "mul", (8, 8))
+        with pytest.raises(CycleError):
+            g.add_dependency("a", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = simple_chain()
+        with pytest.raises(CycleError):
+            g.add_dependency("c", "a")
+        # The offending edge must not linger.
+        assert ("c", "a") not in g.edges()
+        g.validate()
+
+    def test_add_operation_object(self):
+        g = SequencingGraph()
+        op = Operation("x", "mul", (5, 5))
+        assert g.add_operation(op) is op
+        assert g.operation("x") is op
+
+    def test_contains_and_iter(self):
+        g = simple_chain()
+        assert "a" in g and "nope" not in g
+        assert [op.name for op in g] == ["a", "b", "c"]
+
+    def test_copy_is_independent(self):
+        g = simple_chain()
+        clone = g.copy()
+        clone.add("d", "add", (4, 4))
+        assert "d" not in g
+        assert set(clone.edges()) == set(g.edges())
+
+
+class TestNavigation:
+    def test_predecessors_successors(self):
+        g = simple_chain()
+        assert g.predecessors("b") == ["a"]
+        assert g.successors("b") == ["c"]
+        assert g.predecessors("a") == []
+
+    def test_sources_sinks(self):
+        g = simple_chain()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["c"]
+
+    def test_topological_order_is_deterministic(self):
+        g = SequencingGraph()
+        for name in ("z", "m", "a"):
+            g.add(name, "add", (4, 4))
+        assert g.topological_order() == ["a", "m", "z"]
+
+    def test_to_networkx_is_a_copy(self):
+        g = simple_chain()
+        nxg = g.to_networkx()
+        nxg.remove_node("a")
+        assert "a" in g
+
+
+class TestTiming:
+    LAT = {"a": 2, "b": 2, "c": 3}
+
+    def test_asap_chain(self):
+        g = simple_chain()
+        assert g.asap(self.LAT) == {"a": 0, "b": 2, "c": 4}
+
+    def test_makespan(self):
+        g = simple_chain()
+        assert g.makespan(g.asap(self.LAT), self.LAT) == 7
+
+    def test_alap_default_deadline(self):
+        g = simple_chain()
+        alap = g.alap(self.LAT)
+        assert alap == {"a": 0, "b": 2, "c": 4}
+
+    def test_alap_with_slack(self):
+        g = simple_chain()
+        alap = g.alap(self.LAT, deadline=10)
+        assert alap == {"a": 3, "b": 5, "c": 7}
+
+    def test_slack(self):
+        g = simple_chain()
+        assert g.slack(self.LAT, deadline=9) == {"a": 2, "b": 2, "c": 2}
+
+    def test_critical_path_length(self):
+        g = simple_chain()
+        assert g.critical_path_length(self.LAT) == 7
+
+    def test_critical_operations_diamond(self):
+        g = SequencingGraph()
+        g.add("s", "mul", (4, 4))
+        g.add("fast", "add", (4, 4))
+        g.add("slow", "mul", (20, 20))
+        g.add("t", "add", (8, 8))
+        for u, v in (("s", "fast"), ("s", "slow"), ("fast", "t"), ("slow", "t")):
+            g.add_dependency(u, v)
+        lat = {"s": 1, "fast": 1, "slow": 5, "t": 1}
+        assert g.critical_operations(lat) == ["s", "slow", "t"]
+
+    def test_missing_latency_raises(self):
+        g = simple_chain()
+        with pytest.raises(KeyError, match="latency missing"):
+            g.asap({"a": 1})
+
+    def test_nonpositive_latency_raises(self):
+        g = simple_chain()
+        with pytest.raises(ValueError, match=">= 1"):
+            g.asap({"a": 0, "b": 1, "c": 1})
+
+    def test_minimum_latency_uses_per_op_minimum(self):
+        g = simple_chain()
+        # mul 8x8 -> ceil(16/8)=2; add -> 2; mul 4x4 -> ceil(8/8)=1
+        assert g.minimum_latency(lambda op: {"a": 2, "b": 2, "c": 1}[op.name]) == 5
+
+    def test_empty_graph_timing(self):
+        g = SequencingGraph()
+        assert g.asap({}) == {}
+        assert g.makespan({}, {}) == 0
+
+    def test_parallel_ops_share_step_zero(self):
+        g = SequencingGraph()
+        g.add("x", "mul", (4, 4))
+        g.add("y", "mul", (6, 6))
+        assert g.asap({"x": 1, "y": 2}) == {"x": 0, "y": 0}

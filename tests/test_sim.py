@@ -1,0 +1,217 @@
+"""Tests for the golden evaluator and the cycle-accurate simulator."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import allocate
+from repro.baselines.ilp import allocate_ilp
+from repro.baselines.two_stage import allocate_two_stage
+from repro.core.binding import Binding, BoundClique
+from repro.gen.workloads import (
+    complex_multiply_netlist,
+    conv3x3_netlist,
+    dct4_netlist,
+    fir_filter_netlist,
+    iir_biquad_netlist,
+    lattice_filter_netlist,
+    motivational_example_netlist,
+)
+from repro.ir.builder import DFGBuilder
+from repro.sim import (
+    Netlist,
+    SimulationError,
+    evaluate,
+    simulate,
+    truncate,
+)
+from tests.conftest import make_problem
+
+ALL_NETLISTS = [
+    fir_filter_netlist,
+    iir_biquad_netlist,
+    dct4_netlist,
+    conv3x3_netlist,
+    complex_multiply_netlist,
+    lattice_filter_netlist,
+    motivational_example_netlist,
+]
+
+
+def random_inputs(netlist, seed=0):
+    rng = random.Random(seed)
+    return {
+        name: rng.randrange(1 << width)
+        for name, width in netlist.free_signals().items()
+    }
+
+
+class TestTruncate:
+    def test_basic(self):
+        assert truncate(0b1111, 2) == 0b11
+        assert truncate(256, 8) == 0
+        assert truncate(255, 8) == 255
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            truncate(1, 0)
+
+
+class TestReferenceEvaluate:
+    def test_hand_computed_mac(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        c = b.constant("c", 4)
+        p = b.mul(x, c, name="p", out_width=12)
+        b.add(p, x, name="y", out_width=13)
+        nl = Netlist.from_builder(b)
+        values = evaluate(nl, {"x": 200, "c": 5})
+        assert values["p"] == (200 * 5) % (1 << 12)
+        assert values["y"] == (values["p"] + 200) % (1 << 13)
+
+    def test_truncation_wraps(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        b.mul(x, x, name="sq", out_width=6)
+        nl = Netlist.from_builder(b)
+        values = evaluate(nl, {"x": 255})
+        assert values["sq"] == (255 * 255) % 64
+
+    def test_sub_wraps_modulo(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        z = b.input("z", 8)
+        b.sub(x, z, name="d", out_width=9)
+        nl = Netlist.from_builder(b)
+        values = evaluate(nl, {"x": 1, "z": 2})
+        assert values["d"] == (1 - 2) % (1 << 9)
+
+    def test_inputs_truncated_to_width(self):
+        b = DFGBuilder()
+        x = b.input("x", 4)
+        b.add(x, x, name="y")
+        nl = Netlist.from_builder(b)
+        assert evaluate(nl, {"x": 0xFF})["x"] == 0xF
+
+    def test_missing_input_raises(self):
+        nl = fir_filter_netlist(taps=2)
+        with pytest.raises(KeyError):
+            evaluate(nl, {"x0": 1})
+
+
+class TestSimulateMatchesReference:
+    @pytest.mark.parametrize("factory", ALL_NETLISTS, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("relaxation", [0.0, 0.8])
+    def test_dpalloc_datapaths(self, factory, relaxation):
+        nl = factory()
+        problem = make_problem(nl.graph, relaxation)
+        dp = allocate(problem)
+        for seed in range(3):
+            values = random_inputs(nl, seed)
+            result = simulate(nl, dp, values)
+            golden = evaluate(nl, values)
+            for name in nl.graph.names:
+                assert result.values[name] == golden[name], name
+
+    def test_ilp_datapath(self):
+        nl = dct4_netlist()
+        problem = make_problem(nl.graph, 0.5)
+        dp, _ = allocate_ilp(problem)
+        values = random_inputs(nl, 11)
+        result = simulate(nl, dp, values)
+        assert result.values == evaluate(nl, values)
+
+    def test_two_stage_datapath(self):
+        nl = iir_biquad_netlist()
+        problem = make_problem(nl.graph, 0.3)
+        dp, _ = allocate_two_stage(problem)
+        values = random_inputs(nl, 13)
+        result = simulate(nl, dp, values)
+        assert result.values == evaluate(nl, values)
+
+    def test_result_independent_of_binding(self):
+        """Executing a small multiply on a big unit must not change values
+        -- the invariant behind the paper's sharing strategy."""
+        nl = motivational_example_netlist()
+        tight = allocate(make_problem(nl.graph, 0.0))
+        shared = allocate(make_problem(nl.graph, 4.0))
+        assert tight.binding != shared.binding
+        values = random_inputs(nl, 17)
+        assert (
+            simulate(nl, tight, values).values
+            == simulate(nl, shared, values).values
+        )
+
+
+class TestSimulationResult:
+    def test_timeline_and_events(self):
+        nl = fir_filter_netlist(taps=3)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        result = simulate(nl, dp, random_inputs(nl))
+        lanes = result.timeline()
+        assert sum(len(ops) for ops in lanes.values()) == len(nl.graph)
+        assert result.cycles == dp.makespan
+        for event in result.events:
+            assert event.finish - event.start == dp.bound_latencies[event.operation]
+
+    def test_output_values(self):
+        nl = fir_filter_netlist(taps=3)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        result = simulate(nl, dp, random_inputs(nl))
+        outs = result.output_values(nl)
+        assert set(outs) == set(nl.output_ops())
+
+
+class TestHazardDetection:
+    def make_setup(self):
+        nl = fir_filter_netlist(taps=3)
+        dp = allocate(make_problem(nl.graph, 1.0))
+        return nl, dp, random_inputs(nl)
+
+    def test_data_hazard(self):
+        nl, dp, values = self.make_setup()
+        schedule = dict(dp.schedule)
+        # Pull a consumer to cycle 0, before its producer finishes.
+        consumer = nl.graph.sinks()[0]
+        schedule[consumer] = 0
+        broken = dataclasses.replace(dp, schedule=schedule)
+        with pytest.raises(SimulationError, match="hazard"):
+            simulate(nl, broken, values)
+
+    def test_structural_hazard(self):
+        nl, dp, values = self.make_setup()
+        clique = next(c for c in dp.binding.cliques if len(c.ops) > 1)
+        first, second = clique.ops[0], clique.ops[1]
+        schedule = dict(dp.schedule)
+        schedule[second] = schedule[first]  # collide on the unit
+        broken = dataclasses.replace(
+            dp, schedule=schedule, makespan=dp.makespan
+        )
+        with pytest.raises(SimulationError):
+            simulate(nl, broken, values)
+
+    def test_width_hazard(self):
+        nl, dp, values = self.make_setup()
+        from repro.resources.types import ResourceType
+
+        tiny = ResourceType("mul", (1, 1))
+        cliques = tuple(
+            BoundClique(tiny, c.ops) if c.resource.kind == "mul" else c
+            for c in dp.binding.cliques
+        )
+        broken = dataclasses.replace(dp, binding=Binding(cliques))
+        with pytest.raises(SimulationError, match="width hazard"):
+            simulate(nl, broken, values)
+
+    def test_missing_input_value(self):
+        nl, dp, values = self.make_setup()
+        values.pop(next(iter(nl.inputs)))
+        with pytest.raises(SimulationError, match="no value"):
+            simulate(nl, dp, values)
+
+    def test_makespan_mismatch(self):
+        nl, dp, values = self.make_setup()
+        broken = dataclasses.replace(dp, makespan=dp.makespan + 1)
+        with pytest.raises(SimulationError, match="makespan"):
+            simulate(nl, broken, values)

@@ -1,0 +1,92 @@
+"""Tests for the Datapath container, metrics, and report formatting."""
+
+import pytest
+
+from repro import allocate
+from repro.analysis.metrics import (
+    area_penalty,
+    mean,
+    percent_increase,
+    resource_usage,
+    sharing_factor,
+    unit_utilisation,
+)
+from repro.analysis.reporting import format_seconds, format_table
+from repro.gen.workloads import fir_filter
+from tests.conftest import make_problem
+
+
+@pytest.fixture
+def datapath():
+    problem = make_problem(fir_filter(taps=3), relaxation=1.0)
+    return allocate(problem)
+
+
+class TestDatapath:
+    def test_unit_count_total_and_by_kind(self, datapath):
+        assert datapath.unit_count() == len(datapath.cliques)
+        assert datapath.unit_count("mul") + datapath.unit_count("add") == \
+            datapath.unit_count()
+
+    def test_units_by_kind_sorted(self, datapath):
+        grouped = datapath.units_by_kind()
+        assert list(grouped) == sorted(grouped)
+        for units in grouped.values():
+            assert units == sorted(units)
+
+    def test_summary_mentions_every_unit(self, datapath):
+        text = datapath.summary()
+        assert f"units          : {datapath.unit_count()}" in text
+        for index in range(datapath.unit_count()):
+            assert f"unit {index}:" in text
+
+    def test_recompute_area_consistent(self, datapath):
+        from repro.resources.area import SonicAreaModel
+
+        assert datapath.recompute_area(SonicAreaModel()) == datapath.area
+
+
+class TestMetrics:
+    def test_percent_increase(self):
+        assert percent_increase(120.0, 100.0) == 20.0
+        assert percent_increase(80.0, 100.0) == -20.0
+        assert percent_increase(5.0, 0.0) == 0.0
+
+    def test_area_penalty_uses_reference(self, datapath):
+        assert area_penalty(datapath, datapath) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_resource_usage(self, datapath):
+        usage = resource_usage(datapath)
+        assert sum(usage.values()) == datapath.unit_count()
+        assert set(usage) <= {"mul", "add"}
+
+    def test_utilisation_in_unit_interval(self, datapath):
+        util = unit_utilisation(datapath)
+        assert 0.0 < util <= 1.0
+
+    def test_sharing_factor(self, datapath):
+        sharing = sharing_factor(datapath)
+        assert sharing == len(datapath.schedule) / datapath.unit_count()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text and "3.25" in text
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows aligned
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0) == "0:00.00"
+        assert format_seconds(127.09) == "2:07.09"
+        assert format_seconds(955.56) == "15:55.56"

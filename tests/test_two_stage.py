@@ -1,0 +1,119 @@
+"""Tests for the two-stage baseline (ref. [4] reconstruction)."""
+
+import pytest
+
+from repro import InfeasibleError, Problem, allocate, validate_datapath
+from repro.baselines.ilp import allocate_ilp
+from repro.baselines.two_stage import allocate_two_stage
+from repro.gen.tgff import random_sequencing_graph
+from repro.ir.seqgraph import SequencingGraph
+from tests.conftest import make_problem
+
+
+class TestDefiningProperty:
+    """Sharing must never increase any operation's latency."""
+
+    def test_no_latency_increase(self):
+        for seed in range(6):
+            g = random_sequencing_graph(10, seed=500 + seed)
+            p = make_problem(g, relaxation=0.3)
+            dp, _ = allocate_two_stage(p)
+            min_lat = p.min_latencies()
+            for name, latency in dp.bound_latencies.items():
+                assert latency == min_lat[name], name
+
+    def test_schedule_is_asap_at_min_latency(self, diamond_graph):
+        p = make_problem(diamond_graph, relaxation=0.5)
+        dp, _ = allocate_two_stage(p)
+        assert dp.schedule == p.graph.asap(p.min_latencies())
+
+    def test_slack_is_not_exploited(self, diamond_graph):
+        """More latency slack must not change the two-stage result."""
+        tight = allocate_two_stage(make_problem(diamond_graph, 0.0))[0]
+        loose = allocate_two_stage(make_problem(diamond_graph, 2.0))[0]
+        assert tight.area == loose.area
+        assert tight.schedule == loose.schedule
+
+
+class TestValidity:
+    def test_validates_on_random_graphs(self):
+        for seed in range(6):
+            g = random_sequencing_graph(12, seed=600 + seed)
+            p = make_problem(g, relaxation=0.2)
+            dp, report = allocate_two_stage(p)
+            validate_datapath(p, dp)
+            assert report.classes >= 1
+            assert report.largest_class >= 1
+
+    def test_infeasible_below_lambda_min(self, chain_graph):
+        p = Problem(chain_graph, latency_constraint=2)
+        with pytest.raises(InfeasibleError):
+            allocate_two_stage(p)
+
+    def test_empty_graph(self):
+        dp, report = allocate_two_stage(
+            Problem(SequencingGraph(), latency_constraint=1)
+        )
+        assert dp.area == 0.0 and report.optimal
+
+
+class TestStageTwoOptimality:
+    def test_equal_latency_sequential_ops_share(self):
+        # Two sequential 8x8 muls (same latency class) must share.
+        g = SequencingGraph()
+        g.add("x", "mul", (8, 8))
+        g.add("y", "mul", (6, 8))  # also 2 cycles, covered by 8x8
+        g.add_dependency("x", "y")
+        p = make_problem(g, relaxation=0.0)
+        dp, report = allocate_two_stage(p)
+        assert report.optimal
+        assert dp.unit_count("mul") == 1
+        assert dp.area == 64.0
+
+    def test_cross_latency_sharing_refused(self):
+        # Sequential ops in different latency classes may NOT share even
+        # though the heuristic could implement both in the big unit.
+        g = SequencingGraph()
+        g.add("small", "mul", (8, 8))    # 2 cycles
+        g.add("wide", "mul", (16, 16))   # 4 cycles
+        g.add_dependency("small", "wide")
+        p = make_problem(g, relaxation=2.0)
+        dp, _ = allocate_two_stage(p)
+        assert dp.unit_count("mul") == 2
+        heuristic = allocate(p)
+        assert heuristic.area < dp.area  # the paper's headline effect
+
+    def test_branch_and_bound_path_matches_dp(self):
+        """Forcing the BB path (dp_limit=0) must reproduce the DP result."""
+        for seed in range(4):
+            g = random_sequencing_graph(9, seed=700 + seed)
+            p = make_problem(g, relaxation=0.2)
+            via_dp, _ = allocate_two_stage(p, dp_limit=13)
+            via_bb, report = allocate_two_stage(p, dp_limit=0)
+            assert report.optimal
+            assert abs(via_dp.area - via_bb.area) < 1e-9
+
+    def test_matches_ilp_when_no_slack_strategy_exists(self):
+        """When lambda forces the ASAP schedule anyway and all ops of a
+        kind share one latency class, stage 2 optimality should match
+        the full ILP."""
+        g = SequencingGraph()
+        g.add("a", "mul", (8, 8))
+        g.add("b", "mul", (8, 6))
+        g.add("c", "mul", (7, 7))
+        g.add_dependency("a", "b")
+        g.add_dependency("b", "c")
+        p = make_problem(g, relaxation=0.0)
+        two_stage, _ = allocate_two_stage(p)
+        ilp, _ = allocate_ilp(p)
+        assert abs(two_stage.area - ilp.area) < 1e-9
+
+
+class TestAgainstOptimum:
+    def test_never_better_than_ilp(self):
+        for seed in range(5):
+            g = random_sequencing_graph(7, seed=800 + seed)
+            p = make_problem(g, relaxation=0.3)
+            two_stage, _ = allocate_two_stage(p)
+            ilp, _ = allocate_ilp(p)
+            assert ilp.area <= two_stage.area + 1e-9

@@ -1,0 +1,122 @@
+"""The validator must catch every class of violation it documents."""
+
+import dataclasses
+
+import pytest
+
+from repro import Problem, allocate
+from repro.analysis.validate import ValidationError, is_valid, validate_datapath
+from repro.core.binding import Binding, BoundClique
+from repro.resources.types import ResourceType
+from tests.conftest import make_problem
+
+
+@pytest.fixture
+def valid(chain_graph):
+    problem = make_problem(chain_graph, relaxation=0.5)
+    return problem, allocate(problem)
+
+
+def mutate(dp, **changes):
+    return dataclasses.replace(dp, **changes)
+
+
+class TestAcceptsValid:
+    def test_valid_solution_passes(self, valid):
+        problem, dp = valid
+        validate_datapath(problem, dp)
+        assert is_valid(problem, dp)
+
+
+class TestViolations:
+    def test_missing_op_in_schedule(self, valid):
+        problem, dp = valid
+        schedule = dict(dp.schedule)
+        schedule.pop("m0")
+        assert not is_valid(problem, mutate(dp, schedule=schedule))
+
+    def test_negative_start(self, valid):
+        problem, dp = valid
+        schedule = dict(dp.schedule, m0=-1)
+        assert not is_valid(problem, mutate(dp, schedule=schedule))
+
+    def test_precedence_violation(self, valid):
+        problem, dp = valid
+        # Move the consumer to start before its producer finishes.
+        schedule = dict(dp.schedule)
+        schedule["a0"] = schedule["m0"]
+        assert not is_valid(problem, mutate(dp, schedule=schedule))
+
+    def test_op_bound_twice(self, valid):
+        problem, dp = valid
+        cliques = dp.binding.cliques + (BoundClique(dp.cliques[0].resource,
+                                                    (dp.cliques[0].ops[0],)),)
+        assert not is_valid(problem, mutate(dp, binding=Binding(cliques)))
+
+    def test_unbound_op(self, valid):
+        problem, dp = valid
+        cliques = tuple(
+            BoundClique(c.resource, c.ops[1:]) if len(c.ops) > 1 else c
+            for c in dp.cliques
+        )
+        stripped = Binding(cliques)
+        if sorted(n for c in cliques for n in c.ops) == sorted(dp.schedule):
+            pytest.skip("every clique was a singleton; nothing to strip")
+        assert not is_valid(problem, mutate(dp, binding=stripped))
+
+    def test_coverage_violation(self, valid):
+        problem, dp = valid
+        tiny = ResourceType("mul", (1, 1))
+        cliques = tuple(
+            BoundClique(tiny, c.ops) if c.resource.kind == "mul" else c
+            for c in dp.cliques
+        )
+        assert not is_valid(problem, mutate(dp, binding=Binding(cliques)))
+
+    def test_unit_overlap_detected(self):
+        from repro.ir.seqgraph import SequencingGraph
+
+        g = SequencingGraph()
+        g.add("x", "mul", (8, 8))
+        g.add("y", "mul", (8, 8))
+        problem = Problem(g, latency_constraint=10)
+        r = ResourceType("mul", (8, 8))
+        dp_bad = mutate(
+            allocate(problem),
+            schedule={"x": 0, "y": 1},
+            binding=Binding((BoundClique(r, ("x", "y")),)),
+            bound_latencies={"x": 2, "y": 2},
+            upper_bounds={"x": 2, "y": 2},
+            makespan=3,
+            area=64.0,
+        )
+        assert not is_valid(problem, dp_bad)
+
+    def test_makespan_mismatch(self, valid):
+        problem, dp = valid
+        assert not is_valid(problem, mutate(dp, makespan=dp.makespan + 1))
+
+    def test_latency_constraint_violation(self, valid):
+        problem, dp = valid
+        tight = problem.with_latency_constraint(max(1, dp.makespan - 1))
+        assert not is_valid(tight, dp)
+
+    def test_resource_count_violation(self, valid):
+        problem, dp = valid
+        limited = Problem(
+            problem.graph,
+            latency_constraint=problem.latency_constraint,
+            resource_constraints={"mul": max(0, dp.unit_count("mul") - 1) or 1},
+        )
+        if dp.unit_count("mul") <= limited.resource_constraints["mul"]:
+            pytest.skip("solution already within the tighter limit")
+        assert not is_valid(limited, dp)
+
+    def test_area_mismatch(self, valid):
+        problem, dp = valid
+        assert not is_valid(problem, mutate(dp, area=dp.area + 1.0))
+
+    def test_error_message_lists_violation(self, valid):
+        problem, dp = valid
+        with pytest.raises(ValidationError, match="area"):
+            validate_datapath(problem, mutate(dp, area=dp.area + 1.0))

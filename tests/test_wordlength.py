@@ -1,0 +1,166 @@
+"""Tests for the error-driven wordlength front-end."""
+
+import pytest
+
+from repro import Problem, allocate
+from repro.gen.workloads import fir_filter_netlist, iir_biquad_netlist
+from repro.ir.builder import DFGBuilder
+from repro.sim import Netlist, evaluate
+from repro.wordlength import (
+    injected_variance,
+    natural_width,
+    optimize_wordlengths,
+    output_noise,
+    path_counts,
+    rebuild_netlist,
+)
+from tests.conftest import make_problem
+
+
+def mac_netlist():
+    b = DFGBuilder()
+    x = b.input("x", 8)
+    c = b.constant("c", 8)
+    p = b.mul(x, c, name="p", out_width=16)
+    b.add(p, x, name="y", out_width=17)
+    return Netlist.from_builder(b)
+
+
+class TestModelPrimitives:
+    def test_natural_widths(self):
+        assert natural_width("mul", (8, 6)) == 14
+        assert natural_width("add", (8, 6)) == 9
+        assert natural_width("sub", (4, 4)) == 5
+
+    def test_injected_variance_zero_at_natural(self):
+        assert injected_variance(14, 14) == 0.0
+        assert injected_variance(16, 14) == 0.0
+
+    def test_injected_variance_grows_with_truncation(self):
+        v1 = injected_variance(12, 16)
+        v2 = injected_variance(10, 16)
+        assert 0 < v1 < v2
+
+    def test_path_counts_linear_chain(self):
+        nl = mac_netlist()
+        counts = path_counts(nl)
+        assert counts["p"] == {"y": 1}
+        assert counts["x"] == {"y": 2}  # via p and directly
+        assert counts["c"] == {"y": 1}
+
+    def test_path_counts_reconvergence(self):
+        b = DFGBuilder()
+        x = b.input("x", 8)
+        p = b.mul(x, x, name="p", out_width=16)
+        q = b.mul(x, x, name="q", out_width=16)
+        b.add(p, q, name="y", out_width=17)
+        counts = path_counts(Netlist.from_builder(b))
+        assert counts["x"]["y"] == 4  # two operands on each of two paths
+
+
+class TestOutputNoise:
+    def test_full_precision_noise_is_constant_only(self):
+        nl = mac_netlist()
+        widths = {"x": 8, "c": 8, "p": 16, "y": 17}
+        noise = output_noise(nl, widths)
+        # Op results at natural width inject nothing; the 8-bit constant
+        # contributes its quantisation noise.
+        expected_const = 2.0 ** (-16) / 12.0
+        assert noise["y"] == pytest.approx(expected_const)
+
+    def test_truncation_adds_noise(self):
+        nl = mac_netlist()
+        full = output_noise(nl, {"x": 8, "c": 8, "p": 16, "y": 17})
+        trimmed = output_noise(nl, {"x": 8, "c": 8, "p": 10, "y": 17})
+        assert trimmed["y"] > full["y"]
+
+
+class TestOptimizer:
+    def test_budget_respected(self):
+        nl = fir_filter_netlist(taps=4)
+        budget = 1e-4
+        result = optimize_wordlengths(nl, budget)
+        assert all(v <= budget for v in result.predicted_noise.values())
+
+    def test_trims_something_with_loose_budget(self):
+        nl = fir_filter_netlist(taps=4)
+        result = optimize_wordlengths(nl, error_budget=1e-2)
+        assert result.trimmed_bits > 0
+
+    def test_tighter_budget_keeps_wider_signals(self):
+        # The tight budget must stay above the noise floor set by the
+        # declared constant widths (~7e-6 for this kernel).
+        nl = iir_biquad_netlist()
+        loose = optimize_wordlengths(nl, 1e-2)
+        tight = optimize_wordlengths(nl, 1e-5)
+        assert loose.trimmed_bits >= tight.trimmed_bits
+        total_loose = sum(loose.widths.values())
+        total_tight = sum(tight.widths.values())
+        assert total_loose <= total_tight
+
+    def test_inputs_never_trimmed(self):
+        nl = fir_filter_netlist(taps=4)
+        result = optimize_wordlengths(nl, 1e-2)
+        for name, width in nl.inputs.items():
+            assert result.widths[name] == width
+
+    def test_min_width_respected(self):
+        nl = fir_filter_netlist(taps=4)
+        result = optimize_wordlengths(nl, error_budget=1.0, min_width=3)
+        for name in list(nl.constants) + list(nl.graph.names):
+            assert result.widths[name] >= 3
+
+    def test_infeasible_starting_point_rejected(self):
+        nl = fir_filter_netlist(taps=4)
+        with pytest.raises(ValueError, match="exceed"):
+            optimize_wordlengths(nl, error_budget=1e-30)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_wordlengths(mac_netlist(), 0.0)
+
+    def test_max_trims_hook(self):
+        nl = fir_filter_netlist(taps=4)
+        result = optimize_wordlengths(nl, 1e-2, max_trims=2)
+        assert result.trimmed_bits <= 2
+
+
+class TestRebuild:
+    def test_rebuild_preserves_structure(self):
+        nl = mac_netlist()
+        rebuilt = rebuild_netlist(nl, {"x": 8, "c": 6, "p": 12, "y": 13})
+        assert set(rebuilt.graph.names) == set(nl.graph.names)
+        assert rebuilt.wiring == nl.wiring
+        assert rebuilt.out_widths == {"p": 12, "y": 13}
+        assert rebuilt.constants == {"c": 6}
+
+    def test_rebuilt_netlist_evaluates(self):
+        nl = mac_netlist()
+        rebuilt = rebuild_netlist(nl, {"x": 8, "c": 6, "p": 12, "y": 13})
+        values = evaluate(rebuilt, {"x": 100, "c": 30})
+        assert values["p"] == (100 * 30) % (1 << 12)
+
+
+class TestEndToEndFlow:
+    def test_optimized_widths_reduce_datapath_area(self):
+        """The headline front-end story: trimming wordlengths under an
+        error budget shrinks the allocated datapath."""
+        nl = fir_filter_netlist(taps=4)
+        result = optimize_wordlengths(nl, error_budget=1e-3)
+        full_problem = make_problem(nl.graph, relaxation=0.5)
+        trimmed_scratch = Problem(result.graph, latency_constraint=10**6)
+        trimmed_problem = trimmed_scratch.with_latency_constraint(
+            full_problem.latency_constraint
+        )
+        full = allocate(full_problem)
+        trimmed = allocate(trimmed_problem)
+        assert trimmed.area <= full.area
+
+    def test_optimized_graph_operand_widths_follow_signals(self):
+        nl = mac_netlist()
+        result = optimize_wordlengths(nl, 1e-2)
+        for op in result.graph.operations:
+            expected = tuple(
+                result.widths[s] for s in result.netlist.wiring[op.name]
+            )
+            assert op.operand_widths == expected
