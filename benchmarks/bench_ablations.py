@@ -7,11 +7,15 @@ noisy per-instance; the assertions are aggregate).
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from conftest import samples
 
 from repro.analysis.metrics import mean, percent_increase
-from repro.core.dpalloc import DPAllocOptions, allocate
+from repro.core.dpalloc import DPAllocOptions
+from repro.engine import AllocationRequest, Engine
 from repro.experiments import ablations, build_case
+from repro.experiments.common import require_ok
 
 SWEEP = [
     (n, relaxation, sample)
@@ -22,12 +26,20 @@ SWEEP = [
 
 
 def _mean_increase(options: DPAllocOptions) -> float:
-    increases = []
+    """Mean area increase of a variant over the full heuristic, with the
+    full/variant pairs batched through the engine."""
+    requests = []
     for n, relaxation, sample in SWEEP:
-        case = build_case(n, sample, relaxation)
-        full = allocate(case.problem)
-        variant = allocate(case.problem, options)
-        increases.append(percent_increase(variant.area, full.area))
+        problem = build_case(n, sample, relaxation).problem
+        requests.append(AllocationRequest(problem, "dpalloc"))
+        requests.append(AllocationRequest(
+            problem, "dpalloc", options=asdict(options),
+        ))
+    results = Engine().run_batch(requests)
+    increases = [
+        percent_increase(require_ok(variant).area, require_ok(full).area)
+        for full, variant in zip(results[::2], results[1::2])
+    ]
     return mean(increases)
 
 

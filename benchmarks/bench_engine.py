@@ -1,0 +1,99 @@
+"""Engine batch-throughput benchmark: serial vs parallel sweeps.
+
+Runs the same DPAlloc sweep (large TGFF graphs; ``REPRO_SAMPLES`` scales
+the per-size count) through ``Engine.run_batch`` serially and with a
+process pool, verifies the envelopes are byte-for-byte identical, and
+emits ``BENCH_engine.json`` with the throughput numbers -- the start of
+the engine's perf trajectory across PRs.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--workers N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from conftest import samples  # noqa: E402  (shared REPRO_SAMPLES helper)
+
+from repro.engine import AllocationRequest, Engine  # noqa: E402
+from repro.experiments import build_case  # noqa: E402
+
+SIZES = (32, 48, 64)
+RELAXATION = 0.2
+
+
+def build_requests(per_size: int) -> list:
+    requests = []
+    for num_ops in SIZES:
+        for sample in range(per_size):
+            problem = build_case(num_ops, sample, RELAXATION).problem
+            requests.append(AllocationRequest(
+                problem, "dpalloc", label=f"tgff-{num_ops}-{sample}",
+            ))
+    return requests
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool width for the parallel pass (default 4)")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="graphs per size (default REPRO_SAMPLES or 3)")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    per_size = args.samples if args.samples is not None else samples(3)
+    requests = build_requests(per_size)
+    engine = Engine()
+
+    began = time.perf_counter()
+    serial = engine.run_batch(requests)
+    serial_seconds = time.perf_counter() - began
+
+    began = time.perf_counter()
+    parallel = engine.run_batch(requests, workers=args.workers)
+    parallel_seconds = time.perf_counter() - began
+
+    identical = [r.canonical_json() for r in serial] == \
+                [r.canonical_json() for r in parallel]
+    if not identical:
+        raise AssertionError("parallel envelopes diverged from the serial run")
+    if not all(r.ok for r in serial):
+        bad = [r.label for r in serial if not r.ok]
+        raise AssertionError(f"benchmark sweep cases failed: {bad}")
+
+    report = {
+        "kind": "bench-engine",
+        "cpu_count": os.cpu_count(),  # speedup is bounded by this
+        "cases": len(requests),
+        "sizes": list(SIZES),
+        "relaxation": RELAXATION,
+        "samples_per_size": per_size,
+        "workers": args.workers,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 3),
+        "serial_cases_per_second": round(len(requests) / serial_seconds, 3),
+        "parallel_cases_per_second": round(len(requests) / parallel_seconds, 3),
+        "results_identical": identical,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

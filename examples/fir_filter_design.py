@@ -3,35 +3,32 @@
 The introduction of the paper motivates multiple-wordlength synthesis
 with DSP kernels whose coefficient wordlengths differ tap by tap.  This
 script designs a 6-tap FIR with tapering coefficient widths using every
-allocator in the library -- the DPAlloc heuristic, the optimal ILP [5],
-the two-stage baseline [4], descending-wordlength clique partitioning
-[14], and the uniform-wordlength (DSP-processor style) design -- across
-a sweep of latency constraints.
+registered allocator -- the DPAlloc heuristic, the optimal ILP [5], the
+two-stage baseline [4], force-directed scheduling, descending-wordlength
+clique partitioning [14], and the uniform-wordlength (DSP-processor
+style) design -- across a sweep of latency constraints.  The whole
+methods x constraints grid is a single ``Engine.run_batch`` call through
+the allocator registry; infeasible cells come back as result envelopes,
+not exceptions.
 
 Run with::
 
     python examples/fir_filter_design.py
 """
 
-from repro import InfeasibleError, Problem, allocate, validate_datapath
+from repro import Problem
 from repro.analysis.reporting import format_table
-from repro.baselines.clique_sort import allocate_clique_sort
-from repro.baselines.fds import allocate_fds
-from repro.baselines.ilp import allocate_ilp
-from repro.baselines.two_stage import allocate_two_stage
-from repro.baselines.uniform import allocate_uniform
+from repro.engine import AllocationRequest, Engine, allocator_names
 from repro.gen.workloads import fir_filter
 
-
-def attempt(fn, problem):
-    try:
-        dp = fn(problem)
-        if isinstance(dp, tuple):
-            dp = dp[0]
-        validate_datapath(problem, dp)
-        return f"{dp.area:g}"
-    except InfeasibleError:
-        return "infeasible"
+COLUMNS = {
+    "dpalloc": "DPAlloc",
+    "ilp": "ILP [5]",
+    "two-stage": "two-stage [4]",
+    "fds": "FDS",
+    "clique-sort": "clique-sort [14]",
+    "uniform": "uniform",
+}
 
 
 def main() -> None:
@@ -45,26 +42,30 @@ def main() -> None:
     lambda_min = scratch.minimum_latency()
     print(f"lambda_min = {lambda_min} cycles\n")
 
-    rows = []
-    for relaxation in (0.0, 0.2, 0.5, 1.0, 2.0):
+    methods = [name for name in COLUMNS if name in allocator_names()]
+    relaxations = (0.0, 0.2, 0.5, 1.0, 2.0)
+    requests = []
+    for relaxation in relaxations:
         constraint = max(1, int(lambda_min * (1 + relaxation)))
         problem = scratch.with_latency_constraint(constraint)
-        rows.append(
-            [
-                f"{int(relaxation * 100)}%",
-                constraint,
-                attempt(allocate, problem),
-                attempt(lambda p: allocate_ilp(p, time_limit=60.0), problem),
-                attempt(allocate_two_stage, problem),
-                attempt(allocate_fds, problem),
-                attempt(allocate_clique_sort, problem),
-                attempt(allocate_uniform, problem),
-            ]
-        )
+        for method in methods:
+            options = {"time_limit": 60.0} if method == "ilp" else {}
+            requests.append(AllocationRequest(problem, method, options=options))
+
+    results = iter(Engine().run_batch(requests))
+    rows = []
+    for relaxation in relaxations:
+        constraint = max(1, int(lambda_min * (1 + relaxation)))
+        cells = []
+        for _ in methods:
+            result = next(results)
+            cells.append(
+                f"{result.datapath.area:g}" if result.ok else "infeasible"
+            )
+        rows.append([f"{int(relaxation * 100)}%", constraint, *cells])
 
     print(format_table(
-        ["relax", "lambda", "DPAlloc", "ILP [5]", "two-stage [4]",
-         "FDS", "clique-sort [14]", "uniform"],
+        ["relax", "lambda", *(COLUMNS[m] for m in methods)],
         rows,
         title="Area by method and latency constraint (smaller is better)",
     ))

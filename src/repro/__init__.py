@@ -13,18 +13,42 @@ DATE 2001.  The package provides:
 * the comparison baselines of the paper's evaluation (optimal ILP [5],
   two-stage binding [4], descending-wordlength clique partitioning [14],
   uniform wordlength);
+* the **engine** (:mod:`repro.engine`): a registry unifying every
+  strategy behind one name-based dispatch, a uniform
+  :class:`AllocationResult` envelope (datapath, timing, validity,
+  failure reason), and batch execution with process-pool parallelism,
+  per-run timeouts, and an on-disk result cache keyed by
+  ``Problem.fingerprint()``;
 * workload generators (TGFF adaptation, DSP kernels) and the experiment
-  harness regenerating every figure and table of the evaluation.
+  harness regenerating every figure and table of the evaluation through
+  the engine.
 
 Quickstart::
 
-    from repro import Problem, allocate
+    from repro import AllocationRequest, Engine, Problem
     from repro.gen import fir_filter
 
     graph = fir_filter(taps=4)
     problem = Problem(graph, latency_constraint=20)
-    datapath = allocate(problem)
-    print(datapath.summary())
+
+    engine = Engine()
+    result = engine.run(AllocationRequest(problem, "dpalloc"))
+    if result.ok:
+        print(result.datapath.summary())     # validated solution
+    else:
+        print(result.error)                  # e.g. "infeasible: ..."
+
+    # Compare strategies / sweep problems in one parallel, cacheable batch:
+    from repro import allocator_names
+    results = engine.run_batch(
+        [AllocationRequest(problem, name) for name in allocator_names()],
+        workers=4,
+    )
+
+The direct entry points remain available for single in-process runs::
+
+    from repro import allocate
+    datapath = allocate(problem)    # raises InfeasibleError on failure
 """
 
 from .analysis import ValidationError, is_valid, validate_datapath
@@ -38,6 +62,14 @@ from .core import (
     WordlengthCompatibilityGraph,
     allocate,
 )
+from .engine import (
+    AllocationRequest,
+    AllocationResult,
+    Engine,
+    allocator_names,
+    get_allocator,
+    register_allocator,
+)
 from .ir import DFGBuilder, Operation, SequencingGraph
 from .resources import (
     AreaModel,
@@ -48,15 +80,18 @@ from .resources import (
     extract_resource_set,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AllocationRequest",
+    "AllocationResult",
     "AreaModel",
     "Binding",
     "BoundClique",
     "Datapath",
     "DFGBuilder",
     "DPAllocOptions",
+    "Engine",
     "InfeasibleError",
     "LatencyModel",
     "Operation",
@@ -68,8 +103,11 @@ __all__ = [
     "ValidationError",
     "WordlengthCompatibilityGraph",
     "allocate",
+    "allocator_names",
     "extract_resource_set",
+    "get_allocator",
     "is_valid",
+    "register_allocator",
     "validate_datapath",
     "__version__",
 ]

@@ -5,7 +5,15 @@ Subcommands:
 * ``list-workloads`` -- the named DSP kernels shipped with the library;
 * ``allocate`` -- run one allocator on a named workload or a JSON graph
   and print the datapath report (optionally export JSON / DOT / Verilog);
-* ``compare`` -- run every allocator on one problem and tabulate areas.
+* ``compare`` -- run every registered allocator on one problem and
+  tabulate areas (infeasible methods are reported per-row; the exit code
+  is nonzero only when *every* method fails);
+* ``batch`` -- fan several workloads x methods out over the engine's
+  process pool, optionally against an on-disk result cache.
+
+All dispatch goes through the allocator registry
+(:mod:`repro.engine`): ``--method`` choices are discovered, never
+hard-coded, so strategies registered by plugins appear automatically.
 
 Examples::
 
@@ -14,6 +22,7 @@ Examples::
     python -m repro allocate biquad --method ilp --json out.json
     python -m repro allocate fir --relax 1.0 --verilog fir.v
     python -m repro compare motivational --relax 1.0
+    python -m repro batch fir biquad dct4 --workers 4 --cache-dir .cache
 """
 
 from __future__ import annotations
@@ -22,13 +31,9 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional, Tuple
 
-from . import InfeasibleError, Problem, allocate, validate_datapath
+from . import Problem
 from .analysis.reporting import format_table
-from .baselines.clique_sort import allocate_clique_sort
-from .baselines.fds import allocate_fds
-from .baselines.ilp import allocate_ilp
-from .baselines.two_stage import allocate_two_stage
-from .baselines.uniform import allocate_uniform
+from .engine import AllocationRequest, Engine, allocator_names
 from .gen import workloads
 from .io import (
     datapath_to_dict,
@@ -54,15 +59,6 @@ WORKLOADS: Dict[str, Tuple[Callable, Optional[Callable]]] = {
     "cmul": (workloads.complex_multiply, workloads.complex_multiply_netlist),
 }
 
-METHODS = {
-    "dpalloc": lambda problem: allocate(problem),
-    "ilp": lambda problem: allocate_ilp(problem)[0],
-    "two-stage": lambda problem: allocate_two_stage(problem)[0],
-    "fds": lambda problem: allocate_fds(problem)[0],
-    "clique-sort": allocate_clique_sort,
-    "uniform": allocate_uniform,
-}
-
 
 def _load_graph(source: str):
     if source in WORKLOADS:
@@ -71,15 +67,26 @@ def _load_graph(source: str):
     return graph_from_dict(data)
 
 
-def _build_problem(args) -> Problem:
-    graph = _load_graph(args.workload)
+def _build_problem(workload: str, relax: float, latency: Optional[int]) -> Problem:
+    graph = _load_graph(workload)
     scratch = Problem(graph, latency_constraint=1_000_000)
     lam_min = scratch.minimum_latency()
-    if args.latency is not None:
-        constraint = args.latency
+    if latency is not None:
+        constraint = latency
     else:
-        constraint = max(1, int(lam_min * (1.0 + args.relax)))
+        constraint = max(1, int(lam_min * (1.0 + relax)))
     return scratch.with_latency_constraint(constraint)
+
+
+def _engine(args) -> Engine:
+    return Engine(cache_dir=getattr(args, "cache_dir", None))
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _cmd_list_workloads(_args) -> int:
@@ -98,13 +105,12 @@ def _cmd_list_workloads(_args) -> int:
 
 
 def _cmd_allocate(args) -> int:
-    problem = _build_problem(args)
-    try:
-        datapath = METHODS[args.method](problem)
-    except InfeasibleError as exc:
-        print(f"infeasible: {exc}", file=sys.stderr)
+    problem = _build_problem(args.workload, args.relax, args.latency)
+    result = _engine(args).run(AllocationRequest(problem, args.method))
+    if not result.ok:
+        print(f"{args.method}: {result.error}", file=sys.stderr)
         return 1
-    validate_datapath(problem, datapath)
+    datapath = result.datapath
     print(
         f"workload {args.workload}: |O|={len(problem.graph)}, "
         f"lambda={problem.latency_constraint}"
@@ -135,19 +141,22 @@ def _cmd_allocate(args) -> int:
     return 0
 
 
+def _result_row(name: str, result) -> list:
+    if result.ok:
+        dp = result.datapath
+        return [name, f"{dp.area:g}", dp.makespan, dp.unit_count()]
+    reason = (result.error or "failed").split(":", 1)[0]
+    return [name, reason, "-", "-"]
+
+
 def _cmd_compare(args) -> int:
-    problem = _build_problem(args)
-    rows = []
-    for name, method in METHODS.items():
-        try:
-            datapath = method(problem)
-            validate_datapath(problem, datapath)
-            rows.append(
-                [name, f"{datapath.area:g}", datapath.makespan,
-                 datapath.unit_count()]
-            )
-        except InfeasibleError:
-            rows.append([name, "infeasible", "-", "-"])
+    problem = _build_problem(args.workload, args.relax, args.latency)
+    methods = allocator_names()
+    results = _engine(args).run_batch(
+        [AllocationRequest(problem, name) for name in methods],
+        workers=args.workers,
+    )
+    rows = [_result_row(name, result) for name, result in zip(methods, results)]
     print(format_table(
         ["method", "area", "latency", "units"], rows,
         title=(
@@ -155,7 +164,63 @@ def _cmd_compare(args) -> int:
             f"lambda={problem.latency_constraint}"
         ),
     ))
-    return 0
+    for name, result in zip(methods, results):
+        if not result.ok:
+            print(f"{name}: {result.error}", file=sys.stderr)
+    return 0 if any(result.ok for result in results) else 1
+
+
+def _cmd_batch(args) -> int:
+    methods = (
+        [m.strip() for m in args.methods.split(",") if m.strip()]
+        if args.methods
+        else allocator_names()
+    )
+    unknown = [m for m in methods if m not in allocator_names()]
+    if unknown:
+        print(
+            f"unknown methods {unknown}; registered: {allocator_names()}",
+            file=sys.stderr,
+        )
+        return 2
+
+    requests = []
+    for workload in args.workloads:
+        problem = _build_problem(workload, args.relax, args.latency)
+        for method in methods:
+            requests.append(AllocationRequest(
+                problem, method, label=workload, timeout=args.timeout,
+            ))
+    results = _engine(args).run_batch(requests, workers=args.workers)
+
+    rows = []
+    for result in results:
+        row = _result_row(result.allocator, result)
+        cached = " (cached)" if result.cached else ""
+        rows.append([result.label, *row, f"{result.seconds:.3f}s{cached}"])
+    print(format_table(
+        ["workload", "method", "area", "latency", "units", "time"], rows,
+        title=(
+            f"batch: {len(args.workloads)} workloads x {len(methods)} methods"
+            + (f", {args.workers} workers" if args.workers else "")
+        ),
+    ))
+    if args.json:
+        from .io import allocation_result_to_dict
+
+        save_json(
+            {
+                "kind": "allocation-batch",
+                "results": [allocation_result_to_dict(r) for r in results],
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    for result in results:
+        if not result.ok:
+            print(f"{result.label}/{result.allocator}: {result.error}",
+                  file=sys.stderr)
+    return 0 if any(result.ok for result in results) else 1
 
 
 def main(argv=None) -> int:
@@ -167,31 +232,58 @@ def main(argv=None) -> int:
 
     sub.add_parser("list-workloads", help="list named DSP kernels")
 
-    for name, helptext in (
-        ("allocate", "allocate one workload with one method"),
-        ("compare", "run every allocator on one workload"),
-    ):
-        cmd = sub.add_parser(name, help=helptext)
-        cmd.add_argument(
-            "workload",
-            help=f"named workload ({', '.join(sorted(WORKLOADS))}) or JSON graph file",
-        )
+    methods = allocator_names()
+
+    def add_problem_args(cmd, workload_nargs=None):
+        if workload_nargs:
+            cmd.add_argument(
+                "workloads", nargs=workload_nargs,
+                help=f"named workloads ({', '.join(sorted(WORKLOADS))}) "
+                     f"or JSON graph files",
+            )
+        else:
+            cmd.add_argument(
+                "workload",
+                help=f"named workload ({', '.join(sorted(WORKLOADS))}) "
+                     f"or JSON graph file",
+            )
         cmd.add_argument("--relax", type=float, default=0.3,
                          help="relaxation over lambda_min (default 0.3)")
         cmd.add_argument("--latency", type=int, default=None,
                          help="absolute latency constraint (overrides --relax)")
-        if name == "allocate":
-            cmd.add_argument("--method", choices=sorted(METHODS),
-                             default="dpalloc")
-            cmd.add_argument("--json", help="write the datapath as JSON")
-            cmd.add_argument("--dot", help="write a Graphviz rendering")
-            cmd.add_argument("--verilog", help="write structural Verilog")
+        cmd.add_argument("--cache-dir", default=None,
+                         help="directory for the on-disk result cache")
+
+    cmd = sub.add_parser("allocate", help="allocate one workload with one method")
+    add_problem_args(cmd)
+    cmd.add_argument("--method", choices=methods, default="dpalloc")
+    cmd.add_argument("--json", help="write the datapath as JSON")
+    cmd.add_argument("--dot", help="write a Graphviz rendering")
+    cmd.add_argument("--verilog", help="write structural Verilog")
+
+    cmd = sub.add_parser("compare", help="run every registered allocator")
+    add_problem_args(cmd)
+    cmd.add_argument("--workers", type=_positive_int, default=None,
+                     help="process-pool width (default: serial)")
+
+    cmd = sub.add_parser(
+        "batch", help="run workloads x methods through the engine's pool"
+    )
+    add_problem_args(cmd, workload_nargs="+")
+    cmd.add_argument("--methods", default=None,
+                     help=f"comma-separated subset of: {', '.join(methods)}")
+    cmd.add_argument("--workers", type=_positive_int, default=None,
+                     help="process-pool width (default: serial)")
+    cmd.add_argument("--timeout", type=float, default=None,
+                     help="per-run wall-clock budget in seconds")
+    cmd.add_argument("--json", help="write the full result envelopes as JSON")
 
     args = parser.parse_args(argv)
     handlers = {
         "list-workloads": _cmd_list_workloads,
         "allocate": _cmd_allocate,
         "compare": _cmd_compare,
+        "batch": _cmd_batch,
     }
     return handlers[args.command](args)
 

@@ -47,6 +47,7 @@ or user resource constraints below the coverage lower bound).
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from .binding import Binding, bindselect
@@ -59,8 +60,13 @@ from .wcg import WordlengthCompatibilityGraph
 __all__ = ["allocate", "DPAllocOptions"]
 
 
+@dataclass(frozen=True)
 class DPAllocOptions:
     """Tunable knobs of the heuristic (defaults = the paper's algorithm).
+
+    A frozen dataclass: option sets hash, compare, serialise
+    (``dataclasses.asdict``) and derive (``dataclasses.replace``) without
+    hand-copied field lists.
 
     Attributes:
         grow: enable Bindselect's clique-growth compensation.
@@ -80,25 +86,17 @@ class DPAllocOptions:
         max_iterations: optional hard cap on outer-loop iterations.
     """
 
-    def __init__(
-        self,
-        grow: bool = True,
-        shrink: bool = True,
-        constraint: str = "eqn3",
-        mode: str = "min-units",
-        selector: str = "min-edge-loss",
-        blind_refinement: bool = False,
-        max_iterations: Optional[int] = None,
-    ) -> None:
-        if mode not in ("min-units", "asap", "best"):
-            raise ValueError(f"unknown mode {mode!r}")
-        self.grow = grow
-        self.shrink = shrink
-        self.constraint = constraint
-        self.mode = mode
-        self.selector = selector
-        self.blind_refinement = blind_refinement
-        self.max_iterations = max_iterations
+    grow: bool = True
+    shrink: bool = True
+    constraint: str = "eqn3"
+    mode: str = "min-units"
+    selector: str = "min-edge-loss"
+    blind_refinement: bool = False
+    max_iterations: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("min-units", "asap", "best"):
+            raise ValueError(f"unknown mode {self.mode!r}")
 
 
 def _empty_datapath() -> Datapath:
@@ -163,15 +161,7 @@ def allocate(problem: Problem, options: Optional[DPAllocOptions] = None) -> Data
     if opts.mode == "best":
         candidates: List[Datapath] = []
         for mode in ("min-units", "asap"):
-            variant = DPAllocOptions(
-                grow=opts.grow,
-                shrink=opts.shrink,
-                constraint=opts.constraint,
-                mode=mode,
-                selector=opts.selector,
-                blind_refinement=opts.blind_refinement,
-                max_iterations=opts.max_iterations,
-            )
+            variant = replace(opts, mode=mode)
             try:
                 candidates.append(allocate(problem, variant))
             except InfeasibleError:

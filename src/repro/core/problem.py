@@ -9,6 +9,9 @@ paper's area-minimisation experiments leave the counts unconstrained.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import re
 from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -84,3 +87,63 @@ class Problem:
     def min_latencies(self) -> Dict[str, int]:
         """Per-operation minimum latencies (dedicated resources)."""
         return {op.name: self.min_op_latency(op) for op in self.graph.operations}
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this problem instance.
+
+        Built on the canonical JSON serialisation of the graph plus the
+        constraints and the model identities, so equal problems -- even
+        ones constructed in different processes or sessions -- hash
+        identically.  The engine's on-disk result cache and any future
+        sharding layer key on this value.
+
+        Models are identified by ``repr``; the built-in frozen-dataclass
+        models (``SonicLatencyModel``, ``SonicAreaModel``, parameterised
+        or not) therefore fingerprint stably.  Models whose ``repr``
+        embeds a memory address (e.g. ``TableLatencyModel`` holding
+        plain functions or lambdas) have **no stable content identity**
+        -- addresses recur across and even within processes -- so
+        fingerprinting them raises instead of returning a hash that
+        could collide with a semantically different model; the engine
+        treats such problems as uncacheable.
+
+        The hash is memoized per instance (the dataclass is frozen, so
+        the content cannot change): batch sweeps that submit the same
+        problem under many strategies pay the graph serialisation once.
+
+        Raises:
+            ValueError: a model's ``repr`` is not content-stable.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None:
+            return cached
+
+        from ..io.json_io import graph_to_dict
+
+        for role, model in (
+            ("latency_model", self.latency_model),
+            ("area_model", self.area_model),
+        ):
+            if re.search(r" at 0x[0-9a-fA-F]+", repr(model)):
+                raise ValueError(
+                    f"{role} {type(model).__name__} has no content-stable "
+                    f"repr (it embeds a memory address); give the model a "
+                    f"deterministic __repr__ to make this problem "
+                    f"fingerprintable/cacheable"
+                )
+
+        payload = {
+            "graph": graph_to_dict(self.graph),
+            "latency_constraint": self.latency_constraint,
+            "latency_model": repr(self.latency_model),
+            "area_model": repr(self.area_model),
+            "resource_constraints": (
+                sorted(self.resource_constraints.items())
+                if self.resource_constraints is not None
+                else None
+            ),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_fingerprint_cache", digest)
+        return digest

@@ -1,0 +1,49 @@
+"""repro.engine -- the platform layer over every allocation strategy.
+
+One registry (:func:`register_allocator` / :func:`get_allocator` /
+:func:`allocator_names`), one request/result envelope
+(:class:`AllocationRequest` / :class:`AllocationResult`), and one runner
+(:class:`Engine`) with serial and parallel batch execution, per-run
+timeouts, and an optional on-disk result cache keyed by
+``Problem.fingerprint()``.
+
+Typical use::
+
+    from repro.engine import AllocationRequest, Engine
+
+    engine = Engine(cache_dir=".repro-cache")
+    result = engine.run(AllocationRequest(problem, "dpalloc"))
+    if result.ok:
+        print(result.datapath.summary())
+    else:
+        print(result.error)
+
+    batch = engine.run_batch(
+        [AllocationRequest(p, name) for p in problems for name in names],
+        workers=4,
+    )
+"""
+
+from .engine import Engine, execute_request
+from .registry import (
+    Allocator,
+    UnknownAllocatorError,
+    allocator_names,
+    get_allocator,
+    register_allocator,
+    unregister_allocator,
+)
+from .results import AllocationRequest, AllocationResult
+
+__all__ = [
+    "Allocator",
+    "AllocationRequest",
+    "AllocationResult",
+    "Engine",
+    "UnknownAllocatorError",
+    "allocator_names",
+    "execute_request",
+    "get_allocator",
+    "register_allocator",
+    "unregister_allocator",
+]

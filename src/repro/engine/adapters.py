@@ -1,0 +1,87 @@
+"""Registry adapters for the six built-in allocation strategies.
+
+Each adapter normalises one historical entry point onto the registry's
+``(problem, **options) -> Datapath | (Datapath, extras)`` convention.
+The original ``allocate_*`` functions remain the working internals and
+stay importable from their home modules; nothing here re-implements
+algorithmic behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Optional
+
+from ..core.dpalloc import DPAllocOptions, allocate
+from ..core.problem import Problem
+from .registry import register_allocator
+
+__all__ = ["dpalloc", "ilp", "two_stage", "fds", "clique_sort", "uniform"]
+
+
+@register_allocator("dpalloc")
+def dpalloc(problem: Problem, **options):
+    """The paper's heuristic; options are :class:`DPAllocOptions` fields."""
+    opts = DPAllocOptions(**options) if options else None
+    datapath = allocate(problem, opts)
+    extras = {"options": asdict(opts)} if opts else {}
+    return datapath, extras
+
+
+@register_allocator("ilp")
+def ilp(problem: Problem, time_limit: Optional[float] = None):
+    """Optimal time-indexed MILP [5]; ``time_limit`` in seconds (HiGHS)."""
+    from ..baselines.ilp import allocate_ilp
+
+    datapath, stats = allocate_ilp(problem, time_limit=time_limit)
+    return datapath, {
+        "num_variables": stats.num_variables,
+        "num_constraints": stats.num_constraints,
+        "solve_seconds": stats.solve_seconds,
+    }
+
+
+@register_allocator("two-stage")
+def two_stage(problem: Problem, dp_limit: int = 13, node_budget: int = 200_000):
+    """Two-stage wordlength-blind schedule + optimal binding [4]."""
+    from ..baselines.two_stage import allocate_two_stage
+
+    datapath, report = allocate_two_stage(
+        problem, dp_limit=dp_limit, node_budget=node_budget
+    )
+    return datapath, {
+        "optimal": report.optimal,
+        "classes": report.classes,
+        "largest_class": report.largest_class,
+    }
+
+
+@register_allocator("fds")
+def fds(problem: Problem, dp_limit: int = 13, node_budget: int = 200_000):
+    """Force-directed scheduling + optimal no-latency-increase binding."""
+    from ..baselines.fds import allocate_fds
+
+    datapath, report = allocate_fds(
+        problem, dp_limit=dp_limit, node_budget=node_budget
+    )
+    return datapath, {
+        "optimal": report.optimal,
+        "classes": report.classes,
+        "largest_class": report.largest_class,
+    }
+
+
+@register_allocator("clique-sort")
+def clique_sort(problem: Problem):
+    """Descending-wordlength clique partitioning [14]."""
+    from ..baselines.clique_sort import allocate_clique_sort
+
+    return allocate_clique_sort(problem)
+
+
+@register_allocator("uniform")
+def uniform(problem: Problem):
+    """Uniform-wordlength (DSP-processor style) allocation."""
+    from ..baselines.uniform import allocate_uniform
+
+    return allocate_uniform(problem)

@@ -1,0 +1,344 @@
+"""The allocation engine: one front door for every allocation run.
+
+:class:`Engine` executes :class:`~repro.engine.results.AllocationRequest`
+objects -- singly (:meth:`Engine.run`) or in deterministic batches
+(:meth:`Engine.run_batch`) -- and always returns
+:class:`~repro.engine.results.AllocationResult` envelopes:
+
+* strategies are resolved through the allocator registry, so every
+  consumer shares one dispatch surface;
+* infeasibility, timeouts and validation failures come back as result
+  fields instead of exceptions, so a batch never dies on one bad case;
+* ``run_batch`` fans out over a ``concurrent.futures`` process pool with
+  result ordering guaranteed to match the request ordering regardless of
+  completion order;
+* an optional on-disk cache keyed by ``Problem.fingerprint()`` plus the
+  strategy name and options makes repeated sweeps (experiments,
+  benchmarks, CI) cheap.
+
+The envelope of a run is deterministic: serial, pooled and cached
+executions of the same request produce byte-for-byte identical
+``AllocationResult.canonical_json()`` values.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..analysis.validate import ValidationError, validate_datapath
+from ..core.problem import InfeasibleError
+from ..core.solution import Datapath
+from .registry import get_allocator
+from .results import AllocationRequest, AllocationResult
+
+__all__ = ["Engine", "execute_request"]
+
+PathLike = Union[str, Path]
+
+
+def execute_request(request: AllocationRequest) -> AllocationResult:
+    """Run one request in the current process and envelope the outcome.
+
+    This is the single execution path shared by serial runs and pool
+    workers (it is a module-level function so it pickles for
+    ``concurrent.futures``).  Never raises for infeasibility, solver
+    timeouts or validation failures -- those become ``error`` /
+    ``valid`` fields of the returned envelope.
+    """
+    fn = get_allocator(request.allocator)
+    options = dict(request.options)
+    began = time.perf_counter()
+    datapath: Optional[Datapath] = None
+    extras: Dict[str, Any] = {}
+    error: Optional[str] = None
+    try:
+        outcome = fn(request.problem, **options)
+        if isinstance(outcome, tuple):
+            datapath, extras = outcome[0], dict(outcome[1])
+        else:
+            datapath = outcome
+    except InfeasibleError as exc:
+        error = f"infeasible: {exc}"
+    except TimeoutError as exc:
+        error = f"timeout: {exc}"
+    except Exception as exc:  # noqa: BLE001 -- a batch never dies on one case
+        error = f"error: {type(exc).__name__}: {exc}"
+    seconds = time.perf_counter() - began
+
+    valid: Optional[bool] = None
+    if datapath is not None:
+        try:
+            validate_datapath(request.problem, datapath)
+            valid = True
+        except ValidationError as exc:
+            valid = False
+            error = f"invalid: {exc}"
+
+    if (
+        error is None
+        and request.timeout is not None
+        and seconds > request.timeout
+    ):
+        # In-process solvers cannot be interrupted safely; a blown
+        # budget is reported after the fact (the pooled path
+        # additionally stops waiting -- see Engine.run_batch).  The
+        # envelope is normalised to exactly what the pooled path
+        # produces -- same error string (no wall-clock text), no
+        # datapath -- so canonical_json() stays identical across
+        # execution modes; the measured duration survives in
+        # ``seconds``.
+        error = f"timeout: no result within {request.timeout:g}s"
+        datapath = None
+        extras = {}
+        valid = None
+
+    return AllocationResult(
+        allocator=request.allocator,
+        datapath=datapath,
+        seconds=seconds,
+        iterations=datapath.iterations if datapath is not None else 0,
+        valid=valid,
+        error=error,
+        extras=extras,
+        label=request.label,
+    )
+
+
+def _timeout_result(request: AllocationRequest) -> AllocationResult:
+    return AllocationResult(
+        allocator=request.allocator,
+        datapath=None,
+        seconds=float(request.timeout or 0.0),
+        iterations=0,
+        valid=None,
+        error=f"timeout: no result within {request.timeout:g}s",
+        extras={},
+        label=request.label,
+    )
+
+
+def _error_result(request: AllocationRequest, exc: BaseException) -> AllocationResult:
+    """Envelope for a pooled run whose *transport* failed (e.g. an
+    unpicklable request or a broken worker) -- the allocator itself
+    never got to report."""
+    return AllocationResult(
+        allocator=request.allocator,
+        datapath=None,
+        seconds=0.0,
+        iterations=0,
+        valid=None,
+        error=f"error: {type(exc).__name__}: {exc}",
+        extras={},
+        label=request.label,
+    )
+
+
+class Engine:
+    """Batch/serial allocation runner over the allocator registry.
+
+    Args:
+        workers: default parallelism of :meth:`run_batch` (overridable
+            per call).  ``None`` or ``1`` means serial in-process
+            execution; ``N > 1`` fans out over a process pool.
+        cache_dir: optional directory for the on-disk result cache.
+            Created on first write.  Entries are JSON envelopes keyed by
+            ``sha256(problem fingerprint + allocator + options)``; only
+            deterministic outcomes (success or infeasibility) are
+            cached, never timeouts.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[PathLike] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+    def cache_key(self, request: AllocationRequest) -> Optional[str]:
+        """Stable cache key for ``request``; ``None`` if uncacheable."""
+        if self.cache_dir is None:
+            return None
+        from .. import __version__
+
+        try:
+            payload = json.dumps(
+                {
+                    "problem": request.problem.fingerprint(),
+                    "allocator": request.allocator,
+                    "options": sorted(dict(request.options).items()),
+                    # Key on the package version so a persistent cache
+                    # never serves envelopes computed by older code.
+                    "version": __version__,
+                },
+                sort_keys=True,
+            )
+        except (TypeError, ValueError):
+            return None  # non-JSON options: run uncached
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _cache_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.json"
+
+    def _cache_load(
+        self, key: Optional[str], request: AllocationRequest
+    ) -> Optional[AllocationResult]:
+        if key is None or self.cache_dir is None:
+            return None
+        path = self._cache_path(key)
+        if not path.exists():
+            return None
+        from dataclasses import replace
+
+        from ..io.json_io import allocation_result_from_dict
+
+        try:
+            data = json.loads(path.read_text())
+            result = allocation_result_from_dict(data)
+        except Exception:  # noqa: BLE001 -- any corrupt/wrong-shape
+            return None  # entry falls through to a fresh run
+        # The key excludes the label (it is bookkeeping, not content):
+        # echo the *current* request's label, as a fresh run would.
+        return replace(result, cached=True, label=request.label)
+
+    def _cache_store(self, key: Optional[str], result: AllocationResult) -> None:
+        if key is None or self.cache_dir is None:
+            return
+        if result.error is not None and not result.error.startswith("infeasible"):
+            return  # timeouts / validation failures are not deterministic facts
+        from ..io.json_io import allocation_result_to_dict
+
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(key)
+        # Per-process tmp name + atomic rename: concurrent engines
+        # sharing a cache dir never collide on the tmp file or see
+        # torn JSON.  A lost rename race is harmless (both wrote the
+        # same deterministic payload), so OSErrors are swallowed --
+        # the cache is an accelerator, never a correctness dependency.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            tmp.write_text(
+                json.dumps(allocation_result_to_dict(result), sort_keys=True)
+            )
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, request: AllocationRequest) -> AllocationResult:
+        """Execute one request in-process (cache-aware)."""
+        key = self.cache_key(request)
+        hit = self._cache_load(key, request)
+        if hit is not None:
+            return hit
+        result = execute_request(request)
+        self._cache_store(key, result)
+        return result
+
+    def run_batch(
+        self,
+        requests: Sequence[AllocationRequest],
+        workers: Optional[int] = None,
+    ) -> List[AllocationResult]:
+        """Execute a batch; results align index-for-index with requests.
+
+        With ``workers > 1`` the fresh (non-cached) requests fan out
+        over a ``ProcessPoolExecutor``; completion order never affects
+        result order.  A request whose ``timeout`` expires while pooled
+        yields a timeout envelope; the pool is then shut down without
+        waiting (abandoned workers finish in the background -- CPython
+        cannot preempt a running C-level solve).  The pooled timeout
+        clock starts when the parent begins waiting on that request, so
+        time a request spends queued behind earlier requests counts
+        against its budget; treat ``timeout`` as a batch-latency bound,
+        not a precise per-solve limit (see ROADMAP for the preemptive
+        process-per-run mode).
+        """
+        count = workers if workers is not None else (self.workers or 1)
+        if count < 1:
+            raise ValueError(f"workers must be >= 1, got {count}")
+
+        results: List[Optional[AllocationResult]] = [None] * len(requests)
+        keys: List[Optional[str]] = [self.cache_key(r) for r in requests]
+        fresh: List[int] = []
+        for index, request in enumerate(requests):
+            hit = self._cache_load(keys[index], request)
+            if hit is not None:
+                results[index] = hit
+            else:
+                fresh.append(index)
+
+        # A single fresh request normally skips the pool -- unless the
+        # caller asked for pooled execution AND a timeout, in which
+        # case the pool is what makes the timeout preemptive (a hung
+        # solver must not block the batch).
+        wants_preemption = count > 1 and any(
+            requests[index].timeout is not None for index in fresh
+        )
+        if count <= 1 or (len(fresh) <= 1 and not wants_preemption):
+            for index in fresh:
+                results[index] = execute_request(requests[index])
+        elif fresh:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(count, len(fresh))
+            )
+            timed_out = False
+            try:
+                futures = {
+                    index: pool.submit(execute_request, requests[index])
+                    for index in fresh
+                }
+                for index in fresh:
+                    request = requests[index]
+                    try:
+                        results[index] = futures[index].result(
+                            timeout=request.timeout
+                        )
+                    except concurrent.futures.TimeoutError:
+                        futures[index].cancel()
+                        timed_out = True
+                        results[index] = _timeout_result(request)
+                    except Exception as exc:  # noqa: BLE001
+                        # Transport failures (unpicklable request,
+                        # broken pool) envelope like any other failed
+                        # case instead of discarding the whole batch.
+                        results[index] = _error_result(request, exc)
+            finally:
+                # After a timeout, don't let shutdown block on the
+                # abandoned worker -- that would defeat the budget.
+                # Every envelope is already collected, so whatever is
+                # still running in the pool is abandoned work: kill it
+                # (snapshot first -- shutdown clears ``_processes``) so
+                # neither interpreter exit (the atexit join) nor the OS
+                # keeps paying for it.
+                workers_snapshot = (
+                    list((getattr(pool, "_processes", None) or {}).values())
+                    if timed_out else []
+                )
+                pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+                for process in workers_snapshot:
+                    process.kill()
+
+        for index in fresh:
+            result = results[index]
+            assert result is not None
+            self._cache_store(keys[index], result)
+        assert all(r is not None for r in results)
+        return list(results)  # type: ignore[arg-type]

@@ -1,0 +1,133 @@
+"""The allocator registry: one namespace for every allocation strategy.
+
+Historically each consumer (CLI, experiments, benchmarks, examples) kept
+its own dispatch table mapping method names to differently-shaped
+callables -- ``allocate`` returns a :class:`~repro.core.solution.Datapath`
+while the baselines return ``(Datapath, stats)`` tuples.  The registry
+normalises all of them behind a single :class:`Allocator` calling
+convention:
+
+    fn(problem, **options) -> Datapath | (Datapath, extras_dict)
+
+Strategies self-register with the :func:`register_allocator` decorator;
+the six built-in strategies (dpalloc, ilp, two-stage, fds, clique-sort,
+uniform) live in :mod:`repro.engine.adapters` and are loaded lazily on
+first lookup so that ``import repro`` does not drag in the ILP solver
+stack.
+
+Registrations are per-process.  For strategies to be visible to
+``Engine.run_batch`` pool workers on platforms whose multiprocessing
+start method is ``spawn`` (macOS, Windows), register them at import
+time of an importable module, not interactively in ``__main__`` --
+``spawn`` children re-import modules and would only see the built-ins.
+Linux's ``fork`` children inherit interactive registrations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Protocol, Tuple, Union, runtime_checkable
+
+
+@runtime_checkable
+class Allocator(Protocol):
+    """Calling convention every registered strategy satisfies."""
+
+    def __call__(self, problem, **options) -> Union[object, Tuple[object, Dict]]:
+        ...
+
+__all__ = [
+    "Allocator",
+    "UnknownAllocatorError",
+    "allocator_names",
+    "get_allocator",
+    "register_allocator",
+    "unregister_allocator",
+]
+
+_REGISTRY: Dict[str, Allocator] = {}
+_builtins_loaded = False
+
+
+class UnknownAllocatorError(KeyError):
+    """Lookup of an allocator name that was never registered."""
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return (
+            f"unknown allocator {self.name!r}; "
+            f"registered: {', '.join(self.known) or '(none)'}"
+        )
+
+
+def register_allocator(name: str) -> Callable[[Allocator], Allocator]:
+    """Class/function decorator adding a strategy under ``name``.
+
+    The wrapped callable must accept ``(problem, **options)`` and return
+    either a bare ``Datapath`` or ``(Datapath, extras)`` where ``extras``
+    is a JSON-compatible dict of solver-specific statistics (ILP model
+    sizes, binding optimality flags, ...).
+
+    Raises:
+        ValueError: ``name`` is empty or already taken (re-registering
+            the *same* callable is allowed, so modules survive re-import).
+    """
+
+    if not name or not isinstance(name, str):
+        raise ValueError(f"allocator name must be a non-empty string: {name!r}")
+
+    def decorator(fn: Allocator) -> Allocator:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(
+                f"allocator {name!r} is already registered ({existing!r})"
+            )
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if not _builtins_loaded:
+        from . import adapters  # noqa: F401  (registers on import)
+
+        # Only after a successful import: a failed attempt must retry
+        # (and re-raise the real error) rather than leave the registry
+        # permanently and silently empty.
+        _builtins_loaded = True
+
+
+def get_allocator(name: str) -> Allocator:
+    """Look up a registered strategy.
+
+    Raises:
+        UnknownAllocatorError: no strategy is registered under ``name``.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAllocatorError(name, allocator_names()) from None
+
+
+def allocator_names() -> List[str]:
+    """Sorted names of every registered strategy."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def unregister_allocator(name: str) -> None:
+    """Remove a registered strategy (plugin teardown, test isolation).
+
+    Raises:
+        UnknownAllocatorError: no strategy is registered under ``name``.
+    """
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise UnknownAllocatorError(name, allocator_names())
+    del _REGISTRY[name]

@@ -1,0 +1,122 @@
+"""Request/result envelopes shared by every allocation run.
+
+:class:`AllocationRequest` describes one run (problem, strategy name,
+strategy options, label, timeout); :class:`AllocationResult` is the
+uniform envelope every run returns -- successful or not.  Consumers stop
+caring which strategy produced a datapath, how its entry point shaped
+its return value, or which exception it used to signal infeasibility.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.problem import Problem
+from ..core.solution import Datapath
+
+__all__ = ["AllocationRequest", "AllocationResult"]
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """One unit of work for the engine.
+
+    Attributes:
+        problem: the allocation problem instance.
+        allocator: registered strategy name (see
+            :func:`repro.engine.allocator_names`).
+        options: strategy-specific keyword options (e.g. DPAlloc knobs,
+            the ILP's ``time_limit``); must be JSON-compatible for the
+            result cache to key on them.
+        label: free-form tag echoed into the result (batch bookkeeping).
+        timeout: optional wall-clock budget in seconds.  Enforced
+            preemptively in pooled ``run_batch`` execution; in serial
+            execution it is checked after the run completes (Python
+            cannot safely interrupt an in-process solver).
+    """
+
+    problem: Problem
+    allocator: str
+    options: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+    timeout: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Uniform envelope for the outcome of one allocation run.
+
+    Attributes:
+        allocator: name of the strategy that ran.
+        datapath: the solution, or ``None`` when the run failed.
+        seconds: wall-clock duration of the run that produced the
+            datapath.  Cache hits preserve the *original* run's
+            duration (with ``cached=True``), so sweep timing statistics
+            stay meaningful; the lookup itself is not timed.
+        iterations: solver iterations (DPAlloc outer loop; 1 for
+            one-shot baselines; 0 when no datapath was produced).
+        valid: verdict of :func:`repro.analysis.validate_datapath`
+            against the problem definition; ``None`` when there is no
+            datapath to validate.
+        error: failure reason (infeasibility, timeout, validation
+            failure) instead of a raised exception; ``None`` on success.
+        extras: strategy-specific statistics (ILP model sizes, binding
+            optimality flags, ...), JSON-compatible.
+        label: echo of the request label.
+        cached: the envelope was served from the engine's result cache.
+    """
+
+    allocator: str
+    datapath: Optional[Datapath]
+    seconds: float
+    iterations: int = 0
+    valid: Optional[bool] = None
+    error: Optional[str] = None
+    extras: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when a datapath was produced and passed validation."""
+        return self.datapath is not None and self.error is None and bool(self.valid)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Content view excluding wall-clock and cache provenance.
+
+        Two runs of the same request -- serial or parallel, fresh or
+        cached -- produce identical canonical dicts; the determinism
+        tests compare their JSON byte-for-byte.
+        """
+        from ..io.json_io import allocation_result_to_dict
+
+        payload = allocation_result_to_dict(self)
+        payload.pop("seconds", None)
+        payload.pop("cached", None)
+        extras = payload.get("extras")
+        if isinstance(extras, dict):
+            extras.pop("solve_seconds", None)
+        return payload
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON of :meth:`canonical_dict`."""
+        return json.dumps(self.canonical_dict(), sort_keys=True)
+
+    def summary_row(self) -> Dict[str, Any]:
+        """Small flat dict for tabular reporting."""
+        if self.ok:
+            assert self.datapath is not None
+            return {
+                "allocator": self.allocator,
+                "area": self.datapath.area,
+                "makespan": self.datapath.makespan,
+                "units": self.datapath.unit_count(),
+                "seconds": self.seconds,
+            }
+        return {
+            "allocator": self.allocator,
+            "error": self.error or "unknown failure",
+            "seconds": self.seconds,
+        }

@@ -11,6 +11,9 @@ Targets regenerate the paper's evaluation artefacts as text tables:
 
 ``--samples`` overrides the per-point graph count (paper: 200; default
 here is 20 to keep a full run in minutes -- see EXPERIMENTS.md).
+``--workers`` fans each sweep out over the engine's process pool
+(``REPRO_WORKERS`` is the environment equivalent); results are
+bit-identical to the serial run, only faster.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from typing import Callable, Dict, Optional
 
 from . import ablations, fig3, fig4, fig5, table2
 
-TARGETS: Dict[str, Callable[[Optional[int]], str]] = {
+TARGETS: Dict[str, Callable[[Optional[int], Optional[int]], str]] = {
     "fig3": fig3.main,
     "fig4": fig4.main,
     "fig5": fig5.main,
@@ -42,14 +45,20 @@ def main(argv=None) -> int:
         default=None,
         help="graphs per evaluation point (paper: 200)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="engine process-pool width (default: REPRO_WORKERS or serial)",
+    )
     args = parser.parse_args(argv)
 
     if args.target == "all":
         for name in ("fig3", "fig4", "fig5", "table2", "ablations"):
-            TARGETS[name](args.samples)
+            TARGETS[name](args.samples, args.workers)
             print()
     else:
-        TARGETS[args.target](args.samples)
+        TARGETS[args.target](args.samples, args.workers)
     return 0
 
 

@@ -21,13 +21,20 @@ over the full heuristic; positive numbers mean the mechanism pays off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import mean, percent_increase
 from ..analysis.reporting import format_table
-from ..core.dpalloc import DPAllocOptions, allocate
-from .common import build_case, resolve_samples
+from ..core.dpalloc import DPAllocOptions
+from ..engine import AllocationRequest, Engine
+from .common import (
+    build_case,
+    require_ok,
+    resolve_samples,
+    resolve_workers,
+    sweep_engine,
+)
 
 __all__ = ["AblationResult", "VARIANTS", "run", "render"]
 
@@ -71,25 +78,45 @@ def run(
     sizes: Sequence[int] = (6, 10, 14, 18),
     relaxations: Sequence[float] = (0.1, 0.3),
     samples: Optional[int] = None,
+    engine: Optional[Engine] = None,
+    workers: Optional[int] = None,
 ) -> AblationResult:
-    """Compare every ablation variant against the full heuristic."""
+    """Compare every ablation variant against the full heuristic.
+
+    Each case fans out as ``1 + len(VARIANTS)`` engine requests (the
+    full heuristic plus every crippled variant); options travel as the
+    serialised ``DPAllocOptions`` fields, so the sweep is shardable and
+    cacheable like any other batch.
+    """
     count = resolve_samples(samples, default=10)
-    increases: Dict[str, List[float]] = {name: [] for name in VARIANTS}
-    wins: Dict[str, int] = {name: 0 for name in VARIANTS}
+    variant_names = list(VARIANTS)
+    requests: List[AllocationRequest] = []
     cases = 0
     for n in sizes:
         for relaxation in relaxations:
             for sample in range(count):
-                case = build_case(n, sample, relaxation)
-                full = allocate(case.problem)
+                problem = build_case(n, sample, relaxation).problem
                 cases += 1
-                for name, options in VARIANTS.items():
-                    variant = allocate(case.problem, options)
-                    increases[name].append(
-                        percent_increase(variant.area, full.area)
-                    )
-                    if variant.area < full.area - 1e-9:
-                        wins[name] += 1
+                requests.append(AllocationRequest(problem, "dpalloc"))
+                for name in variant_names:
+                    requests.append(AllocationRequest(
+                        problem, "dpalloc", options=asdict(VARIANTS[name]),
+                        label=name,
+                    ))
+    results = sweep_engine(engine).run_batch(
+        requests, workers=resolve_workers(workers)
+    )
+
+    increases: Dict[str, List[float]] = {name: [] for name in VARIANTS}
+    wins: Dict[str, int] = {name: 0 for name in VARIANTS}
+    cursor = iter(results)
+    for _ in range(cases):
+        full = require_ok(next(cursor))
+        for name in variant_names:
+            variant = require_ok(next(cursor))
+            increases[name].append(percent_increase(variant.area, full.area))
+            if variant.area < full.area - 1e-9:
+                wins[name] += 1
     return AblationResult(
         tuple(sizes),
         tuple(relaxations),
@@ -112,7 +139,7 @@ def render(result: AblationResult) -> str:
     )
 
 
-def main(samples: Optional[int] = None) -> str:
-    text = render(run(samples=samples))
+def main(samples: Optional[int] = None, workers: Optional[int] = None) -> str:
+    text = render(run(samples=samples, workers=workers))
     print(text)
     return text

@@ -9,6 +9,9 @@ latency constraints built by relaxing the minimum achievable latency
   experiments and runs);
 * sample-count resolution (``REPRO_SAMPLES`` environment variable; the
   paper's 200 is the *fidelity* default, benchmarks use fewer for speed);
+* worker-count resolution (``REPRO_WORKERS``) for the engine's process
+  pool -- every experiment fans its sweep out through
+  :meth:`repro.engine.Engine.run_batch`;
 * wall-clock measurement helpers.
 """
 
@@ -19,7 +22,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, TypeVar
 
-from ..core.problem import Problem
+from ..core.problem import InfeasibleError, Problem
+from ..core.solution import Datapath
+from ..engine import AllocationResult, Engine
 from ..gen.tgff import TgffConfig, random_sequencing_graph
 from ..ir.seqgraph import SequencingGraph
 
@@ -28,7 +33,10 @@ __all__ = [
     "ExperimentCase",
     "build_case",
     "relaxed_constraint",
+    "require_ok",
     "resolve_samples",
+    "resolve_workers",
+    "sweep_engine",
     "time_call",
 ]
 
@@ -86,6 +94,39 @@ def resolve_samples(requested: Optional[int], default: int = 20) -> int:
     if env:
         return max(1, int(env))
     return default
+
+
+def resolve_workers(requested: Optional[int] = None, default: int = 1) -> int:
+    """Engine pool width: explicit argument > ``REPRO_WORKERS`` env > default."""
+    if requested is not None:
+        return max(1, requested)
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return default
+
+
+def sweep_engine(engine: Optional[Engine] = None) -> Engine:
+    """The engine an experiment sweep runs through (callers may inject
+    a cache-backed or pre-configured instance)."""
+    return engine if engine is not None else Engine()
+
+
+def require_ok(result: AllocationResult) -> Datapath:
+    """Unwrap a successful envelope; re-raise failures as exceptions.
+
+    The experiment sweeps expect every run to succeed (the paper's
+    generators produce feasible instances); a failed envelope here means
+    the sweep itself is broken, so the error is surfaced loudly instead
+    of skewing a mean.
+    """
+    if result.ok:
+        assert result.datapath is not None
+        return result.datapath
+    message = result.error or "allocation failed"
+    if message.startswith("infeasible"):
+        raise InfeasibleError(f"{result.allocator}: {message}")
+    raise RuntimeError(f"{result.allocator}: {message}")
 
 
 def time_call(fn: Callable[[], T]) -> Tuple[T, float]:

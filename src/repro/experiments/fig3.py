@@ -9,6 +9,8 @@ relaxation (0%--30%): even small slack buys tens of percent of area.
 
 This module regenerates the surface as a table: one row per problem
 size, one column per relaxation, cells are mean penalties in percent.
+The whole sweep is one :meth:`Engine.run_batch` call, so ``workers``
+(or ``REPRO_WORKERS``) parallelises it without touching the statistics.
 """
 
 from __future__ import annotations
@@ -18,9 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import area_penalty, mean
 from ..analysis.reporting import format_table
-from ..baselines.two_stage import allocate_two_stage
-from ..core.dpalloc import allocate
-from .common import build_case, resolve_samples
+from ..engine import AllocationRequest, Engine
+from .common import (
+    build_case,
+    require_ok,
+    resolve_samples,
+    resolve_workers,
+    sweep_engine,
+)
 
 __all__ = ["Fig3Result", "run", "render"]
 
@@ -50,19 +57,31 @@ def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     relaxations: Sequence[float] = DEFAULT_RELAXATIONS,
     samples: Optional[int] = None,
+    engine: Optional[Engine] = None,
+    workers: Optional[int] = None,
 ) -> Fig3Result:
     """Regenerate the Fig. 3 data (means over ``samples`` graphs/point)."""
     count = resolve_samples(samples)
+    points = [(n, r) for n in sizes for r in relaxations]
+    requests: List[AllocationRequest] = []
+    for n, relaxation in points:
+        for sample in range(count):
+            problem = build_case(n, sample, relaxation).problem
+            requests.append(AllocationRequest(problem, "dpalloc"))
+            requests.append(AllocationRequest(problem, "two-stage"))
+    results = sweep_engine(engine).run_batch(
+        requests, workers=resolve_workers(workers)
+    )
+
     table: Dict[Tuple[int, float], float] = {}
-    for n in sizes:
-        for relaxation in relaxations:
-            penalties: List[float] = []
-            for sample in range(count):
-                case = build_case(n, sample, relaxation)
-                heuristic = allocate(case.problem)
-                two_stage, _ = allocate_two_stage(case.problem)
-                penalties.append(area_penalty(two_stage, heuristic))
-            table[(n, relaxation)] = mean(penalties)
+    cursor = iter(results)
+    for n, relaxation in points:
+        penalties: List[float] = []
+        for _ in range(count):
+            heuristic = require_ok(next(cursor))
+            two_stage = require_ok(next(cursor))
+            penalties.append(area_penalty(two_stage, heuristic))
+        table[(n, relaxation)] = mean(penalties)
     return Fig3Result(tuple(sizes), tuple(relaxations), table, count)
 
 
@@ -78,7 +97,7 @@ def render(result: Fig3Result) -> str:
     )
 
 
-def main(samples: Optional[int] = None) -> str:
-    text = render(run(samples=samples))
+def main(samples: Optional[int] = None, workers: Optional[int] = None) -> str:
+    text = render(run(samples=samples, workers=workers))
     print(text)
     return text

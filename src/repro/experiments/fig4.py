@@ -17,9 +17,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import area_penalty, mean
 from ..analysis.reporting import format_table
-from ..baselines.ilp import allocate_ilp
-from ..core.dpalloc import allocate
-from .common import build_case, resolve_samples
+from ..engine import AllocationRequest, Engine
+from .common import (
+    build_case,
+    require_ok,
+    resolve_samples,
+    resolve_workers,
+    sweep_engine,
+)
 
 __all__ = ["Fig4Result", "run", "render"]
 
@@ -45,17 +50,31 @@ def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     samples: Optional[int] = None,
     ilp_time_limit: Optional[float] = 120.0,
+    engine: Optional[Engine] = None,
+    workers: Optional[int] = None,
 ) -> Fig4Result:
     """Regenerate the Fig. 4 data at lambda = lambda_min."""
     count = resolve_samples(samples)
+    requests: List[AllocationRequest] = []
+    for n in sizes:
+        for sample in range(count):
+            problem = build_case(n, sample, relaxation=0.0).problem
+            requests.append(AllocationRequest(problem, "dpalloc"))
+            requests.append(AllocationRequest(
+                problem, "ilp", options={"time_limit": ilp_time_limit},
+            ))
+    results = sweep_engine(engine).run_batch(
+        requests, workers=resolve_workers(workers)
+    )
+
     means: Dict[int, float] = {}
     maxima: Dict[int, float] = {}
+    cursor = iter(results)
     for n in sizes:
         premiums: List[float] = []
         for sample in range(count):
-            case = build_case(n, sample, relaxation=0.0)
-            heuristic = allocate(case.problem)
-            optimal, _ = allocate_ilp(case.problem, time_limit=ilp_time_limit)
+            heuristic = require_ok(next(cursor))
+            optimal = require_ok(next(cursor))
             if heuristic.area < optimal.area - 1e-9:
                 raise AssertionError(
                     f"heuristic ({heuristic.area}) beat the 'optimal' ILP "
@@ -79,7 +98,7 @@ def render(result: Fig4Result) -> str:
     )
 
 
-def main(samples: Optional[int] = None) -> str:
-    text = render(run(samples=samples))
+def main(samples: Optional[int] = None, workers: Optional[int] = None) -> str:
+    text = render(run(samples=samples, workers=workers))
     print(text)
     return text

@@ -19,9 +19,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import mean
 from ..analysis.reporting import format_table
-from ..baselines.ilp import allocate_ilp
-from ..core.dpalloc import allocate
-from .common import build_case, resolve_samples, time_call
+from ..engine import AllocationRequest, Engine
+from .common import (
+    build_case,
+    require_ok,
+    resolve_samples,
+    resolve_workers,
+    sweep_engine,
+)
 
 __all__ = ["Fig5Result", "run", "render"]
 
@@ -56,28 +61,47 @@ def run(
     samples: Optional[int] = None,
     relaxation: float = 0.0,
     ilp_time_limit: Optional[float] = 120.0,
+    engine: Optional[Engine] = None,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
-    """Regenerate the Fig. 5 data: total runtime over the sample batch."""
+    """Regenerate the Fig. 5 data: total runtime over the sample batch.
+
+    Per-run wall-clock comes from the engine's result envelopes, so the
+    totals are identical whether the sweep runs serially or fans out
+    over the process pool (timings are measured inside each run).
+    """
     count = resolve_samples(samples)
+    requests: List[AllocationRequest] = []
+    for n in sizes:
+        for sample in range(count):
+            problem = build_case(n, sample, relaxation).problem
+            requests.append(AllocationRequest(problem, "dpalloc"))
+            requests.append(AllocationRequest(
+                problem, "ilp", options={"time_limit": ilp_time_limit},
+            ))
+    results = sweep_engine(engine).run_batch(
+        requests, workers=resolve_workers(workers)
+    )
+
     heuristic_s: Dict[int, float] = {}
     ilp_s: Dict[int, float] = {}
     ilp_vars: Dict[int, float] = {}
+    cursor = iter(results)
     for n in sizes:
         h_total = 0.0
         i_total = 0.0
         var_counts: List[float] = []
-        for sample in range(count):
-            case = build_case(n, sample, relaxation)
-            _, h_time = time_call(lambda: allocate(case.problem))
-            h_total += h_time
-            try:
-                (_, stats), i_time = time_call(
-                    lambda: allocate_ilp(case.problem, time_limit=ilp_time_limit)
-                )
-                var_counts.append(stats.num_variables)
-            except TimeoutError:
-                i_time = float(ilp_time_limit or 0.0)
-            i_total += i_time
+        for _ in range(count):
+            heuristic = next(cursor)
+            require_ok(heuristic)
+            h_total += heuristic.seconds
+            ilp = next(cursor)
+            if ilp.error is not None and ilp.error.startswith("timeout"):
+                i_total += float(ilp_time_limit or 0.0)
+            else:
+                require_ok(ilp)
+                i_total += ilp.seconds
+                var_counts.append(ilp.extras["num_variables"])
         heuristic_s[n] = h_total
         ilp_s[n] = i_total
         ilp_vars[n] = mean(var_counts)
@@ -107,6 +131,8 @@ EXTENDED_RELAXATION = 0.3
 def run_extended(
     samples: Optional[int] = None,
     ilp_time_limit: Optional[float] = 60.0,
+    engine: Optional[Engine] = None,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
     """Modern-hardware variant of Fig. 5.
 
@@ -123,14 +149,19 @@ def run_extended(
         samples=count,
         relaxation=EXTENDED_RELAXATION,
         ilp_time_limit=ilp_time_limit,
+        engine=engine,
+        workers=workers,
     )
 
 
-def main(samples: Optional[int] = None) -> str:
-    parts = [render(run(samples=samples))]
+def main(samples: Optional[int] = None, workers: Optional[int] = None) -> str:
+    parts = [render(run(samples=samples, workers=workers))]
     extended_samples = min(resolve_samples(samples), 5)
     parts.append(
-        render(run_extended(samples=extended_samples), EXTENDED_RELAXATION)
+        render(
+            run_extended(samples=extended_samples, workers=workers),
+            EXTENDED_RELAXATION,
+        )
     )
     text = "\n\n".join(parts)
     print(text)

@@ -20,9 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.metrics import mean
 from ..analysis.reporting import format_seconds, format_table
-from ..baselines.ilp import allocate_ilp
-from ..core.dpalloc import allocate
-from .common import build_case, resolve_samples, time_call
+from ..engine import AllocationRequest, Engine
+from .common import (
+    build_case,
+    require_ok,
+    resolve_samples,
+    resolve_workers,
+    sweep_engine,
+)
 
 __all__ = ["Table2Result", "run", "render"]
 
@@ -65,35 +70,45 @@ def run(
     num_ops: int = DEFAULT_NUM_OPS,
     samples: Optional[int] = None,
     ilp_time_limit: Optional[float] = 60.0,
+    engine: Optional[Engine] = None,
+    workers: Optional[int] = None,
 ) -> Table2Result:
     """Regenerate Table 2 (runtime vs lambda/lambda_min at |O| = 9)."""
     count = resolve_samples(samples)
+    requests: List[AllocationRequest] = []
+    for ratio in ratios:
+        for sample in range(count):
+            problem = build_case(num_ops, sample, ratio - 1.0).problem
+            requests.append(AllocationRequest(problem, "dpalloc"))
+            requests.append(AllocationRequest(
+                problem, "ilp", options={"time_limit": ilp_time_limit},
+            ))
+    results = sweep_engine(engine).run_batch(
+        requests, workers=resolve_workers(workers)
+    )
+
     h_seconds: Dict[float, float] = {}
     i_seconds: Dict[float, float] = {}
     i_vars: Dict[float, float] = {}
     i_timeouts: Dict[float, int] = {}
+    cursor = iter(results)
     for ratio in ratios:
-        relaxation = ratio - 1.0
         h_total = 0.0
         i_total = 0.0
         timeouts = 0
         var_counts: List[float] = []
-        for sample in range(count):
-            case = build_case(num_ops, sample, relaxation)
-            _, h_time = time_call(lambda: allocate(case.problem))
-            h_total += h_time
-            began_vars = None
-            try:
-                (_, stats), i_time = time_call(
-                    lambda: allocate_ilp(case.problem, time_limit=ilp_time_limit)
-                )
-                began_vars = stats.num_variables
-            except TimeoutError:
-                i_time = float(ilp_time_limit or 0.0)
+        for _ in range(count):
+            heuristic = next(cursor)
+            require_ok(heuristic)
+            h_total += heuristic.seconds
+            ilp = next(cursor)
+            if ilp.error is not None and ilp.error.startswith("timeout"):
+                i_total += float(ilp_time_limit or 0.0)
                 timeouts += 1
-            i_total += i_time
-            if began_vars is not None:
-                var_counts.append(began_vars)
+            else:
+                require_ok(ilp)
+                i_total += ilp.seconds
+                var_counts.append(ilp.extras["num_variables"])
         h_seconds[ratio] = h_total
         i_seconds[ratio] = i_total
         i_vars[ratio] = mean(var_counts)
@@ -114,7 +129,7 @@ def render(result: Table2Result) -> str:
     )
 
 
-def main(samples: Optional[int] = None) -> str:
-    text = render(run(samples=samples))
+def main(samples: Optional[int] = None, workers: Optional[int] = None) -> str:
+    text = render(run(samples=samples, workers=workers))
     print(text)
     return text

@@ -2,6 +2,8 @@
 
 from .dot import datapath_to_dot, graph_to_dot
 from .json_io import (
+    allocation_result_from_dict,
+    allocation_result_to_dict,
     datapath_from_dict,
     datapath_to_dict,
     graph_from_dict,
@@ -13,6 +15,8 @@ from .json_io import (
 )
 
 __all__ = [
+    "allocation_result_from_dict",
+    "allocation_result_to_dict",
     "datapath_from_dict",
     "datapath_to_dict",
     "datapath_to_dot",

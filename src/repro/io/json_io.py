@@ -26,6 +26,8 @@ __all__ = [
     "netlist_from_dict",
     "datapath_to_dict",
     "datapath_from_dict",
+    "allocation_result_to_dict",
+    "allocation_result_from_dict",
     "save_json",
     "load_json",
 ]
@@ -142,6 +144,52 @@ def datapath_from_dict(data: Dict) -> Datapath:
         area=float(data["area"]),
         iterations=int(data.get("iterations", 1)),
         method=data.get("method", "unknown"),
+    )
+
+
+# ----------------------------------------------------------------------
+# allocation-result envelopes
+# ----------------------------------------------------------------------
+
+def allocation_result_to_dict(result) -> Dict:
+    """Serialise an :class:`~repro.engine.results.AllocationResult`."""
+    return {
+        "kind": "allocation-result",
+        "allocator": result.allocator,
+        "datapath": (
+            datapath_to_dict(result.datapath)
+            if result.datapath is not None
+            else None
+        ),
+        "seconds": result.seconds,
+        "iterations": result.iterations,
+        "valid": result.valid,
+        "error": result.error,
+        "extras": dict(result.extras),
+        "label": result.label,
+        "cached": result.cached,
+    }
+
+
+def allocation_result_from_dict(data: Dict):
+    """Deserialise an :class:`~repro.engine.results.AllocationResult`."""
+    if data.get("kind") != "allocation-result":
+        raise ValueError(
+            f"not an allocation-result payload: {data.get('kind')!r}"
+        )
+    from ..engine.results import AllocationResult
+
+    datapath = data.get("datapath")
+    return AllocationResult(
+        allocator=data["allocator"],
+        datapath=datapath_from_dict(datapath) if datapath is not None else None,
+        seconds=float(data.get("seconds", 0.0)),
+        iterations=int(data.get("iterations", 0)),
+        valid=data.get("valid"),
+        error=data.get("error"),
+        extras=dict(data.get("extras") or {}),
+        label=data.get("label"),
+        cached=bool(data.get("cached", False)),
     )
 
 

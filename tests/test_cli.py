@@ -3,7 +3,14 @@
 import pytest
 
 from repro.cli import WORKLOADS, main
-from repro.io import datapath_from_dict, graph_to_dict, load_json, save_json
+from repro.engine import allocator_names
+from repro.io import (
+    allocation_result_from_dict,
+    datapath_from_dict,
+    graph_to_dict,
+    load_json,
+    save_json,
+)
 
 
 class TestListWorkloads:
@@ -79,14 +86,74 @@ class TestCompare:
     def test_table_has_all_methods(self, capsys):
         assert main(["compare", "motivational", "--relax", "1.0"]) == 0
         out = capsys.readouterr().out
-        for method in (
-            "dpalloc", "ilp", "two-stage", "fds", "clique-sort", "uniform"
-        ):
+        for method in allocator_names():
             assert method in out
+
+    def test_infeasible_methods_reported_per_row(self, capsys):
+        # uniform cannot reach lambda_min on the motivational kernel, but
+        # the other methods can: the row says so and the command succeeds.
+        assert main(["compare", "motivational", "--relax", "0.0"]) == 0
+        captured = capsys.readouterr()
+        assert "infeasible" in captured.out
+        assert "uniform" in captured.err
+
+    def test_nonzero_only_when_all_methods_fail(self, capsys):
+        assert main(["compare", "fir", "--latency", "1"]) == 1
+        captured = capsys.readouterr()
+        assert captured.out.count("infeasible") == len(allocator_names())
+
+    def test_parallel_workers(self, capsys):
+        assert main(["compare", "fir", "--relax", "0.5", "--workers", "2"]) == 0
+        assert "dpalloc" in capsys.readouterr().out
 
     def test_unknown_workload_fails(self):
         with pytest.raises(FileNotFoundError):
             main(["compare", "not-a-workload"])
+
+
+class TestBatch:
+    def test_workloads_times_methods(self, capsys):
+        assert main([
+            "batch", "fir", "biquad",
+            "--methods", "dpalloc,uniform", "--relax", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fir" in out and "biquad" in out
+        assert "dpalloc" in out and "uniform" in out
+
+    def test_json_export_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "batch.json"
+        assert main([
+            "batch", "fir", "--methods", "dpalloc", "--relax", "0.5",
+            "--json", str(out),
+        ]) == 0
+        payload = load_json(out)
+        assert payload["kind"] == "allocation-batch"
+        (entry,) = payload["results"]
+        result = allocation_result_from_dict(entry)
+        assert result.ok and result.allocator == "dpalloc"
+
+    def test_cache_dir_reused_across_invocations(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "batch", "fir", "--methods", "dpalloc", "--relax", "0.5",
+            "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "(cached)" not in first
+        assert main(argv) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+    def test_unknown_method_rejected(self, capsys):
+        assert main(["batch", "fir", "--methods", "quantum"]) == 2
+        assert "quantum" in capsys.readouterr().err
+
+    def test_all_infeasible_exits_nonzero(self, capsys):
+        assert main([
+            "batch", "fir", "--methods", "uniform", "--latency", "1",
+        ]) == 1
+        assert "infeasible" in capsys.readouterr().out
 
 
 class TestParser:
