@@ -1,10 +1,17 @@
-"""Engine batch-throughput benchmark: serial vs parallel sweeps.
+"""Engine batch-throughput benchmark: serial / parallel / cached / preemptive.
 
 Runs the same DPAlloc sweep (large TGFF graphs; ``REPRO_SAMPLES`` scales
-the per-size count) through ``Engine.run_batch`` serially and with a
-process pool, verifies the envelopes are byte-for-byte identical, and
-emits ``BENCH_engine.json`` with the throughput numbers -- the start of
-the engine's perf trajectory across PRs.
+the per-size count) through ``Engine.run_batch`` in four configurations,
+verifies the envelopes are byte-for-byte identical, and emits
+``BENCH_engine.json`` -- the engine's perf trajectory across PRs:
+
+* serial vs process-pool throughput (PR 1);
+* cache-hit throughput: a warm on-disk cache replayed against the same
+  sweep (per-hit lookup cost);
+* timeout overhead: the same sweep through the preemptive
+  process-per-run executor with a generous budget -- the per-case price
+  of fork + hard-deadline supervision (what a hang-proof sweep costs
+  when nothing hangs).
 
 Run with::
 
@@ -16,7 +23,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -28,6 +37,9 @@ from repro.experiments import build_case  # noqa: E402
 
 SIZES = (32, 48, 64)
 RELAXATION = 0.2
+# Generous per-run budget for the preemptive pass: never hit on this
+# sweep, so the measured delta vs serial is pure executor overhead.
+PREEMPTIVE_TIMEOUT = 300.0
 
 
 def build_requests(per_size: int) -> list:
@@ -74,6 +86,44 @@ def main(argv=None) -> int:
         bad = [r.label for r in serial if not r.ok]
         raise AssertionError(f"benchmark sweep cases failed: {bad}")
 
+    # Cache-hit scenario: fill a cache, then replay the sweep warm.
+    cache_dir = tempfile.mkdtemp(prefix="bench-engine-cache-")
+    try:
+        cold_engine = Engine(cache_dir=cache_dir)
+        began = time.perf_counter()
+        cold_engine.run_batch(requests)
+        cold_seconds = time.perf_counter() - began
+
+        warm_engine = Engine(cache_dir=cache_dir)
+        began = time.perf_counter()
+        warm = warm_engine.run_batch(requests)
+        warm_seconds = time.perf_counter() - began
+        if not all(r.cached for r in warm):
+            raise AssertionError("warm pass missed the cache")
+        if [r.canonical_json() for r in warm] != \
+                [r.canonical_json() for r in serial]:
+            raise AssertionError("cached envelopes diverged from the fresh run")
+        cache_stats = warm_engine.cache_stats()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    # Timeout-overhead scenario: the preemptive process-per-run
+    # executor with a budget that never fires.
+    timed = [
+        AllocationRequest(
+            r.problem, r.allocator, label=r.label, timeout=PREEMPTIVE_TIMEOUT,
+        )
+        for r in requests
+    ]
+    began = time.perf_counter()
+    preemptive = Engine(executor="process").run_batch(
+        timed, workers=args.workers
+    )
+    preemptive_seconds = time.perf_counter() - began
+    if [r.canonical_json() for r in preemptive] != \
+            [r.canonical_json() for r in serial]:
+        raise AssertionError("preemptive envelopes diverged from the serial run")
+
     report = {
         "kind": "bench-engine",
         "cpu_count": os.cpu_count(),  # speedup is bounded by this
@@ -88,6 +138,25 @@ def main(argv=None) -> int:
         "serial_cases_per_second": round(len(requests) / serial_seconds, 3),
         "parallel_cases_per_second": round(len(requests) / parallel_seconds, 3),
         "results_identical": identical,
+        "cache": {
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "hit_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 3),
+            "hits_per_second": round(len(requests) / max(warm_seconds, 1e-9), 3),
+            "entries": cache_stats["entries"],
+            "total_bytes": cache_stats["total_bytes"],
+        },
+        "preemptive": {
+            "seconds": round(preemptive_seconds, 4),
+            "cases_per_second": round(
+                len(requests) / max(preemptive_seconds, 1e-9), 3
+            ),
+            "overhead_seconds_per_case": round(
+                max(0.0, preemptive_seconds - serial_seconds) / len(requests),
+                4,
+            ),
+            "timeout": PREEMPTIVE_TIMEOUT,
+        },
     }
     Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True))
     print(json.dumps(report, indent=2, sort_keys=True))

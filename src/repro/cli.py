@@ -8,8 +8,15 @@ Subcommands:
 * ``compare`` -- run every registered allocator on one problem and
   tabulate areas (infeasible methods are reported per-row; the exit code
   is nonzero only when *every* method fails);
-* ``batch`` -- fan several workloads x methods out over the engine's
-  process pool, optionally against an on-disk result cache.
+* ``batch`` -- fan several workloads x methods out over the engine
+  (process pool or preemptive process-per-run), optionally against an
+  on-disk result cache; ``--from-shard`` executes one shard manifest
+  instead;
+* ``shard`` -- partition a workloads x methods sweep into N shard
+  manifests by ``Problem.fingerprint()`` (run each anywhere);
+* ``merge`` -- merge per-shard result files back into one
+  index-ordered batch result;
+* ``cache`` -- inspect / prune / clear an engine result cache.
 
 All dispatch goes through the allocator registry
 (:mod:`repro.engine`): ``--method`` choices are discovered, never
@@ -21,8 +28,23 @@ Examples::
     python -m repro allocate fir --relax 0.5
     python -m repro allocate biquad --method ilp --json out.json
     python -m repro allocate fir --relax 1.0 --verilog fir.v
-    python -m repro compare motivational --relax 1.0
+    python -m repro compare motivational --relax 1.0 --workers 4
     python -m repro batch fir biquad dct4 --workers 4 --cache-dir .cache
+    python -m repro batch fir dct4 --timeout 5 --executor process
+
+Sharded sweep workflow (each shard may run on a different host)::
+
+    python -m repro shard fir biquad dct4 lattice --shards 3 --out-dir shards/
+    python -m repro batch --from-shard shards/shard-00.json --json out-00.json
+    python -m repro batch --from-shard shards/shard-01.json --json out-01.json
+    python -m repro batch --from-shard shards/shard-02.json --json out-02.json
+    python -m repro merge out-00.json out-01.json out-02.json --json merged.json
+
+Cache lifecycle::
+
+    python -m repro cache stats .cache
+    python -m repro cache prune .cache --max-mb 64
+    python -m repro cache clear .cache
 """
 
 from __future__ import annotations
@@ -33,7 +55,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from . import Problem
 from .analysis.reporting import format_table
-from .engine import AllocationRequest, Engine, allocator_names
+from .engine import EXECUTORS, AllocationRequest, Engine, allocator_names
 from .gen import workloads
 from .io import (
     datapath_to_dict,
@@ -67,7 +89,16 @@ def _load_graph(source: str):
     return graph_from_dict(data)
 
 
-def _build_problem(workload: str, relax: float, latency: Optional[int]) -> Problem:
+DEFAULT_RELAX = 0.3
+
+
+def _build_problem(
+    workload: str, relax: Optional[float], latency: Optional[int]
+) -> Problem:
+    # relax=None means "not given on the command line" (so flag-conflict
+    # checks can tell); it resolves to DEFAULT_RELAX here.
+    if relax is None:
+        relax = DEFAULT_RELAX
     graph = _load_graph(workload)
     scratch = Problem(graph, latency_constraint=1_000_000)
     lam_min = scratch.minimum_latency()
@@ -79,7 +110,16 @@ def _build_problem(workload: str, relax: float, latency: Optional[int]) -> Probl
 
 
 def _engine(args) -> Engine:
-    return Engine(cache_dir=getattr(args, "cache_dir", None))
+    cache_dir = getattr(args, "cache_dir", None)
+    cache_max_mb = getattr(args, "cache_max_mb", None)
+    if cache_max_mb is not None and cache_dir is None:
+        print("--cache-max-mb requires --cache-dir", file=sys.stderr)
+        raise SystemExit(2)
+    return Engine(
+        cache_dir=cache_dir,
+        cache_max_mb=cache_max_mb,
+        executor=getattr(args, "executor", None) or "pool",
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -153,7 +193,10 @@ def _cmd_compare(args) -> int:
     problem = _build_problem(args.workload, args.relax, args.latency)
     methods = allocator_names()
     results = _engine(args).run_batch(
-        [AllocationRequest(problem, name) for name in methods],
+        [
+            AllocationRequest(problem, name, timeout=args.timeout)
+            for name in methods
+        ],
         workers=args.workers,
     )
     rows = [_result_row(name, result) for name, result in zip(methods, results)]
@@ -170,7 +213,9 @@ def _cmd_compare(args) -> int:
     return 0 if any(result.ok for result in results) else 1
 
 
-def _cmd_batch(args) -> int:
+def _sweep_requests(args):
+    """Build the workloads x methods request list shared by ``batch``
+    and ``shard``; ``None`` after printing an error (exit code 2)."""
     methods = (
         [m.strip() for m in args.methods.split(",") if m.strip()]
         if args.methods
@@ -182,7 +227,7 @@ def _cmd_batch(args) -> int:
             f"unknown methods {unknown}; registered: {allocator_names()}",
             file=sys.stderr,
         )
-        return 2
+        return None
 
     requests = []
     for workload in args.workloads:
@@ -191,8 +236,10 @@ def _cmd_batch(args) -> int:
             requests.append(AllocationRequest(
                 problem, method, label=workload, timeout=args.timeout,
             ))
-    results = _engine(args).run_batch(requests, workers=args.workers)
+    return requests
 
+
+def _print_results_table(results, title: str) -> None:
     rows = []
     for result in results:
         row = _result_row(result.allocator, result)
@@ -200,10 +247,60 @@ def _cmd_batch(args) -> int:
         rows.append([result.label, *row, f"{result.seconds:.3f}s{cached}"])
     print(format_table(
         ["workload", "method", "area", "latency", "units", "time"], rows,
-        title=(
-            f"batch: {len(args.workloads)} workloads x {len(methods)} methods"
-            + (f", {args.workers} workers" if args.workers else "")
-        ),
+        title=title,
+    ))
+
+
+def _report_failures(results) -> int:
+    for result in results:
+        if not result.ok:
+            print(f"{result.label}/{result.allocator}: {result.error}",
+                  file=sys.stderr)
+    return 0 if any(result.ok for result in results) else 1
+
+
+def _cmd_batch(args) -> int:
+    if args.from_shard:
+        if args.workloads:
+            print("--from-shard replaces the workloads arguments; "
+                  "give one or the other", file=sys.stderr)
+            return 2
+        # The manifest fixes each request's problem, method, options
+        # and timeout; refuse flags that would otherwise be silently
+        # dropped (execution flags -- --workers/--executor/--cache-* --
+        # still apply).
+        ignored = [
+            flag
+            for flag, given in (
+                ("--methods", args.methods is not None),
+                ("--timeout", args.timeout is not None),
+                ("--latency", args.latency is not None),
+                ("--relax", args.relax is not None),
+            )
+            if given
+        ]
+        if ignored:
+            print(
+                f"{', '.join(ignored)} cannot be combined with "
+                f"--from-shard: the shard manifest already fixes the "
+                f"requests (re-run 'shard' to change them)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_shard_file(args)
+    if not args.workloads:
+        print("batch needs workloads (or --from-shard MANIFEST)",
+              file=sys.stderr)
+        return 2
+    requests = _sweep_requests(args)
+    if requests is None:
+        return 2
+    results = _engine(args).run_batch(requests, workers=args.workers)
+
+    methods = sorted({r.allocator for r in results})
+    _print_results_table(results, title=(
+        f"batch: {len(args.workloads)} workloads x {len(methods)} methods"
+        + (f", {args.workers} workers" if args.workers else "")
     ))
     if args.json:
         from .io import allocation_result_to_dict
@@ -216,11 +313,117 @@ def _cmd_batch(args) -> int:
             args.json,
         )
         print(f"wrote {args.json}")
-    for result in results:
-        if not result.ok:
-            print(f"{result.label}/{result.allocator}: {result.error}",
-                  file=sys.stderr)
-    return 0 if any(result.ok for result in results) else 1
+    return _report_failures(results)
+
+
+def _run_shard_file(args) -> int:
+    """``batch --from-shard``: execute one shard manifest.
+
+    The manifest's requests carry their own timeouts/options; problem
+    flags (``--relax``/``--latency``/``--methods``) do not apply.  The
+    ``--json`` output is a ``shard-results`` payload (it keeps original
+    request indices) for ``repro merge``.
+    """
+    from .engine import load_shard_manifest, run_shard
+
+    manifest = load_shard_manifest(args.from_shard)
+    payload = run_shard(
+        manifest,
+        engine=_engine(args),
+        workers=args.workers,
+    )
+    from .io import allocation_result_from_dict
+
+    results = [
+        allocation_result_from_dict(entry["result"])
+        for entry in payload["results"]
+    ]
+    _print_results_table(results, title=(
+        f"shard {manifest.shard + 1}/{manifest.num_shards}: "
+        f"{len(manifest.requests)} of {manifest.total} requests"
+    ))
+    if args.json:
+        save_json(payload, args.json)
+        print(f"wrote {args.json}")
+    if not results:
+        return 0  # an empty shard ran vacuously fine
+    return _report_failures(results)
+
+
+def _cmd_shard(args) -> int:
+    requests = _sweep_requests(args)
+    if requests is None:
+        return 2
+    from .engine import write_shard_manifests
+
+    paths = write_shard_manifests(requests, args.shards, args.out_dir)
+    from .engine import load_shard_manifest
+
+    rows = [
+        [path.name, len(load_shard_manifest(path).requests)]
+        for path in paths
+    ]
+    print(format_table(
+        ["manifest", "requests"], rows,
+        title=f"{len(requests)} requests over {args.shards} shards "
+              f"in {args.out_dir}",
+    ))
+    print(
+        "run each with: python -m repro batch --from-shard "
+        f"{args.out_dir}/shard-NN.json --json out-NN.json"
+    )
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from .engine import merge_shard_results
+    from .io import allocation_result_to_dict
+
+    try:
+        results = merge_shard_results(load_json(path) for path in args.results)
+    except (ValueError, OSError) as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 2
+    _print_results_table(results, title=(
+        f"merged {len(args.results)} shard files: {len(results)} results"
+    ))
+    if args.json:
+        save_json(
+            {
+                "kind": "allocation-batch",
+                "results": [allocation_result_to_dict(r) for r in results],
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    return _report_failures(results)
+
+
+def _cmd_cache(args) -> int:
+    import json as json_module
+
+    engine = Engine(cache_dir=args.cache_dir)
+    if args.action == "stats":
+        print(json_module.dumps(engine.cache_stats(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "prune":
+        if args.max_mb is None:
+            print("cache prune needs --max-mb", file=sys.stderr)
+            return 2
+        try:
+            report = engine.prune_cache(args.max_mb)
+        except ValueError as exc:
+            print(f"cache prune: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"evicted {report['evicted']} entries "
+            f"({report['reclaimed_bytes']} bytes), "
+            f"{report['remaining']} remaining"
+        )
+        return 0
+    removed = engine.clear_cache()
+    print(f"removed {removed} entries from {args.cache_dir}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -247,12 +450,31 @@ def main(argv=None) -> int:
                 help=f"named workload ({', '.join(sorted(WORKLOADS))}) "
                      f"or JSON graph file",
             )
-        cmd.add_argument("--relax", type=float, default=0.3,
-                         help="relaxation over lambda_min (default 0.3)")
+        cmd.add_argument(
+            "--relax", type=float, default=None,
+            help=f"relaxation over lambda_min (default {DEFAULT_RELAX})",
+        )
         cmd.add_argument("--latency", type=int, default=None,
                          help="absolute latency constraint (overrides --relax)")
         cmd.add_argument("--cache-dir", default=None,
                          help="directory for the on-disk result cache")
+
+    def add_engine_args(cmd):
+        """Engine execution flags, identical on every batch-shaped command."""
+        cmd.add_argument("--workers", type=_positive_int, default=None,
+                         help="parallel width (default: serial)")
+        cmd.add_argument("--timeout", type=float, default=None,
+                         help="per-run wall-clock budget in seconds")
+        cmd.add_argument(
+            "--executor", choices=EXECUTORS, default="pool",
+            help="fresh-run execution mode: 'pool' (process pool; a "
+                 "timeout abandons the worker) or 'process' (one "
+                 "killable process per run; timeout is a hard "
+                 "per-solve deadline)",
+        )
+        cmd.add_argument("--cache-max-mb", type=float, default=None,
+                         help="LRU-evict the cache beyond this size "
+                              "(needs --cache-dir)")
 
     cmd = sub.add_parser("allocate", help="allocate one workload with one method")
     add_problem_args(cmd)
@@ -263,20 +485,49 @@ def main(argv=None) -> int:
 
     cmd = sub.add_parser("compare", help="run every registered allocator")
     add_problem_args(cmd)
-    cmd.add_argument("--workers", type=_positive_int, default=None,
-                     help="process-pool width (default: serial)")
+    add_engine_args(cmd)
 
     cmd = sub.add_parser(
-        "batch", help="run workloads x methods through the engine's pool"
+        "batch", help="run workloads x methods through the engine"
+    )
+    add_problem_args(cmd, workload_nargs="*")
+    add_engine_args(cmd)
+    cmd.add_argument("--methods", default=None,
+                     help=f"comma-separated subset of: {', '.join(methods)}")
+    cmd.add_argument("--from-shard", default=None, metavar="MANIFEST",
+                     help="execute one shard manifest written by 'shard' "
+                          "instead of workloads; --json then emits a "
+                          "shard-results payload for 'merge'")
+    cmd.add_argument("--json", help="write the full result envelopes as JSON")
+
+    cmd = sub.add_parser(
+        "shard",
+        help="partition a workloads x methods sweep into N shard manifests "
+             "(deterministic on Problem.fingerprint())",
     )
     add_problem_args(cmd, workload_nargs="+")
     cmd.add_argument("--methods", default=None,
                      help=f"comma-separated subset of: {', '.join(methods)}")
-    cmd.add_argument("--workers", type=_positive_int, default=None,
-                     help="process-pool width (default: serial)")
     cmd.add_argument("--timeout", type=float, default=None,
-                     help="per-run wall-clock budget in seconds")
-    cmd.add_argument("--json", help="write the full result envelopes as JSON")
+                     help="per-run wall-clock budget baked into the manifests")
+    cmd.add_argument("--shards", type=_positive_int, required=True,
+                     help="number of shard manifests to write")
+    cmd.add_argument("--out-dir", required=True,
+                     help="directory for the shard-NN.json manifests")
+
+    cmd = sub.add_parser(
+        "merge",
+        help="merge shard result files back into one batch result",
+    )
+    cmd.add_argument("results", nargs="+",
+                     help="shard-results JSON files (from batch --from-shard)")
+    cmd.add_argument("--json", help="write the merged allocation-batch JSON")
+
+    cmd = sub.add_parser("cache", help="inspect or manage a result cache")
+    cmd.add_argument("action", choices=("stats", "prune", "clear"))
+    cmd.add_argument("cache_dir", help="the cache directory")
+    cmd.add_argument("--max-mb", type=float, default=None,
+                     help="size budget for 'prune'")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -284,6 +535,9 @@ def main(argv=None) -> int:
         "allocate": _cmd_allocate,
         "compare": _cmd_compare,
         "batch": _cmd_batch,
+        "shard": _cmd_shard,
+        "merge": _cmd_merge,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -22,9 +22,23 @@ Typical use::
         [AllocationRequest(p, name) for p in problems for name in names],
         workers=4,
     )
+
+Scaling surfaces on top of the engine:
+
+* ``Engine(executor="process")`` -- preemptive process-per-run
+  execution with hard per-solve deadlines
+  (:mod:`repro.engine.executor`);
+* :mod:`repro.engine.sharding` -- partition a sweep by
+  ``Problem.fingerprint()`` into shard manifests, run them anywhere,
+  merge the envelope files back deterministically;
+* ``Engine(cache_dir=..., cache_max_mb=...)`` -- result-cache lifecycle
+  (manifest, ``cache_stats()``, LRU eviction;
+  :mod:`repro.engine.cache`).
 """
 
-from .engine import Engine, execute_request
+from .cache import ResultCache
+from .engine import EXECUTORS, Engine, execute_request
+from .executor import ProcessPerRunExecutor
 from .registry import (
     Allocator,
     UnknownAllocatorError,
@@ -34,16 +48,35 @@ from .registry import (
     unregister_allocator,
 )
 from .results import AllocationRequest, AllocationResult
+from .sharding import (
+    ShardManifest,
+    load_shard_manifest,
+    merge_shard_results,
+    partition_requests,
+    run_shard,
+    shard_of,
+    write_shard_manifests,
+)
 
 __all__ = [
     "Allocator",
     "AllocationRequest",
     "AllocationResult",
+    "EXECUTORS",
     "Engine",
+    "ProcessPerRunExecutor",
+    "ResultCache",
+    "ShardManifest",
     "UnknownAllocatorError",
     "allocator_names",
     "execute_request",
     "get_allocator",
+    "load_shard_manifest",
+    "merge_shard_results",
+    "partition_requests",
     "register_allocator",
+    "run_shard",
+    "shard_of",
     "unregister_allocator",
+    "write_shard_manifests",
 ]

@@ -85,3 +85,18 @@ def uniform(problem: Problem):
     from ..baselines.uniform import allocate_uniform
 
     return allocate_uniform(problem)
+
+
+# Canonical name -> adapter mapping.  The registry uses this to restore
+# a built-in that was removed with ``unregister_allocator`` (test
+# teardown, plugin experiments): a lookup miss on one of these names
+# re-registers the adapter instead of failing for the rest of the
+# process.
+BUILTINS = {
+    "dpalloc": dpalloc,
+    "ilp": ilp,
+    "two-stage": two_stage,
+    "fds": fds,
+    "clique-sort": clique_sort,
+    "uniform": uniform,
+}

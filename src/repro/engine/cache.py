@@ -1,0 +1,346 @@
+"""On-disk result-cache lifecycle: manifest, stats, LRU eviction.
+
+PR 1's cache wrote envelope files keyed by
+``sha256(problem fingerprint + allocator + options + version)`` and let
+them live forever.  :class:`ResultCache` adds the lifecycle around those
+entries:
+
+* a ``manifest.json`` sidecar records per-entry metadata -- the package
+  version that wrote the entry, creation and last-use timestamps, and
+  the payload size in bytes;
+* :meth:`stats` aggregates entry count, total size and runtime hit/miss
+  counters;
+* :meth:`prune` evicts least-recently-used entries until the cache fits
+  a size budget (``max_mb``); a budget passed to the constructor is
+  enforced automatically after every write;
+* :meth:`clear` empties the cache.
+
+The manifest is advisory, never a correctness dependency: a missing,
+corrupt or stale manifest is rebuilt from a directory scan (file sizes
+and mtimes), and every manifest write is atomic (per-process tmp name +
+rename) with ``OSError`` swallowed, matching the entry-write discipline.
+Concurrent engines sharing a cache directory may lose a manifest update
+race; the next rebuild reconciles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["ResultCache"]
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+_MANIFEST_KIND = "cache-manifest"
+
+
+def _utcnow() -> float:
+    return time.time()
+
+
+class ResultCache:
+    """Size-bounded, manifest-tracked store of JSON envelope payloads.
+
+    Args:
+        directory: cache directory (created on first write).
+        max_mb: optional size budget in megabytes.  When set, every
+            write is followed by an LRU eviction pass that keeps the
+            total payload size under the budget.  ``None`` means
+            unbounded (PR-1 behaviour).
+    """
+
+    def __init__(self, directory: PathLike, max_mb: Optional[float] = None) -> None:
+        if max_mb is not None and max_mb <= 0:
+            raise ValueError(f"max_mb must be positive, got {max_mb}")
+        self.directory = Path(directory)
+        self.max_mb = max_mb
+        self.hits = 0
+        self.misses = 0
+        # In-memory manifest view: loaded (with a reconciling directory
+        # scan) on first use, then kept current by read/write so hot
+        # paths never pay a per-operation scan.  stats/prune re-scan.
+        # Writes mark it dirty; callers batch the disk flush via
+        # flush() -- a cold sweep must not rewrite the whole manifest
+        # once per stored entry.
+        self._manifest: Optional[Dict[str, Any]] = None
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # entry I/O
+    # ------------------------------------------------------------------
+    def entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def read(self, key: str) -> Optional[str]:
+        """Payload text for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU position: the in-memory
+        manifest ``last_used`` plus the entry file's mtime.  The mtime
+        is the durable signal -- manifest loads take
+        ``max(last_used, mtime)`` -- so hits never pay a per-operation
+        manifest flush (a warm sweep would otherwise rewrite the whole
+        manifest once per request).
+        """
+        path = self.entry_path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        now = _utcnow()
+        try:
+            os.utime(path, (now, now))
+        except OSError:
+            pass
+        entry = self._manifest_view()["entries"].get(key)
+        if entry is not None:
+            entry["last_used"] = now
+        return text
+
+    def invalidate(self, key: str) -> None:
+        """Drop an entry that turned out to be unusable (corrupt JSON,
+        wrong shape) and reclassify its lookup as a miss, so hit-rate
+        statistics only count lookups that actually served a result."""
+        if self.hits > 0:
+            self.hits -= 1
+        self.misses += 1
+        try:
+            self.entry_path(key).unlink(missing_ok=True)
+        except OSError:
+            pass
+        manifest = self._manifest_view()
+        if manifest["entries"].pop(key, None) is not None:
+            self._dirty = True
+
+    def write(self, key: str, text: str, version: str) -> None:
+        """Atomically store ``text`` under ``key`` and track it.
+
+        ``version`` is recorded in the manifest (informational -- the
+        cache *key* already incorporates the package version, so stale
+        code never serves an entry it did not write).  When a size
+        budget is configured, least-recently-used entries are evicted
+        until the cache fits.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.entry_path(key)
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            tmp.write_text(text)
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return
+        now = _utcnow()
+        manifest = self._manifest_view()
+        manifest["entries"][key] = {
+            "version": version,
+            "created": now,
+            "last_used": now,
+            "size": len(text.encode("utf-8")),
+        }
+        if self.max_mb is not None:
+            # The in-process view is current for everything this
+            # instance wrote; no need to re-scan the directory on the
+            # store hot path (prune() does, for external callers).
+            self._evict(manifest, self.max_mb)
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Write the in-memory manifest to disk if it has unsaved
+        changes.  The engine calls this once per run/batch; a crash
+        before a flush only costs metadata (the next load reconciles
+        from the entry files themselves)."""
+        if self._dirty and self._manifest is not None:
+            self._store_manifest(self._manifest)
+            self._dirty = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate cache statistics.
+
+        Returns a dict with ``entries``, ``total_bytes``, ``max_bytes``
+        (``None`` when unbounded), ``directory``, and this instance's
+        runtime ``hits``/``misses`` counters.
+        """
+        manifest = self._manifest_view(reconcile=True)
+        total = sum(e["size"] for e in manifest["entries"].values())
+        return {
+            "directory": str(self.directory),
+            "entries": len(manifest["entries"]),
+            "total_bytes": total,
+            "max_bytes": (
+                int(self.max_mb * 1024 * 1024)
+                if self.max_mb is not None
+                else None
+            ),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def prune(self, max_mb: Optional[float] = None) -> Dict[str, int]:
+        """Evict least-recently-used entries until under ``max_mb``.
+
+        ``None`` falls back to the instance budget; if that is also
+        ``None``, nothing is evicted.  Returns ``{"evicted": n,
+        "reclaimed_bytes": b, "remaining": m}``.
+        """
+        budget_mb = max_mb if max_mb is not None else self.max_mb
+        if budget_mb is not None and budget_mb <= 0:
+            # The constructor rejects max_mb <= 0; an explicit prune
+            # must not treat the same value as "evict everything" --
+            # full eviction is what clear() is for.
+            raise ValueError(f"max_mb must be positive, got {budget_mb}")
+        manifest = self._manifest_view(reconcile=True)
+        report = self._evict(manifest, budget_mb)
+        if report["evicted"]:
+            self._store_manifest(manifest)
+            self._dirty = False
+        return report
+
+    def _evict(
+        self, manifest: Dict[str, Any], budget_mb: Optional[float]
+    ) -> Dict[str, int]:
+        """LRU-evict ``manifest`` entries in place until under budget.
+
+        Mutates the manifest only; callers decide when to flush it.
+        """
+        entries = manifest["entries"]
+        evicted = 0
+        reclaimed = 0
+        if budget_mb is not None:
+            budget = int(budget_mb * 1024 * 1024)
+            total = sum(e["size"] for e in entries.values())
+            for key in sorted(entries, key=lambda k: entries[k]["last_used"]):
+                if total <= budget:
+                    break
+                size = entries[key]["size"]
+                try:
+                    self.entry_path(key).unlink(missing_ok=True)
+                except OSError:
+                    continue  # keep tracking what we could not remove
+                del entries[key]
+                total -= size
+                evicted += 1
+                reclaimed += size
+        return {
+            "evicted": evicted,
+            "reclaimed_bytes": reclaimed,
+            "remaining": len(entries),
+        }
+
+    def clear(self) -> int:
+        """Remove every entry (and the manifest); returns entries removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self._scan_entry_paths():
+            try:
+                path.unlink(missing_ok=True)
+                removed += 1
+            except OSError:
+                pass
+        try:
+            (self.directory / MANIFEST_NAME).unlink(missing_ok=True)
+        except OSError:
+            pass
+        self._manifest = None
+        self._dirty = False
+        return removed
+
+    # ------------------------------------------------------------------
+    # manifest internals
+    # ------------------------------------------------------------------
+    def _scan_entry_paths(self) -> List[Path]:
+        return [
+            path
+            for path in self.directory.glob("*.json")
+            if path.name != MANIFEST_NAME
+        ]
+
+    def _manifest_view(self, reconcile: bool = False) -> Dict[str, Any]:
+        """The working manifest; ``reconcile`` forces a fresh scan."""
+        if reconcile or self._manifest is None:
+            # Unsaved in-memory state (entry versions, LRU touches)
+            # must survive the reload, which reads the on-disk file.
+            self.flush()
+            self._manifest = self._load_manifest()
+        return self._manifest
+
+    def _load_manifest(self) -> Dict[str, Any]:
+        """The manifest, rebuilt from a directory scan when unusable.
+
+        Rebuild also reconciles drift: entries whose files vanished are
+        dropped, files the manifest never saw (written by a concurrent
+        engine that lost the manifest race) are adopted with their
+        filesystem timestamps and an ``unknown`` version.
+        """
+        manifest_path = self.directory / MANIFEST_NAME
+        manifest: Optional[Dict[str, Any]] = None
+        try:
+            data = json.loads(manifest_path.read_text())
+            if (
+                isinstance(data, dict)
+                and data.get("kind") == _MANIFEST_KIND
+                and isinstance(data.get("entries"), dict)
+                and all(
+                    isinstance(e, dict)
+                    and isinstance(e.get("size"), int)
+                    and isinstance(e.get("last_used"), (int, float))
+                    for e in data["entries"].values()
+                )
+            ):
+                manifest = data
+        except (OSError, ValueError):
+            manifest = None
+        if manifest is None:
+            manifest = {"kind": _MANIFEST_KIND, "entries": {}}
+        entries = manifest["entries"]
+        on_disk = {path.stem: path for path in self._scan_entry_paths()}
+        for key in list(entries):
+            if key not in on_disk:
+                del entries[key]
+        for key, path in on_disk.items():
+            try:
+                stat = path.stat()
+            except OSError:
+                entries.pop(key, None)
+                continue
+            entry = entries.get(key)
+            if entry is None:
+                entries[key] = {
+                    "version": "unknown",
+                    "created": stat.st_mtime,
+                    "last_used": stat.st_mtime,
+                    "size": stat.st_size,
+                }
+            else:
+                # Hits bump the file mtime without flushing the
+                # manifest; the durable LRU position is the newer of
+                # the two.  Size is re-read in case another process
+                # rewrote the entry.
+                entry["last_used"] = max(entry["last_used"], stat.st_mtime)
+                entry["size"] = stat.st_size
+        return manifest
+
+    def _store_manifest(self, manifest: Dict[str, Any]) -> None:
+        path = self.directory / MANIFEST_NAME
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(manifest, sort_keys=True))
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass

@@ -26,7 +26,6 @@ from __future__ import annotations
 import concurrent.futures
 import hashlib
 import json
-import os
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -80,19 +79,18 @@ def execute_request(request: AllocationRequest) -> AllocationResult:
             valid = False
             error = f"invalid: {exc}"
 
-    if (
-        error is None
-        and request.timeout is not None
-        and seconds > request.timeout
-    ):
+    if request.timeout is not None and seconds > request.timeout:
         # In-process solvers cannot be interrupted safely; a blown
-        # budget is reported after the fact (the pooled path
-        # additionally stops waiting -- see Engine.run_batch).  The
-        # envelope is normalised to exactly what the pooled path
-        # produces -- same error string (no wall-clock text), no
-        # datapath -- so canonical_json() stays identical across
-        # execution modes; the measured duration survives in
-        # ``seconds``.
+        # budget is reported after the fact (the preemptive paths
+        # additionally stop waiting / kill the worker -- see
+        # Engine.run_batch and repro.engine.executor).  The envelope is
+        # normalised to exactly what those paths produce -- same error
+        # string (no wall-clock text), no datapath -- so
+        # canonical_json() stays identical across execution modes; the
+        # measured duration survives in ``seconds``.  This happens
+        # regardless of any error the run reported: a preempted worker
+        # never gets to say "infeasible" or "invalid", so an over-budget
+        # serial run must not either.
         error = f"timeout: no result within {request.timeout:g}s"
         datapath = None
         extras = {}
@@ -139,6 +137,9 @@ def _error_result(request: AllocationRequest, exc: BaseException) -> AllocationR
     )
 
 
+EXECUTORS = ("pool", "process")
+
+
 class Engine:
     """Batch/serial allocation runner over the allocator registry.
 
@@ -151,20 +152,69 @@ class Engine:
             ``sha256(problem fingerprint + allocator + options)``; only
             deterministic outcomes (success or infeasibility) are
             cached, never timeouts.
+        cache_max_mb: optional size budget for the cache directory;
+            least-recently-used entries are evicted after each store to
+            keep the total under the budget (see
+            :class:`repro.engine.cache.ResultCache`).
+        executor: fresh-run execution mode.  ``"pool"`` (default)
+            preserves the PR-1 behaviour: serial in-process runs, or a
+            ``ProcessPoolExecutor`` fan-out whose timeout abandons (but
+            cannot kill) a hung worker.  ``"process"`` routes every
+            fresh run through
+            :class:`repro.engine.executor.ProcessPerRunExecutor`: one
+            process per run with a hard deadline, so ``timeout`` is a
+            true per-solve budget, a blown budget SIGKILLs the worker,
+            and queued requests never inherit a starved slot or a stale
+            clock.
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         cache_dir: Optional[PathLike] = None,
+        cache_max_mb: Optional[float] = None,
+        executor: str = "pool",
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self.workers = workers
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.executor = executor
+        self._cache: Optional["ResultCache"] = None
+        if self.cache_dir is not None:
+            from .cache import ResultCache
+
+            self._cache = ResultCache(self.cache_dir, max_mb=cache_max_mb)
+        elif cache_max_mb is not None:
+            raise ValueError("cache_max_mb requires cache_dir")
+        # Cumulative ProcessPerRunExecutor counters across this engine's
+        # process-mode runs (started/completed/timeouts/killed/crashed).
+        self.executor_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    # cache
+    # cache lifecycle
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Optional[Dict[str, Any]]:
+        """Entry count / size / hit statistics; ``None`` without a cache."""
+        return self._cache.stats() if self._cache is not None else None
+
+    def prune_cache(self, max_mb: Optional[float] = None) -> Dict[str, int]:
+        """LRU-evict cache entries down to ``max_mb`` (or the configured
+        budget); no-op counters without a cache."""
+        if self._cache is None:
+            return {"evicted": 0, "reclaimed_bytes": 0, "remaining": 0}
+        return self._cache.prune(max_mb)
+
+    def clear_cache(self) -> int:
+        """Drop every cache entry; returns the number removed."""
+        return self._cache.clear() if self._cache is not None else 0
+
+    # ------------------------------------------------------------------
+    # cache keying and I/O
     # ------------------------------------------------------------------
     def cache_key(self, request: AllocationRequest) -> Optional[str]:
         """Stable cache key for ``request``; ``None`` if uncacheable."""
@@ -188,92 +238,116 @@ class Engine:
             return None  # non-JSON options: run uncached
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
-    def _cache_path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / f"{key}.json"
-
     def _cache_load(
         self, key: Optional[str], request: AllocationRequest
     ) -> Optional[AllocationResult]:
-        if key is None or self.cache_dir is None:
+        if key is None or self._cache is None:
             return None
-        path = self._cache_path(key)
-        if not path.exists():
+        text = self._cache.read(key)
+        if text is None:
             return None
         from dataclasses import replace
 
         from ..io.json_io import allocation_result_from_dict
 
         try:
-            data = json.loads(path.read_text())
-            result = allocation_result_from_dict(data)
+            result = allocation_result_from_dict(json.loads(text))
         except Exception:  # noqa: BLE001 -- any corrupt/wrong-shape
-            return None  # entry falls through to a fresh run
+            # Drop the unusable entry (and recount the lookup as a
+            # miss); the request falls through to a fresh run, which
+            # re-caches a clean envelope.
+            self._cache.invalidate(key)
+            return None
         # The key excludes the label (it is bookkeeping, not content):
         # echo the *current* request's label, as a fresh run would.
         return replace(result, cached=True, label=request.label)
 
     def _cache_store(self, key: Optional[str], result: AllocationResult) -> None:
-        if key is None or self.cache_dir is None:
+        if key is None or self._cache is None:
             return
         if result.error is not None and not result.error.startswith("infeasible"):
             return  # timeouts / validation failures are not deterministic facts
+        from .. import __version__
         from ..io.json_io import allocation_result_to_dict
 
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._cache_path(key)
-        # Per-process tmp name + atomic rename: concurrent engines
-        # sharing a cache dir never collide on the tmp file or see
-        # torn JSON.  A lost rename race is harmless (both wrote the
-        # same deterministic payload), so OSErrors are swallowed --
-        # the cache is an accelerator, never a correctness dependency.
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        try:
-            tmp.write_text(
-                json.dumps(allocation_result_to_dict(result), sort_keys=True)
-            )
-            tmp.replace(path)
-        except OSError:
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
+        self._cache.write(
+            key,
+            json.dumps(allocation_result_to_dict(result), sort_keys=True),
+            version=__version__,
+        )
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, request: AllocationRequest) -> AllocationResult:
-        """Execute one request in-process (cache-aware)."""
+        """Execute one request (cache-aware).
+
+        ``executor="pool"`` engines run it in-process; ``"process"``
+        engines run it in a dedicated killable worker process, making
+        ``request.timeout`` a hard deadline even for a single run.
+        """
         key = self.cache_key(request)
         hit = self._cache_load(key, request)
         if hit is not None:
             return hit
-        result = execute_request(request)
+        if self.executor == "process":
+            (result,) = self._run_preemptive([request], workers=1)
+        else:
+            result = execute_request(request)
         self._cache_store(key, result)
+        if self._cache is not None:
+            self._cache.flush()
         return result
+
+    def _run_preemptive(
+        self, requests: Sequence[AllocationRequest], workers: int
+    ) -> List[AllocationResult]:
+        """Fresh runs through the process-per-run executor (stats kept)."""
+        from .executor import ProcessPerRunExecutor
+
+        runner = ProcessPerRunExecutor(workers=workers)
+        try:
+            return runner.run_many(requests)
+        finally:
+            for name, value in runner.stats.items():
+                self.executor_stats[name] = (
+                    self.executor_stats.get(name, 0) + value
+                )
 
     def run_batch(
         self,
         requests: Sequence[AllocationRequest],
         workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> List[AllocationResult]:
         """Execute a batch; results align index-for-index with requests.
 
-        With ``workers > 1`` the fresh (non-cached) requests fan out
-        over a ``ProcessPoolExecutor``; completion order never affects
-        result order.  A request whose ``timeout`` expires while pooled
-        yields a timeout envelope; the pool is then shut down without
-        waiting (abandoned workers finish in the background -- CPython
-        cannot preempt a running C-level solve).  The pooled timeout
-        clock starts when the parent begins waiting on that request, so
-        time a request spends queued behind earlier requests counts
-        against its budget; treat ``timeout`` as a batch-latency bound,
-        not a precise per-solve limit (see ROADMAP for the preemptive
-        process-per-run mode).
+        ``executor`` overrides the engine's mode for this call.
+
+        In ``"process"`` mode every fresh (non-cached) request runs in
+        its own worker process -- at most ``workers`` live at a time --
+        with a hard deadline measured from its *own* process start: a
+        blown budget kills the worker, and queued requests never pay
+        for an earlier hung solve.
+
+        In ``"pool"`` mode, with ``workers > 1`` the fresh requests fan
+        out over a ``ProcessPoolExecutor``; completion order never
+        affects result order.  A request whose ``timeout`` expires
+        while pooled yields a timeout envelope; the pool is then shut
+        down without waiting (abandoned workers finish in the
+        background -- CPython cannot preempt a running C-level solve).
+        The pooled timeout clock starts when the parent begins waiting
+        on that request, so time a request spends queued behind earlier
+        requests counts against its budget; treat the pooled ``timeout``
+        as a batch-latency bound, not a precise per-solve limit -- use
+        ``executor="process"`` for a true per-solve budget.
         """
         count = workers if workers is not None else (self.workers or 1)
         if count < 1:
             raise ValueError(f"workers must be >= 1, got {count}")
+        mode = executor if executor is not None else self.executor
+        if mode not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {mode!r}")
 
         results: List[Optional[AllocationResult]] = [None] * len(requests)
         keys: List[Optional[str]] = [self.cache_key(r) for r in requests]
@@ -292,7 +366,15 @@ class Engine:
         wants_preemption = count > 1 and any(
             requests[index].timeout is not None for index in fresh
         )
-        if count <= 1 or (len(fresh) <= 1 and not wants_preemption):
+        if mode == "process":
+            if fresh:
+                fresh_results = self._run_preemptive(
+                    [requests[index] for index in fresh],
+                    workers=min(count, len(fresh)),
+                )
+                for index, result in zip(fresh, fresh_results):
+                    results[index] = result
+        elif count <= 1 or (len(fresh) <= 1 and not wants_preemption):
             for index in fresh:
                 results[index] = execute_request(requests[index])
         elif fresh:
@@ -340,5 +422,7 @@ class Engine:
             result = results[index]
             assert result is not None
             self._cache_store(keys[index], result)
+        if self._cache is not None:
+            self._cache.flush()  # one manifest write per batch, not per store
         assert all(r is not None for r in results)
         return list(results)  # type: ignore[arg-type]

@@ -25,7 +25,16 @@ Linux's ``fork`` children inherit interactive registrations.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Protocol, Tuple, Union, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 
 @runtime_checkable
@@ -105,6 +114,11 @@ def _ensure_builtins() -> None:
 def get_allocator(name: str) -> Allocator:
     """Look up a registered strategy.
 
+    A built-in name that was removed with :func:`unregister_allocator`
+    is restored on lookup (built-ins are never permanently lost to the
+    process); a registered replacement under the same name wins over
+    restoration.
+
     Raises:
         UnknownAllocatorError: no strategy is registered under ``name``.
     """
@@ -112,7 +126,28 @@ def get_allocator(name: str) -> Allocator:
     try:
         return _REGISTRY[name]
     except KeyError:
+        restored = _restore_builtin(name)
+        if restored is not None:
+            return restored
         raise UnknownAllocatorError(name, allocator_names()) from None
+
+
+def _restore_builtin(name: str) -> Optional[Allocator]:
+    """Re-register and return the built-in adapter for ``name``, if any.
+
+    ``unregister_allocator`` on a built-in must not brick the registry
+    for the rest of the process (historically ``_builtins_loaded``
+    stayed ``True``, so the lazy loader never ran again and e.g.
+    ``dpalloc`` was gone for good after a test teardown).  Restoration
+    happens on lookup miss only: while a *different* callable is
+    registered under the name (a plugin override), it wins.
+    """
+    from . import adapters
+
+    fn = adapters.BUILTINS.get(name)
+    if fn is not None:
+        _REGISTRY[name] = fn
+    return fn
 
 
 def allocator_names() -> List[str]:

@@ -31,10 +31,14 @@ class AllocationRequest:
             the ILP's ``time_limit``); must be JSON-compatible for the
             result cache to key on them.
         label: free-form tag echoed into the result (batch bookkeeping).
-        timeout: optional wall-clock budget in seconds.  Enforced
-            preemptively in pooled ``run_batch`` execution; in serial
-            execution it is checked after the run completes (Python
-            cannot safely interrupt an in-process solver).
+        timeout: optional wall-clock budget in seconds.  A hard
+            per-solve deadline under the process-per-run executor
+            (``Engine(executor="process")`` -- the worker is killed);
+            enforced by abandoning the worker in pooled ``run_batch``
+            execution; in serial in-process execution it is checked
+            after the run completes (Python cannot safely interrupt an
+            in-process solver).  Every mode yields the identical
+            canonical timeout envelope.
     """
 
     problem: Problem

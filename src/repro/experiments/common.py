@@ -12,6 +12,9 @@ latency constraints built by relaxing the minimum achievable latency
 * worker-count resolution (``REPRO_WORKERS``) for the engine's process
   pool -- every experiment fans its sweep out through
   :meth:`repro.engine.Engine.run_batch`;
+* executor-mode resolution (``REPRO_EXECUTOR``: ``pool`` or
+  ``process``) -- opt a whole sweep into the preemptive
+  process-per-run executor without touching experiment code;
 * wall-clock measurement helpers.
 """
 
@@ -34,6 +37,7 @@ __all__ = [
     "build_case",
     "relaxed_constraint",
     "require_ok",
+    "resolve_executor",
     "resolve_samples",
     "resolve_workers",
     "sweep_engine",
@@ -106,10 +110,26 @@ def resolve_workers(requested: Optional[int] = None, default: int = 1) -> int:
     return default
 
 
+def resolve_executor(
+    requested: Optional[str] = None, default: str = "pool"
+) -> str:
+    """Engine executor mode: explicit argument > ``REPRO_EXECUTOR`` env
+    > default.  Raises ``ValueError`` on an unknown mode."""
+    from ..engine import EXECUTORS
+
+    value = requested or os.environ.get("REPRO_EXECUTOR") or default
+    if value not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {EXECUTORS}, got {value!r}"
+        )
+    return value
+
+
 def sweep_engine(engine: Optional[Engine] = None) -> Engine:
     """The engine an experiment sweep runs through (callers may inject
-    a cache-backed or pre-configured instance)."""
-    return engine if engine is not None else Engine()
+    a cache-backed or pre-configured instance).  The default instance
+    honours ``REPRO_EXECUTOR``."""
+    return engine if engine is not None else Engine(executor=resolve_executor())
 
 
 def require_ok(result: AllocationResult) -> Datapath:

@@ -2,6 +2,8 @@
 
 from .dot import datapath_to_dot, graph_to_dot
 from .json_io import (
+    allocation_request_from_dict,
+    allocation_request_to_dict,
     allocation_result_from_dict,
     allocation_result_to_dict,
     datapath_from_dict,
@@ -11,10 +13,14 @@ from .json_io import (
     load_json,
     netlist_from_dict,
     netlist_to_dict,
+    problem_from_dict,
+    problem_to_dict,
     save_json,
 )
 
 __all__ = [
+    "allocation_request_from_dict",
+    "allocation_request_to_dict",
     "allocation_result_from_dict",
     "allocation_result_to_dict",
     "datapath_from_dict",
@@ -26,5 +32,7 @@ __all__ = [
     "load_json",
     "netlist_from_dict",
     "netlist_to_dict",
+    "problem_from_dict",
+    "problem_to_dict",
     "save_json",
 ]

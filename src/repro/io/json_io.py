@@ -26,6 +26,10 @@ __all__ = [
     "netlist_from_dict",
     "datapath_to_dict",
     "datapath_from_dict",
+    "problem_to_dict",
+    "problem_from_dict",
+    "allocation_request_to_dict",
+    "allocation_request_from_dict",
     "allocation_result_to_dict",
     "allocation_result_from_dict",
     "save_json",
@@ -144,6 +148,115 @@ def datapath_from_dict(data: Dict) -> Datapath:
         area=float(data["area"]),
         iterations=int(data.get("iterations", 1)),
         method=data.get("method", "unknown"),
+    )
+
+
+# ----------------------------------------------------------------------
+# problems and allocation requests (shard manifests, service payloads)
+# ----------------------------------------------------------------------
+
+def _model_to_dict(model) -> Dict:
+    """Serialise a technology model by type name + dataclass params.
+
+    Only the built-in frozen-dataclass SONIC models round-trip --
+    callable-table models (``TableLatencyModel``/``TableAreaModel``)
+    hold arbitrary functions and have no JSON identity, mirroring the
+    ``Problem.fingerprint()`` rules.
+    """
+    import dataclasses
+
+    from ..resources.area import SonicAreaModel
+    from ..resources.latency import SonicLatencyModel
+
+    if isinstance(model, (SonicLatencyModel, SonicAreaModel)):
+        return {
+            "type": type(model).__name__,
+            "params": dataclasses.asdict(model),
+        }
+    raise ValueError(
+        f"{type(model).__name__} is not JSON-serialisable; shard "
+        f"manifests and problem payloads support the built-in SONIC "
+        f"models only"
+    )
+
+
+def _model_from_dict(data: Dict):
+    from ..resources.area import SonicAreaModel
+    from ..resources.latency import SonicLatencyModel
+
+    known = {
+        "SonicLatencyModel": SonicLatencyModel,
+        "SonicAreaModel": SonicAreaModel,
+    }
+    try:
+        cls = known[data["type"]]
+    except KeyError:
+        raise ValueError(f"unknown model type: {data.get('type')!r}") from None
+    return cls(**data.get("params", {}))
+
+
+def problem_to_dict(problem) -> Dict:
+    """Serialise a :class:`~repro.core.problem.Problem` instance."""
+    return {
+        "kind": "problem",
+        "graph": graph_to_dict(problem.graph),
+        "latency_constraint": problem.latency_constraint,
+        "latency_model": _model_to_dict(problem.latency_model),
+        "area_model": _model_to_dict(problem.area_model),
+        "resource_constraints": (
+            dict(problem.resource_constraints)
+            if problem.resource_constraints is not None
+            else None
+        ),
+    }
+
+
+def problem_from_dict(data: Dict):
+    """Deserialise a :class:`~repro.core.problem.Problem` instance."""
+    if data.get("kind") != "problem":
+        raise ValueError(f"not a problem payload: {data.get('kind')!r}")
+    from ..core.problem import Problem
+
+    constraints = data.get("resource_constraints")
+    return Problem(
+        graph=graph_from_dict(data["graph"]),
+        latency_constraint=int(data["latency_constraint"]),
+        latency_model=_model_from_dict(data["latency_model"]),
+        area_model=_model_from_dict(data["area_model"]),
+        resource_constraints=(
+            {k: int(v) for k, v in constraints.items()}
+            if constraints is not None
+            else None
+        ),
+    )
+
+
+def allocation_request_to_dict(request) -> Dict:
+    """Serialise an :class:`~repro.engine.results.AllocationRequest`."""
+    return {
+        "kind": "allocation-request",
+        "problem": problem_to_dict(request.problem),
+        "allocator": request.allocator,
+        "options": dict(request.options),
+        "label": request.label,
+        "timeout": request.timeout,
+    }
+
+
+def allocation_request_from_dict(data: Dict):
+    """Deserialise an :class:`~repro.engine.results.AllocationRequest`."""
+    if data.get("kind") != "allocation-request":
+        raise ValueError(
+            f"not an allocation-request payload: {data.get('kind')!r}"
+        )
+    from ..engine.results import AllocationRequest
+
+    return AllocationRequest(
+        problem=problem_from_dict(data["problem"]),
+        allocator=data["allocator"],
+        options=dict(data.get("options") or {}),
+        label=data.get("label"),
+        timeout=data.get("timeout"),
     )
 
 

@@ -1,0 +1,242 @@
+"""Tests for the result-cache lifecycle: manifest, stats, eviction."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.engine import AllocationRequest, Engine, ResultCache
+from repro.experiments import build_case
+
+
+def requests_for(count):
+    return [
+        AllocationRequest(build_case(n, s, relaxation=0.2).problem, "dpalloc")
+        for n, s in [(4 + 2 * (i // 3), i % 3) for i in range(count)]
+    ]
+
+
+def entry_files(cache_dir):
+    return sorted(
+        p for p in cache_dir.glob("*.json") if p.name != "manifest.json"
+    )
+
+
+class TestManifest:
+    def test_written_alongside_entries_with_metadata(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        Engine(cache_dir=cache_dir).run_batch(requests_for(3))
+        manifest = json.loads((cache_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "cache-manifest"
+        assert len(manifest["entries"]) == 3
+        for key, entry in manifest["entries"].items():
+            assert set(entry) == {"version", "created", "last_used", "size"}
+            from repro import __version__
+
+            assert entry["version"] == __version__
+            assert entry["size"] == (
+                cache_dir / f"{key}.json"
+            ).stat().st_size
+
+    def test_corrupt_manifest_is_rebuilt_from_scan(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir)
+        engine.run_batch(requests_for(3))
+        for corruption in ("{not json", '{"kind": "other"}', "[]",
+                           '{"kind": "cache-manifest", "entries": 3}'):
+            (cache_dir / "manifest.json").write_text(corruption)
+            fresh = Engine(cache_dir=cache_dir)
+            stats = fresh.cache_stats()
+            assert stats["entries"] == 3, corruption
+            assert stats["total_bytes"] > 0
+            # ... and entries are still served as cache hits
+            results = fresh.run_batch(requests_for(3))
+            assert all(r.cached for r in results), corruption
+
+    def test_rebuild_adopts_untracked_entries(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir)
+        engine.run_batch(requests_for(2))
+        (cache_dir / "manifest.json").unlink()
+        stats = Engine(cache_dir=cache_dir).cache_stats()
+        assert stats["entries"] == 2
+
+    def test_stale_manifest_entries_are_dropped(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir)
+        engine.run_batch(requests_for(2))
+        entry_files(cache_dir)[0].unlink()
+        assert Engine(cache_dir=cache_dir).cache_stats()["entries"] == 1
+
+
+class TestStats:
+    def test_counts_hits_and_misses(self, tmp_path):
+        engine = Engine(cache_dir=tmp_path / "cache")
+        engine.run_batch(requests_for(4))
+        stats = engine.cache_stats()
+        assert stats["entries"] == 4 and stats["misses"] == 4
+        assert stats["hits"] == 0
+        engine.run_batch(requests_for(4))
+        assert engine.cache_stats()["hits"] == 4
+
+    def test_totals_match_disk(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir)
+        engine.run_batch(requests_for(3))
+        stats = engine.cache_stats()
+        on_disk = sum(p.stat().st_size for p in entry_files(cache_dir))
+        assert stats["total_bytes"] == on_disk
+        assert stats["max_bytes"] is None
+
+    def test_none_without_cache(self):
+        assert Engine().cache_stats() is None
+        assert Engine().clear_cache() == 0
+        assert Engine().prune_cache()["evicted"] == 0
+
+
+class TestEviction:
+    def test_lru_order(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        text = json.dumps({"payload": "x" * 200})
+        for name in ("a", "b", "c"):
+            cache.write("k" * 63 + name, text, version="test")
+            time.sleep(0.01)
+        # Touch "a": it becomes most recently used.
+        assert cache.read("k" * 63 + "a") is not None
+        # Budget for two entries: exactly one must go -- the LRU one.
+        report = cache.prune(max_mb=(2.5 * len(text)) / (1024 * 1024))
+        assert report["evicted"] == 1
+        remaining = {p.stem[-1] for p in entry_files(tmp_path / "cache")}
+        assert "a" in remaining  # LRU evicts b first, never the touched a
+        assert "b" not in remaining
+
+    def test_budget_enforced_after_each_store(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir, cache_max_mb=0.002)  # ~2 KB
+        engine.run_batch(requests_for(6))
+        stats = engine.cache_stats()
+        assert stats["total_bytes"] <= 0.002 * 1024 * 1024
+        assert stats["entries"] < 6
+
+    def test_unbounded_by_default(self, tmp_path):
+        engine = Engine(cache_dir=tmp_path / "cache")
+        engine.run_batch(requests_for(6))
+        assert engine.cache_stats()["entries"] == 6
+        assert engine.prune_cache()["evicted"] == 0  # no budget, no-op
+
+    def test_explicit_prune_overrides_budget(self, tmp_path):
+        engine = Engine(cache_dir=tmp_path / "cache")
+        engine.run_batch(requests_for(4))
+        report = engine.prune_cache(max_mb=1e-6)  # evict practically all
+        assert report["evicted"] >= 3
+        assert report["reclaimed_bytes"] > 0
+
+    def test_cache_max_mb_requires_cache_dir(self):
+        with pytest.raises(ValueError):
+            Engine(cache_max_mb=10)
+        with pytest.raises(ValueError):
+            ResultCache("x", max_mb=0)
+
+    def test_prune_rejects_non_positive_budget(self, tmp_path):
+        # prune(0) must not silently empty the cache (that is clear()).
+        engine = Engine(cache_dir=tmp_path / "cache")
+        engine.run_batch(requests_for(2))
+        for budget in (0, -1):
+            with pytest.raises(ValueError):
+                engine.prune_cache(budget)
+        assert engine.cache_stats()["entries"] == 2
+
+    def test_lru_position_survives_across_instances(self, tmp_path):
+        # Hits refresh the entry file mtime instead of flushing the
+        # manifest; a later engine's prune must still see that recency.
+        cache_dir = tmp_path / "cache"
+        first = Engine(cache_dir=cache_dir)
+        requests = requests_for(3)
+        first.run_batch(requests)
+        time.sleep(0.01)
+        hit = first.run(requests[0])
+        assert hit.cached
+        sizes = sorted(p.stat().st_size for p in entry_files(cache_dir))
+        budget_mb = (sizes[0] + sizes[1] + 1) / (1024 * 1024)
+        second = Engine(cache_dir=cache_dir)
+        second.prune_cache(budget_mb)
+        assert second.run(requests[0]).cached  # the touched entry stayed
+
+    def test_corrupt_entry_recounted_as_miss_and_removed(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir)
+        (request,) = requests_for(1)
+        engine.run(request)
+        (entry,) = entry_files(cache_dir)
+        entry.write_text("{torn")
+        result = engine.run(request)
+        assert result.ok and not result.cached
+        stats = engine.cache_stats()
+        # initial miss + corrupt lookup reclassified as miss; the
+        # corrupt-file read must not linger as a phantom hit
+        assert stats["hits"] == 0 and stats["misses"] == 2
+        assert engine.run(request).cached  # fresh envelope re-cached
+
+    def test_evicted_entry_reruns_and_recaches(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir)
+        (request,) = requests_for(1)
+        engine.run(request)
+        engine.prune_cache(max_mb=1e-6)
+        result = engine.run(request)
+        assert not result.cached  # evicted -> fresh run
+        assert engine.run(request).cached  # ... which re-cached
+
+
+class TestClear:
+    def test_clear_removes_everything(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir)
+        engine.run_batch(requests_for(3))
+        assert engine.clear_cache() == 3
+        assert engine.cache_stats()["entries"] == 0
+        assert not entry_files(cache_dir)
+        assert not (cache_dir / "manifest.json").exists()
+
+    def test_clear_on_missing_dir_is_safe(self, tmp_path):
+        assert Engine(cache_dir=tmp_path / "nope").clear_cache() == 0
+
+
+class TestCacheCli:
+    def seed(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "batch", "fir", "biquad", "--methods", "dpalloc",
+            "--relax", "0.5", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        return cache_dir
+
+    def test_stats(self, tmp_path, capsys):
+        cache_dir = self.seed(tmp_path, capsys)
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2 and stats["total_bytes"] > 0
+
+    def test_prune_requires_budget(self, tmp_path, capsys):
+        cache_dir = self.seed(tmp_path, capsys)
+        assert main(["cache", "prune", str(cache_dir)]) == 2
+        assert "--max-mb" in capsys.readouterr().err
+        assert main([
+            "cache", "prune", str(cache_dir), "--max-mb", "0.000001",
+        ]) == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        cache_dir = self.seed(tmp_path, capsys)
+        assert main(["cache", "clear", str(cache_dir)]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert not entry_files(cache_dir)
+
+    def test_batch_cache_max_mb_needs_cache_dir(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "fir", "--methods", "dpalloc",
+                  "--cache-max-mb", "1"])
+        assert "--cache-dir" in capsys.readouterr().err

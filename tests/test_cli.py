@@ -106,6 +106,18 @@ class TestCompare:
         assert main(["compare", "fir", "--relax", "0.5", "--workers", "2"]) == 0
         assert "dpalloc" in capsys.readouterr().out
 
+    def test_timeout_and_executor_flags(self, capsys):
+        # compare shares batch's engine flags: a generous hard per-solve
+        # budget through the process-per-run executor changes nothing.
+        assert main([
+            "compare", "motivational", "--relax", "1.0",
+            "--timeout", "120", "--executor", "process",
+        ]) == 0
+        out = capsys.readouterr().out
+        for method in allocator_names():
+            assert method in out
+        assert "timeout" not in out
+
     def test_unknown_workload_fails(self):
         with pytest.raises(FileNotFoundError):
             main(["compare", "not-a-workload"])
@@ -154,6 +166,22 @@ class TestBatch:
             "batch", "fir", "--methods", "uniform", "--latency", "1",
         ]) == 1
         assert "infeasible" in capsys.readouterr().out
+
+    def test_process_executor_matches_pool_output(self, tmp_path, capsys):
+        argv = ["batch", "fir", "--methods", "dpalloc,uniform",
+                "--relax", "0.5"]
+        pool_json = tmp_path / "pool.json"
+        proc_json = tmp_path / "proc.json"
+        assert main([*argv, "--json", str(pool_json)]) == 0
+        assert main([*argv, "--executor", "process",
+                     "--json", str(proc_json)]) == 0
+        capsys.readouterr()
+        pool = [allocation_result_from_dict(r)
+                for r in load_json(pool_json)["results"]]
+        proc = [allocation_result_from_dict(r)
+                for r in load_json(proc_json)["results"]]
+        assert [r.canonical_json() for r in pool] == \
+               [r.canonical_json() for r in proc]
 
 
 class TestParser:

@@ -98,6 +98,32 @@ class TestRegistry:
         with pytest.raises(UnknownAllocatorError):
             unregister_allocator("never-registered")
 
+    def test_unregistered_builtin_is_restored_on_lookup(self):
+        # Regression: unregistering a built-in used to brick the
+        # registry for the rest of the process (_builtins_loaded stayed
+        # True, so the lazy loader never re-ran).
+        unregister_allocator("dpalloc")
+        assert "dpalloc" not in allocator_names()
+        fn = get_allocator("dpalloc")
+        assert callable(fn)
+        assert "dpalloc" in allocator_names()
+        result = Engine().run(AllocationRequest(make_problem(), "dpalloc"))
+        assert result.ok
+
+    def test_replacement_for_unregistered_builtin_wins_over_restore(self):
+        original = get_allocator("uniform")
+        unregister_allocator("uniform")
+        try:
+
+            @register_allocator("uniform")
+            def replacement(problem, **options):
+                return original(problem)
+
+            assert get_allocator("uniform") is replacement
+        finally:
+            unregister_allocator("uniform")
+            assert get_allocator("uniform") is original
+
 
 class TestExecuteRequest:
     def test_success_envelope(self):
@@ -213,6 +239,33 @@ class TestRunBatch:
         finally:
             unregister_allocator("test-hang")
 
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="interactively registered allocators reach pool workers "
+               "only under the fork start method (see registry docstring)",
+    )
+    def test_slow_failing_run_envelopes_identically_serial_and_pooled(self):
+        # Regression: the post-hoc timeout normalisation only fired when
+        # error was None, so a run that blew its budget AND reported
+        # infeasible kept "infeasible: ..." serially but yielded a
+        # timeout envelope when pooled -- breaking the byte-identical
+        # canonical_json() guarantee.
+        @register_allocator("test-slow-infeasible")
+        def slow_infeasible(problem, **options):
+            time.sleep(0.4)
+            raise InfeasibleError("slowly discovered")
+
+        try:
+            request = AllocationRequest(
+                make_problem(), "test-slow-infeasible", timeout=0.05,
+            )
+            serial = execute_request(request)
+            (pooled,) = Engine().run_batch([request], workers=2)
+            assert serial.error == "timeout: no result within 0.05s"
+            assert serial.canonical_json() == pooled.canonical_json()
+        finally:
+            unregister_allocator("test-slow-infeasible")
+
     def test_serial_timeout_reported_after_the_fact(self):
         @register_allocator("test-sleep")
         def sleepy(problem, **options):
@@ -277,7 +330,9 @@ class TestCache:
         engine = Engine(cache_dir=cache)
         request = AllocationRequest(make_problem(), "dpalloc")
         engine.run(request)
-        (entry,) = cache.glob("*.json")
+        (entry,) = (
+            p for p in cache.glob("*.json") if p.name != "manifest.json"
+        )
         for corrupt in ("{not json", "null", "[1, 2]"):
             entry.write_text(corrupt)
             result = engine.run(request)

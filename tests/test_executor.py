@@ -1,0 +1,201 @@
+"""Tests for the preemptive process-per-run executor.
+
+Covers the ISSUE-2 acceptance criteria: a hung request is killed (not
+abandoned) in ~its budget, later requests never inherit a starved slot
+or a stale clock, no orphan worker survives, and envelopes stay
+byte-for-byte identical to serial execution.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import Problem
+from repro.engine import (
+    AllocationRequest,
+    Engine,
+    ProcessPerRunExecutor,
+    execute_request,
+    get_allocator,
+    register_allocator,
+    unregister_allocator,
+)
+from repro.gen.workloads import fir_filter
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="interactively registered allocators reach worker processes "
+           "only under the fork start method (see registry docstring)",
+)
+
+
+def make_problem(relax=0.5):
+    graph = fir_filter()
+    scratch = Problem(graph, latency_constraint=1_000_000)
+    lam = scratch.minimum_latency()
+    return scratch.with_latency_constraint(max(1, int(lam * (1 + relax))))
+
+
+@pytest.fixture
+def hung_allocator(tmp_path):
+    """An allocator that records its worker pid, then hangs far beyond
+    any test budget."""
+    pid_file = tmp_path / "worker.pid"
+
+    @register_allocator("test-exec-hang")
+    def hang(problem, **options):
+        pid_file.write_text(str(os.getpid()))
+        time.sleep(120)
+        return get_allocator("uniform")(problem)
+
+    yield pid_file
+    unregister_allocator("test-exec-hang")
+
+
+class TestKillOnDeadline:
+    @fork_only
+    def test_hung_worker_is_killed_within_budget(self, hung_allocator):
+        runner = ProcessPerRunExecutor()
+        began = time.perf_counter()
+        result = runner.run(AllocationRequest(
+            make_problem(), "test-exec-hang", timeout=1.0,
+        ))
+        elapsed = time.perf_counter() - began
+        assert result.error == "timeout: no result within 1s"
+        assert result.datapath is None and result.valid is None
+        assert elapsed < 5.0  # ~1s budget, generous CI slack
+        assert runner.stats["timeouts"] == 1 and runner.stats["killed"] == 1
+
+        # The acceptance criterion: actually killed, no orphan.
+        pid = int(hung_allocator.read_text())
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+
+    @fork_only
+    def test_hung_request_does_not_starve_the_next(self, hung_allocator):
+        # Regression for the pool-slot starvation bug: with the pool
+        # path, an abandoned worker kept its slot and the next
+        # request's clock started late, cascading spurious timeouts.
+        # Process-per-run budgets are independent even with workers=1.
+        requests = [
+            AllocationRequest(make_problem(), "test-exec-hang", timeout=1.0),
+            AllocationRequest(make_problem(), "dpalloc", timeout=30.0),
+        ]
+        began = time.perf_counter()
+        results = Engine(executor="process").run_batch(requests, workers=1)
+        elapsed = time.perf_counter() - began
+        assert results[0].error == "timeout: no result within 1s"
+        assert results[1].ok, results[1].error
+        assert elapsed < 20.0  # 1s budget + one real solve, not 120s
+
+    @fork_only
+    def test_unwind_kills_live_workers(self, hung_allocator):
+        # An untimed hung request cannot finish; destroy the executor
+        # mid-flight via a second request failing catastrophically is
+        # hard to arrange, so exercise _kill directly through run_many's
+        # finally path: a deadline on the hung request plus a fast one.
+        runner = ProcessPerRunExecutor(workers=2)
+        results = runner.run_many([
+            AllocationRequest(make_problem(), "test-exec-hang", timeout=0.5),
+            AllocationRequest(make_problem(), "uniform"),
+        ])
+        assert results[0].error.startswith("timeout")
+        assert results[1].ok
+        pid = int(hung_allocator.read_text())
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+
+
+class TestEnvelopeParity:
+    def test_process_mode_matches_serial_byte_for_byte(self):
+        requests = [
+            AllocationRequest(make_problem(), name)
+            for name in ("dpalloc", "uniform", "clique-sort")
+        ]
+        serial = Engine().run_batch(requests)
+        preemptive = Engine(executor="process").run_batch(requests, workers=2)
+        assert [r.canonical_json() for r in serial] == \
+               [r.canonical_json() for r in preemptive]
+
+    @fork_only
+    def test_timeout_envelope_matches_pool_mode(self, hung_allocator):
+        request = AllocationRequest(
+            make_problem(), "test-exec-hang", timeout=0.3,
+        )
+        (pooled,) = Engine().run_batch([request], workers=2)
+        (preemptive,) = Engine(executor="process").run_batch([request])
+        assert pooled.canonical_json() == preemptive.canonical_json()
+
+    def test_result_order_matches_request_order(self):
+        requests = [
+            AllocationRequest(make_problem(), name, label=name)
+            for name in ("uniform", "dpalloc", "clique-sort", "two-stage")
+        ]
+        results = Engine(executor="process").run_batch(requests, workers=2)
+        assert [r.allocator for r in results] == \
+               [r.allocator for r in requests]
+        assert [r.label for r in results] == [r.label for r in requests]
+
+
+class TestFailureContainment:
+    @fork_only
+    def test_crashed_worker_becomes_error_envelope(self):
+        @register_allocator("test-exec-crash")
+        def crash(problem, **options):
+            os._exit(13)  # simulate a segfaulting native solver
+
+        try:
+            (result,) = ProcessPerRunExecutor().run_many([
+                AllocationRequest(make_problem(), "test-exec-crash"),
+            ])
+            assert not result.ok
+            assert result.error.startswith("error: WorkerCrashError")
+            assert "13" in result.error
+        finally:
+            unregister_allocator("test-exec-crash")
+
+    @fork_only
+    def test_infeasible_still_reported_as_data(self):
+        from repro.gen.workloads import motivational_example
+
+        graph = motivational_example()
+        scratch = Problem(graph, latency_constraint=1_000_000)
+        tight = scratch.with_latency_constraint(scratch.minimum_latency())
+        (result,) = Engine(executor="process").run_batch([
+            AllocationRequest(tight, "uniform"),
+        ])
+        serial = execute_request(AllocationRequest(tight, "uniform"))
+        assert result.error.startswith("infeasible")
+        assert result.canonical_json() == serial.canonical_json()
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessPerRunExecutor(workers=0)
+        with pytest.raises(ValueError):
+            Engine(executor="warp")
+
+    def test_run_batch_rejects_unknown_executor_override(self):
+        with pytest.raises(ValueError):
+            Engine().run_batch([], executor="warp")
+
+
+class TestEngineIntegration:
+    def test_cache_hits_skip_the_executor(self, tmp_path):
+        engine = Engine(cache_dir=tmp_path / "cache", executor="process")
+        request = AllocationRequest(make_problem(), "dpalloc")
+        first = engine.run(request)
+        second = engine.run(request)
+        assert first.ok and not first.cached and second.cached
+        assert engine.executor_stats["started"] == 1
+
+    def test_executor_stats_accumulate(self):
+        engine = Engine(executor="process")
+        request = AllocationRequest(make_problem(), "uniform")
+        engine.run(request)
+        engine.run_batch([request, request], workers=2)
+        assert engine.executor_stats["started"] == 3
+        assert engine.executor_stats["completed"] == 3
+        assert engine.executor_stats["timeouts"] == 0
+        assert engine.executor_stats["crashed"] == 0
