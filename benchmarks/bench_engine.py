@@ -30,10 +30,10 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import tgff_requests  # noqa: E402  (shared problem grid)
 from conftest import samples  # noqa: E402  (shared REPRO_SAMPLES helper)
 
 from repro.engine import AllocationRequest, Engine  # noqa: E402
-from repro.experiments import build_case  # noqa: E402
 
 SIZES = (32, 48, 64)
 RELAXATION = 0.2
@@ -43,14 +43,7 @@ PREEMPTIVE_TIMEOUT = 300.0
 
 
 def build_requests(per_size: int) -> list:
-    requests = []
-    for num_ops in SIZES:
-        for sample in range(per_size):
-            problem = build_case(num_ops, sample, RELAXATION).problem
-            requests.append(AllocationRequest(
-                problem, "dpalloc", label=f"tgff-{num_ops}-{sample}",
-            ))
-    return requests
+    return tgff_requests(SIZES, per_size, RELAXATION)
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,129 @@
+"""Solver-core benchmark: incremental vs scratch per-iteration cost.
+
+Runs the same multi-iteration DPAlloc refinement workloads (large TGFF
+graphs at a tight latency constraint, so the refine-and-reschedule loop
+iterates many times) through the pass pipeline twice -- once with
+incremental recomputation (the default) and once with the
+``REPRO_SOLVER=scratch`` escape hatch -- verifies the datapaths are
+byte-identical, and emits ``BENCH_solver.json``: the solver's perf
+trajectory across PRs (companion to ``BENCH_engine.json``).
+
+Each mode is timed best-of-``--repeats`` to suppress scheduler noise;
+the headline statistic is per-iteration solve time, which incremental
+recomputation must keep at or below scratch.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py [--repeats N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import tgff_problems  # noqa: E402  (shared problem grid)
+from conftest import samples  # noqa: E402  (shared REPRO_SAMPLES helper)
+
+from repro.core.solver import DPAllocOptions, run_pipeline  # noqa: E402
+from repro.io.json_io import datapath_to_dict  # noqa: E402
+
+SIZES = (48, 64, 96)
+# lambda = lambda_min: the constraint is only reachable after many
+# refinement iterations -- the workload the incremental core targets.
+RELAXATION = 0.0
+
+
+def canonical(datapath) -> str:
+    return json.dumps(datapath_to_dict(datapath), sort_keys=True)
+
+
+def time_mode(problems, mode: str, repeats: int):
+    """Best-of-``repeats`` total seconds plus the datapaths of one run."""
+    options = DPAllocOptions()
+    best = float("inf")
+    datapaths = []
+    for _ in range(repeats):
+        began = time.perf_counter()
+        produced = [run_pipeline(p, options, mode=mode) for _, p in problems]
+        elapsed = time.perf_counter() - began
+        if elapsed < best:
+            best = elapsed
+            datapaths = produced
+    return best, datapaths
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=None,
+                        help="graphs per size (default REPRO_SAMPLES or 2)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repeats per mode (best-of; default 2)")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_solver.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    per_size = args.samples if args.samples is not None else samples(2)
+    problems = tgff_problems(SIZES, per_size, RELAXATION)
+
+    scratch_seconds, scratch_dps = time_mode(problems, "scratch", args.repeats)
+    incr_seconds, incr_dps = time_mode(problems, "incremental", args.repeats)
+
+    mismatched = [
+        label
+        for (label, _), a, b in zip(problems, scratch_dps, incr_dps)
+        if canonical(a) != canonical(b)
+    ]
+    if mismatched:
+        raise AssertionError(
+            f"incremental solves diverged from scratch on: {mismatched}"
+        )
+
+    iterations = sum(dp.iterations for dp in scratch_dps)
+    multi_iteration = sum(1 for dp in scratch_dps if dp.iterations > 1)
+    if not multi_iteration:
+        raise AssertionError(
+            "benchmark workload produced no multi-iteration refinement runs"
+        )
+
+    cases = [
+        {
+            "label": label,
+            "ops": len(problem.graph),
+            "iterations": dp.iterations,
+        }
+        for (label, problem), dp in zip(problems, scratch_dps)
+    ]
+    report = {
+        "kind": "bench-solver",
+        "sizes": list(SIZES),
+        "relaxation": RELAXATION,
+        "samples_per_size": per_size,
+        "repeats": args.repeats,
+        "cases": cases,
+        "total_iterations": iterations,
+        "multi_iteration_cases": multi_iteration,
+        "scratch_seconds": round(scratch_seconds, 4),
+        "incremental_seconds": round(incr_seconds, 4),
+        "scratch_ms_per_iteration": round(1000 * scratch_seconds / iterations, 4),
+        "incremental_ms_per_iteration": round(
+            1000 * incr_seconds / iterations, 4
+        ),
+        "speedup": round(scratch_seconds / max(incr_seconds, 1e-9), 3),
+        "results_identical": True,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Shared problem/request generation for the benchmark suite.
+
+``bench_engine.py`` and ``bench_solver.py`` sweep the same deterministic
+TGFF problem grid (``repro.experiments.build_case`` seeds); this module
+holds the generation helpers so the two benchmarks cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.problem import Problem
+from repro.engine import AllocationRequest
+from repro.experiments import build_case
+
+
+def tgff_problems(
+    sizes: Sequence[int], per_size: int, relaxation: float
+) -> List[Tuple[str, Problem]]:
+    """Deterministic (label, problem) grid: ``per_size`` graphs per size."""
+    grid: List[Tuple[str, Problem]] = []
+    for num_ops in sizes:
+        for sample in range(per_size):
+            problem = build_case(num_ops, sample, relaxation).problem
+            grid.append((f"tgff-{num_ops}-{sample}", problem))
+    return grid
+
+
+def tgff_requests(
+    sizes: Sequence[int],
+    per_size: int,
+    relaxation: float,
+    allocator: str = "dpalloc",
+    options: Optional[Mapping[str, Any]] = None,
+    timeout: Optional[float] = None,
+) -> List[AllocationRequest]:
+    """Engine requests over :func:`tgff_problems` for one allocator."""
+    return [
+        AllocationRequest(
+            problem,
+            allocator,
+            options=dict(options or {}),
+            label=label,
+            timeout=timeout,
+        )
+        for label, problem in tgff_problems(sizes, per_size, relaxation)
+    ]

@@ -59,8 +59,10 @@ from .core import (
     DPAllocOptions,
     InfeasibleError,
     Problem,
+    TraceEvent,
     WordlengthCompatibilityGraph,
     allocate,
+    run_pipeline,
 )
 from .engine import (
     AllocationRequest,
@@ -80,7 +82,7 @@ from .resources import (
     extract_resource_set,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AllocationRequest",
@@ -100,6 +102,7 @@ __all__ = [
     "SequencingGraph",
     "SonicAreaModel",
     "SonicLatencyModel",
+    "TraceEvent",
     "ValidationError",
     "WordlengthCompatibilityGraph",
     "allocate",
@@ -108,6 +111,7 @@ __all__ = [
     "get_allocator",
     "is_valid",
     "register_allocator",
+    "run_pipeline",
     "validate_datapath",
     "__version__",
 ]

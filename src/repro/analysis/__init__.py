@@ -15,7 +15,7 @@ from .metrics import (
     sharing_factor,
     unit_utilisation,
 )
-from .reporting import format_seconds, format_table
+from .reporting import format_seconds, format_table, format_trace
 from .validate import ValidationError, is_valid, validate_datapath
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "estimate_interconnect",
     "format_seconds",
     "format_table",
+    "format_trace",
     "is_valid",
     "left_edge_registers",
     "mean",

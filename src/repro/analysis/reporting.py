@@ -2,14 +2,16 @@
 
 The benchmark harness regenerates the paper's figures as text tables
 (rows/series identical to the published plots); this module renders them
-consistently for the CLI, the benchmarks, and EXPERIMENTS.md.
+consistently for the CLI, the benchmarks, and EXPERIMENTS.md.  It also
+renders solver convergence traces (``repro trace`` and ``allocate
+--trace``).
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
-__all__ = ["format_table", "format_seconds"]
+__all__ = ["format_table", "format_seconds", "format_trace"]
 
 
 def format_table(
@@ -49,3 +51,34 @@ def format_seconds(seconds: float) -> str:
     minutes = int(seconds // 60)
     rest = seconds - 60 * minutes
     return f"{minutes}:{rest:05.2f}"
+
+
+def format_trace(events: Sequence, title: str = "") -> str:
+    """Render a solver iteration trace as a convergence table.
+
+    ``events`` is a sequence of :class:`~repro.core.solution.TraceEvent`
+    (one per DPAlloc outer-loop iteration).  Each row shows the move
+    that ended the iteration, what it targeted, and the makespan / area
+    / scheduling-set size the iteration achieved -- the quantities whose
+    convergence the refine-and-reschedule loop is steering.
+    """
+    if not events:
+        return (title + "\n" if title else "") + "(no trace events)"
+    rows = []
+    for event in events:
+        rows.append([
+            event.iteration,
+            event.move,
+            event.target if event.target is not None else "-",
+            event.pool if event.pool is not None else "-",
+            event.makespan,
+            event.area,
+            event.scheduling_set_size,
+        ])
+    return format_table(
+        ["iter", "move", "target", "pool", "makespan", "area", "|S|"],
+        rows,
+        title=title
+        or f"solver trace: {len(events)} iterations, "
+           f"final makespan {events[-1].makespan}, area {events[-1].area:g}",
+    )

@@ -4,7 +4,11 @@ Subcommands:
 
 * ``list-workloads`` -- the named DSP kernels shipped with the library;
 * ``allocate`` -- run one allocator on a named workload or a JSON graph
-  and print the datapath report (optionally export JSON / DOT / Verilog);
+  and print the datapath report (optionally export JSON / DOT / Verilog;
+  ``--trace`` records and prints the solver's per-iteration convergence
+  trace, which also rides into the ``--json`` export);
+* ``trace`` -- summarise the solver iteration trace stored in a
+  datapath / allocation-result / allocation-batch JSON file;
 * ``compare`` -- run every registered allocator on one problem and
   tabulate areas (infeasible methods are reported per-row; the exit code
   is nonzero only when *every* method fails);
@@ -26,6 +30,8 @@ Examples::
 
     python -m repro list-workloads
     python -m repro allocate fir --relax 0.5
+    python -m repro allocate fir --trace --json fir.json
+    python -m repro trace fir.json
     python -m repro allocate biquad --method ilp --json out.json
     python -m repro allocate fir --relax 1.0 --verilog fir.v
     python -m repro compare motivational --relax 1.0 --workers 4
@@ -54,7 +60,7 @@ import sys
 from typing import Callable, Dict, Optional, Tuple
 
 from . import Problem
-from .analysis.reporting import format_table
+from .analysis.reporting import format_table, format_trace
 from .engine import EXECUTORS, AllocationRequest, Engine, allocator_names
 from .gen import workloads
 from .io import (
@@ -146,7 +152,19 @@ def _cmd_list_workloads(_args) -> int:
 
 def _cmd_allocate(args) -> int:
     problem = _build_problem(args.workload, args.relax, args.latency)
-    result = _engine(args).run(AllocationRequest(problem, args.method))
+    options = {}
+    if args.trace:
+        if args.method == "dpalloc":
+            options = {"trace": True}
+        else:
+            print(
+                f"--trace: iteration traces are recorded by the dpalloc "
+                f"solver only; running {args.method} untraced",
+                file=sys.stderr,
+            )
+    result = _engine(args).run(
+        AllocationRequest(problem, args.method, options=options)
+    )
     if not result.ok:
         print(f"{args.method}: {result.error}", file=sys.stderr)
         return 1
@@ -156,6 +174,9 @@ def _cmd_allocate(args) -> int:
         f"lambda={problem.latency_constraint}"
     )
     print(datapath.summary())
+    if result.trace:
+        print()
+        print(format_trace(result.trace))
 
     if args.json:
         save_json(datapath_to_dict(datapath), args.json)
@@ -399,6 +420,61 @@ def _cmd_merge(args) -> int:
     return _report_failures(results)
 
 
+def _cmd_trace(args) -> int:
+    """Summarise solver iteration traces stored in a JSON artefact."""
+    from .io import allocation_result_from_dict, datapath_from_dict
+
+    try:
+        data = load_json(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"trace: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    kind = data.get("kind") if isinstance(data, dict) else None
+    found = []
+    try:
+        if kind == "datapath":
+            datapath = datapath_from_dict(data)
+            found.append((datapath.method, datapath.trace))
+        elif kind == "allocation-result":
+            result = allocation_result_from_dict(data)
+            found.append((result.label or result.allocator, result.trace))
+        elif kind == "allocation-batch":
+            for entry in data.get("results", []):
+                result = allocation_result_from_dict(entry)
+                label = f"{result.label or '-'}/{result.allocator}"
+                found.append((label, result.trace))
+        else:
+            print(
+                f"trace: {args.file} holds no datapath / allocation-result "
+                f"/ allocation-batch payload (kind={kind!r})",
+                file=sys.stderr,
+            )
+            return 2
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"trace: malformed payload in {args.file}: {exc}", file=sys.stderr)
+        return 2
+    traced = [(label, events) for label, events in found if events]
+    if not traced:
+        print(
+            "trace: no iteration traces recorded -- allocate with --trace "
+            "(or engine options={'trace': True}) to capture them",
+            file=sys.stderr,
+        )
+        return 1
+    for index, (label, events) in enumerate(traced):
+        if index:
+            print()
+        last = events[-1]
+        print(format_trace(
+            events,
+            title=(
+                f"{label}: {len(events)} iterations -> makespan "
+                f"{last.makespan}, area {last.area:g}"
+            ),
+        ))
+    return 0
+
+
 def _cmd_cache(args) -> int:
     import json as json_module
 
@@ -479,9 +555,19 @@ def main(argv=None) -> int:
     cmd = sub.add_parser("allocate", help="allocate one workload with one method")
     add_problem_args(cmd)
     cmd.add_argument("--method", choices=methods, default="dpalloc")
+    cmd.add_argument("--trace", action="store_true",
+                     help="record and print the solver's per-iteration "
+                          "convergence trace (dpalloc; rides into --json)")
     cmd.add_argument("--json", help="write the datapath as JSON")
     cmd.add_argument("--dot", help="write a Graphviz rendering")
     cmd.add_argument("--verilog", help="write structural Verilog")
+
+    cmd = sub.add_parser(
+        "trace",
+        help="summarise the solver iteration trace in a JSON artefact "
+             "(datapath, allocation-result, or allocation-batch)",
+    )
+    cmd.add_argument("file", help="JSON file written by allocate/batch/merge")
 
     cmd = sub.add_parser("compare", help="run every registered allocator")
     add_problem_args(cmd)
@@ -538,6 +624,7 @@ def main(argv=None) -> int:
         "shard": _cmd_shard,
         "merge": _cmd_merge,
         "cache": _cmd_cache,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

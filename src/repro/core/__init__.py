@@ -13,10 +13,20 @@ from .refinement import (
 from .scheduling import (
     Eqn2Tracker,
     Eqn3Tracker,
+    ScheduleOutcome,
+    ScheduleWarmStart,
     critical_path_priorities,
     list_schedule,
+    list_schedule_outcome,
 )
-from .solution import Datapath
+from .solution import Datapath, TraceEvent
+from .solver import (
+    SOLVER_ENV,
+    SOLVER_MODES,
+    SolverState,
+    resolve_solver_mode,
+    run_pipeline,
+)
 from .wcg import WordlengthCompatibilityGraph
 
 __all__ = [
@@ -29,6 +39,12 @@ __all__ = [
     "InfeasibleError",
     "Problem",
     "RefinementStep",
+    "SOLVER_ENV",
+    "SOLVER_MODES",
+    "ScheduleOutcome",
+    "ScheduleWarmStart",
+    "SolverState",
+    "TraceEvent",
     "WordlengthCompatibilityGraph",
     "allocate",
     "bindselect",
@@ -37,6 +53,9 @@ __all__ = [
     "choose_refinement_op",
     "critical_path_priorities",
     "list_schedule",
+    "list_schedule_outcome",
     "max_chain",
     "refine_once",
+    "resolve_solver_mode",
+    "run_pipeline",
 ]

@@ -42,106 +42,30 @@ Termination: every iteration deletes an ``H`` edge or increments a unit
 count, both bounded, so the loop is polynomial; if neither is possible
 the problem is infeasible (lambda below the fully-refined critical path,
 or user resource constraints below the coverage lower bound).
+
+Architecture (since the pass-pipeline refactor): the loop body lives in
+:mod:`repro.core.solver` as explicit passes (bounds -> schedule -> bind
+-> check -> refine/bump) over a :class:`~repro.core.solver.SolverState`;
+:func:`allocate` is a thin wrapper that adds the ``mode="best"``
+meta-mode on top of :func:`~repro.core.solver.run_pipeline`.  The state
+tracks dirtiness per operation, so by default an iteration recomputes
+only what the previous refinement actually invalidated (the refined
+op's upper bound, its kind's scheduling-set cover, the affected cone of
+the list schedule).  ``REPRO_SOLVER=scratch`` disables all reuse and is
+guaranteed -- by tests and a CI parity job over the full experiment
+sweep -- to produce byte-identical canonical results.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from dataclasses import replace
+from typing import List, Optional
 
-from .binding import Binding, bindselect
 from .problem import InfeasibleError, Problem
-from .refinement import RefinementStep, refine_once
-from .scheduling import list_schedule
 from .solution import Datapath
-from .wcg import WordlengthCompatibilityGraph
+from .solver import DPAllocOptions, run_pipeline
 
 __all__ = ["allocate", "DPAllocOptions"]
-
-
-@dataclass(frozen=True)
-class DPAllocOptions:
-    """Tunable knobs of the heuristic (defaults = the paper's algorithm).
-
-    A frozen dataclass: option sets hash, compare, serialise
-    (``dataclasses.asdict``) and derive (``dataclasses.replace``) without
-    hand-copied field lists.
-
-    Attributes:
-        grow: enable Bindselect's clique-growth compensation.
-        shrink: enable the final cheapest-cover wordlength selection.
-        constraint: scheduling bound, ``"eqn3"`` (paper) or ``"eqn2"``
-            (naive ablation).
-        mode: ``"min-units"`` (paper: schedule under the minimal derived
-            unit counts ``N_y = |S_y|``), ``"asap"`` (ablation: no
-            derived constraints; only user-specified ``N_y`` apply), or
-            ``"best"`` (extension: run both and keep the smaller-area
-            feasible datapath -- the ablation study shows each reading
-            wins on a sizeable fraction of instances).
-        selector: refinement candidate rule, ``"min-edge-loss"`` (paper)
-            or ``"name-order"`` (ablation).
-        blind_refinement: ablation -- skip the bound-critical-path
-            analysis and refine from the whole operation set.
-        max_iterations: optional hard cap on outer-loop iterations.
-    """
-
-    grow: bool = True
-    shrink: bool = True
-    constraint: str = "eqn3"
-    mode: str = "min-units"
-    selector: str = "min-edge-loss"
-    blind_refinement: bool = False
-    max_iterations: Optional[int] = None
-
-    def __post_init__(self) -> None:
-        if self.mode not in ("min-units", "asap", "best"):
-            raise ValueError(f"unknown mode {self.mode!r}")
-
-
-def _empty_datapath() -> Datapath:
-    return Datapath(
-        schedule={},
-        binding=Binding(()),
-        upper_bounds={},
-        bound_latencies={},
-        makespan=0,
-        area=0.0,
-        iterations=0,
-    )
-
-
-def _derived_constraints(
-    wcg: WordlengthCompatibilityGraph,
-    problem: Problem,
-    bumps: Dict[str, int],
-    ops_per_kind: Dict[str, int],
-) -> Dict[str, int]:
-    """Effective ``N_y``: user ceilings where given, else ``|S_y| + bump``."""
-    scheduling_set = wcg.scheduling_set()
-    member_counts = Counter(s.kind for s in scheduling_set)
-    user = dict(problem.resource_constraints or {})
-    constraints: Dict[str, int] = {}
-    for kind, total in ops_per_kind.items():
-        if kind in user:
-            constraints[kind] = user[kind]
-        else:
-            derived = member_counts.get(kind, 0) + bumps.get(kind, 0)
-            constraints[kind] = min(max(derived, 1), total)
-    return constraints
-
-
-def _bottleneck_kind(
-    problem: Problem,
-    schedule: Dict[str, int],
-    bound_latencies: Dict[str, int],
-) -> str:
-    """Resource kind of the last-finishing operation (deterministic)."""
-    name = max(
-        schedule,
-        key=lambda n: (schedule[n] + bound_latencies[n], n),
-    )
-    return problem.graph.operation(name).resource_kind
 
 
 def allocate(problem: Problem, options: Optional[DPAllocOptions] = None) -> Datapath:
@@ -153,12 +77,12 @@ def allocate(problem: Problem, options: Optional[DPAllocOptions] = None) -> Data
             never be satisfied.
     """
     opts = options or DPAllocOptions()
-    graph = problem.graph
-    ops = graph.operations
-    if not ops:
-        return _empty_datapath()
 
     if opts.mode == "best":
+        # Run both concrete scheduling modes under the same option set
+        # (including any max_iterations cap) and keep the smaller-area
+        # feasible datapath; its recorded iterations/refinements/trace
+        # are the winning variant's own.
         candidates: List[Datapath] = []
         for mode in ("min-units", "asap"):
             variant = replace(opts, mode=mode)
@@ -173,108 +97,4 @@ def allocate(problem: Problem, options: Optional[DPAllocOptions] = None) -> Data
             )
         return min(candidates, key=lambda dp: (dp.area, dp.makespan))
 
-    resources = problem.resource_set()
-    wcg = WordlengthCompatibilityGraph(ops, resources, problem.latency_model)
-    names = graph.names
-    edges = graph.edges()
-    ops_per_kind = dict(Counter(op.resource_kind for op in ops))
-    user_kinds = set(problem.resource_constraints or {})
-
-    # Refinements delete >= 1 H edge each; bumps add >= 1 unit each.
-    iteration_cap = (wcg.edge_count() - len(ops) + 1) + sum(ops_per_kind.values())
-    if opts.max_iterations is not None:
-        iteration_cap = min(iteration_cap, opts.max_iterations)
-
-    bumps: Dict[str, int] = {}
-    refinements: List[RefinementStep] = []
-    iteration = 0
-    while True:
-        iteration += 1
-        upper_bounds = wcg.upper_bound_latencies()
-        if opts.mode == "min-units":
-            constraints = _derived_constraints(wcg, problem, bumps, ops_per_kind)
-        else:
-            constraints = dict(problem.resource_constraints or {})
-        schedule = list_schedule(
-            graph,
-            wcg,
-            upper_bounds,
-            resource_constraints=constraints,
-            constraint=opts.constraint,
-        )
-        binding = bindselect(
-            wcg,
-            schedule,
-            upper_bounds,
-            problem.area_model,
-            grow=opts.grow,
-            shrink=opts.shrink,
-        )
-        bound_latencies = binding.bound_latencies(wcg)
-        makespan = max(schedule[n] + bound_latencies[n] for n in names)
-
-        if makespan <= problem.latency_constraint:
-            return Datapath(
-                schedule=dict(schedule),
-                binding=binding,
-                upper_bounds=upper_bounds,
-                bound_latencies=bound_latencies,
-                makespan=makespan,
-                area=binding.area(problem.area_model),
-                iterations=iteration,
-                refinements=tuple(refinements),
-            )
-
-        if iteration >= iteration_cap:
-            raise InfeasibleError(
-                f"DPAlloc exceeded its iteration bound ({iteration_cap}) "
-                f"without meeting latency {problem.latency_constraint} "
-                f"(best makespan {makespan})"
-            )
-
-        # Preferred move: refine a bound-critical operation (paper §2.4).
-        primary_pools = ("any",) if opts.blind_refinement else ("W", "Qb")
-        try:
-            step = refine_once(
-                wcg, names, edges, schedule, binding,
-                problem.latency_constraint, pools=primary_pools,
-                selector=opts.selector,
-            )
-            refinements.append(step)
-            continue
-        except InfeasibleError:
-            pass
-
-        # The bound critical path is unrefinable.  In min-units mode the
-        # principled move is to duplicate a unit of the bottleneck kind,
-        # directly relieving the serialisation that limits the makespan.
-        if opts.mode == "min-units":
-            bumpable = sorted(
-                kind
-                for kind, limit in _derived_constraints(
-                    wcg, problem, bumps, ops_per_kind
-                ).items()
-                if kind not in user_kinds and limit < ops_per_kind[kind]
-            )
-            if bumpable:
-                preferred = _bottleneck_kind(problem, schedule, bound_latencies)
-                kind = preferred if preferred in bumpable else bumpable[0]
-                bumps[kind] = bumps.get(kind, 0) + 1
-                continue
-
-        # Last resort: refine any refinable operation (it may still grow
-        # the scheduling set and unlock parallelism).
-        try:
-            step = refine_once(
-                wcg, names, edges, schedule, binding,
-                problem.latency_constraint, pools=("any",),
-                selector=opts.selector,
-            )
-            refinements.append(step)
-            continue
-        except InfeasibleError:
-            raise InfeasibleError(
-                f"latency constraint {problem.latency_constraint} unreachable "
-                f"even with fully refined wordlengths and duplicated units "
-                f"(best makespan {makespan})"
-            ) from None
+    return run_pipeline(problem, opts)

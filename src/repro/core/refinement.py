@@ -183,6 +183,8 @@ def refine_once(
     latency_constraint: int,
     pools: Tuple[str, ...] = ("W", "Qb", "any"),
     selector: str = "min-edge-loss",
+    bound_latencies: Optional[Mapping[str, int]] = None,
+    upper_bounds: Optional[Mapping[str, int]] = None,
 ) -> RefinementStep:
     """One full refinement step of Algorithm DPAlloc.
 
@@ -191,14 +193,18 @@ def refine_once(
     The ``pools`` argument lets the caller stop earlier -- DPAlloc uses
     ``("W", "Qb")`` so that when the bound critical path is unrefinable
     it can duplicate a unit instead of refining an unrelated operation.
-    Mutates ``wcg``.
+    ``bound_latencies``/``upper_bounds`` accept the caller's already
+    computed values (the solver pipeline derives both every iteration);
+    omitted, they are recomputed here.  Mutates ``wcg``.
 
     Raises:
         InfeasibleError: none of the requested pools contains a
             refinable operation.
     """
-    bound_latencies = binding.bound_latencies(wcg)
-    upper_bounds = wcg.upper_bound_latencies()
+    if bound_latencies is None:
+        bound_latencies = binding.bound_latencies(wcg)
+    if upper_bounds is None:
+        upper_bounds = wcg.upper_bound_latencies()
     q_b = bound_critical_path(names, graph_edges, schedule, binding, bound_latencies)
     w = candidate_set(q_b, schedule, upper_bounds, latency_constraint)
     available = {"W": w, "Qb": q_b, "any": set(names)}

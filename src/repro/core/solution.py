@@ -3,14 +3,44 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..resources.area import AreaModel
 from ..resources.types import ResourceType
 from .binding import Binding, BoundClique
 from .refinement import RefinementStep
 
-__all__ = ["Datapath"]
+__all__ = ["Datapath", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One outer-loop iteration of the solver pipeline.
+
+    Emitted by :mod:`repro.core.solver` after each check pass: the move
+    the iteration ended with (``"refine"``, ``"bump"`` or -- on the
+    final, feasible iteration -- ``"accept"``), plus the quantities that
+    characterise convergence.
+
+    Attributes:
+        iteration: 1-based outer-loop iteration number.
+        move: ``"refine"`` | ``"bump"`` | ``"accept"``.
+        target: refined operation name, bumped resource kind, or ``None``
+            for the accepting iteration.
+        pool: refinement candidate pool that supplied the op (``"W"``,
+            ``"Qb"`` or ``"any"``); ``None`` for bump/accept moves.
+        makespan: achieved makespan of this iteration's schedule+binding.
+        area: bound area of this iteration (paper Eqn. 5).
+        scheduling_set_size: ``|S|`` of the scheduling set in force.
+    """
+
+    iteration: int
+    move: str
+    target: Optional[str]
+    pool: Optional[str]
+    makespan: int
+    area: float
+    scheduling_set_size: int
 
 
 @dataclass(frozen=True)
@@ -30,6 +60,9 @@ class Datapath:
             baselines).
         refinements: the refinement trace (empty for baselines).
         method: identifier of the producing algorithm.
+        trace: optional per-iteration :class:`TraceEvent` sequence
+            (populated when DPAlloc runs with ``DPAllocOptions(trace=
+            True)``; empty for baselines and untraced runs).
     """
 
     schedule: Dict[str, int]
@@ -41,6 +74,7 @@ class Datapath:
     iterations: int = 1
     refinements: Tuple[RefinementStep, ...] = ()
     method: str = "dpalloc"
+    trace: Tuple[TraceEvent, ...] = ()
 
     @property
     def cliques(self) -> Tuple[BoundClique, ...]:

@@ -1,0 +1,632 @@
+"""The DPAlloc solver core: an incremental pass pipeline.
+
+The paper's Algorithm DPAlloc is an iterative refine-and-reschedule
+loop.  This module factors one outer-loop iteration into explicit
+passes over a shared :class:`SolverState`::
+
+    bounds -> schedule -> bind -> check -> refine/bump
+
+driven by :func:`run_pipeline`.  The state tracks *dirtiness* between
+iterations so each pass reuses whatever a refinement provably did not
+touch:
+
+* **bounds** -- deleting the ``H`` edges of one operation changes only
+  that operation's latency upper bound ``L_o``; every other bound is
+  reused.
+* **schedule** -- the scheduling set decomposes exactly into per-kind
+  covers (``H`` edges never cross kinds), so only the refined
+  operation's kind is re-covered; and the greedy list schedule is
+  resumed from the last placement that provably cannot have changed
+  (see :class:`repro.core.scheduling.ScheduleWarmStart` for the
+  argument) instead of being rebuilt from control step 0.
+* **bind / check** -- Bindselect is a global greedy over the *new*
+  schedule and runs every iteration in both modes (its inputs change
+  whenever the loop continues).
+
+Setting ``REPRO_SOLVER=scratch`` (or passing ``mode="scratch"``)
+disables every reuse: all pass products are recomputed from scratch
+each iteration.  Scratch and incremental solves are **byte-identical**
+in canonical JSON -- the escape hatch exists precisely so that parity
+can be enforced by tests and CI over the full experiment sweep.
+
+Each iteration also emits a :class:`~repro.core.solution.TraceEvent`
+(move taken, makespan, area, scheduling-set size); with
+``DPAllocOptions(trace=True)`` the trace is attached to the returned
+:class:`~repro.core.solution.Datapath` and flows through the engine
+envelope, JSON round-trips, and the ``repro trace`` CLI summarizer.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..resources.types import ResourceType
+from .binding import Binding, bindselect
+from .problem import InfeasibleError, Problem
+from .refinement import RefinementStep, refine_once
+from .scheduling import (
+    ScheduleWarmStart,
+    critical_path_priorities,
+    list_schedule_outcome,
+)
+from .solution import Datapath, TraceEvent
+from .wcg import WordlengthCompatibilityGraph
+
+__all__ = [
+    "DPAllocOptions",
+    "SOLVER_ENV",
+    "SOLVER_MODES",
+    "Pass",
+    "SolverState",
+    "resolve_solver_mode",
+    "run_pipeline",
+]
+
+SOLVER_ENV = "REPRO_SOLVER"
+SOLVER_MODES = ("incremental", "scratch")
+
+_MODES = ("min-units", "asap", "best")
+_CONSTRAINTS = ("eqn3", "eqn2")
+_SELECTORS = ("min-edge-loss", "name-order")
+
+
+def resolve_solver_mode(requested: Optional[str] = None) -> str:
+    """Solver recomputation mode: argument > ``REPRO_SOLVER`` env > default.
+
+    ``"incremental"`` (default) reuses unaffected per-iteration work;
+    ``"scratch"`` recomputes every pass product each iteration.  The
+    two are guaranteed byte-identical in canonical output.
+    """
+    value = requested or os.environ.get(SOLVER_ENV) or "incremental"
+    if value not in SOLVER_MODES:
+        raise ValueError(
+            f"solver mode must be one of {SOLVER_MODES}, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class DPAllocOptions:
+    """Tunable knobs of the heuristic (defaults = the paper's algorithm).
+
+    A frozen dataclass: option sets hash, compare, serialise
+    (``dataclasses.asdict``) and derive (``dataclasses.replace``) without
+    hand-copied field lists.
+
+    Attributes:
+        grow: enable Bindselect's clique-growth compensation.
+        shrink: enable the final cheapest-cover wordlength selection.
+        constraint: scheduling bound, ``"eqn3"`` (paper) or ``"eqn2"``
+            (naive ablation).
+        mode: ``"min-units"`` (paper: schedule under the minimal derived
+            unit counts ``N_y = |S_y|``), ``"asap"`` (ablation: no
+            derived constraints; only user-specified ``N_y`` apply), or
+            ``"best"`` (extension: run both and keep the smaller-area
+            feasible datapath -- the ablation study shows each reading
+            wins on a sizeable fraction of instances).
+        selector: refinement candidate rule, ``"min-edge-loss"`` (paper)
+            or ``"name-order"`` (ablation).
+        blind_refinement: ablation -- skip the bound-critical-path
+            analysis and refine from the whole operation set.
+        max_iterations: optional hard cap on outer-loop iterations
+            (under ``mode="best"`` the cap applies to each sub-mode).
+        trace: attach the per-iteration :class:`TraceEvent` sequence to
+            the returned datapath.
+    """
+
+    grow: bool = True
+    shrink: bool = True
+    constraint: str = "eqn3"
+    mode: str = "min-units"
+    selector: str = "min-edge-loss"
+    blind_refinement: bool = False
+    max_iterations: Optional[int] = None
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.constraint not in _CONSTRAINTS:
+            raise ValueError(f"unknown constraint {self.constraint!r}")
+        if self.selector not in _SELECTORS:
+            raise ValueError(f"unknown selector {self.selector!r}")
+
+
+def _bottleneck_kind(
+    problem: Problem,
+    schedule: Dict[str, int],
+    bound_latencies: Dict[str, int],
+) -> str:
+    """Resource kind of the last-finishing operation (deterministic).
+
+    Ties among equally-late finishers resolve to the lexicographically
+    *smallest* operation name, matching every other deterministic
+    choice in the solver.
+    """
+    last_finish = max(schedule[n] + bound_latencies[n] for n in schedule)
+    name = min(
+        n for n in schedule if schedule[n] + bound_latencies[n] == last_finish
+    )
+    return problem.graph.operation(name).resource_kind
+
+
+class SolverState:
+    """Everything one DPAlloc solve owns, shared by the passes.
+
+    Holds the problem, the mutable WCG, the derived constraints, the
+    current schedule/binding, the refinement and trace records, and the
+    dirtiness bookkeeping that lets incremental runs reuse unaffected
+    per-iteration work.  ``incremental=False`` (the ``REPRO_SOLVER=
+    scratch`` escape hatch) makes every pass recompute from scratch.
+    """
+
+    def __init__(
+        self, problem: Problem, options: DPAllocOptions, incremental: bool
+    ) -> None:
+        self.problem = problem
+        self.options = options
+        self.incremental = incremental
+
+        graph = problem.graph
+        self.graph = graph
+        self.names: Tuple[str, ...] = graph.names
+        self.edges = graph.edges()
+        self.kind_of: Dict[str, str] = {
+            op.name: op.resource_kind for op in graph.operations
+        }
+        self.ops_per_kind: Dict[str, int] = dict(
+            Counter(self.kind_of.values())
+        )
+        self.ops_of_kind: Dict[str, Tuple[str, ...]] = {
+            kind: tuple(n for n in self.names if self.kind_of[n] == kind)
+            for kind in self.ops_per_kind
+        }
+        self.user_kinds: Set[str] = set(problem.resource_constraints or {})
+
+        self.wcg = WordlengthCompatibilityGraph(
+            graph.operations, problem.resource_set(), problem.latency_model
+        )
+
+        # Refinements delete >= 1 H edge each; bumps add >= 1 unit each.
+        self.iteration_cap = (
+            self.wcg.edge_count() - len(self.names) + 1
+        ) + sum(self.ops_per_kind.values())
+        if options.max_iterations is not None:
+            self.iteration_cap = min(self.iteration_cap, options.max_iterations)
+
+        self.iteration = 0
+        self.bumps: Dict[str, int] = {}
+        self.refinements: List[RefinementStep] = []
+        self.trace: List[TraceEvent] = []
+
+        # Pass products (None until first computed).
+        self.upper_bounds: Optional[Dict[str, int]] = None
+        self.kind_covers: Optional[Dict[str, Tuple[ResourceType, ...]]] = None
+        self.scheduling_set: Tuple[ResourceType, ...] = ()
+        self.constraints: Dict[str, int] = {}
+        self.schedule: Optional[Dict[str, int]] = None
+        self.schedule_greedy = False
+        self.binding: Optional[Binding] = None
+        self.bound_latencies: Dict[str, int] = {}
+        self.makespan = 0
+        self.area = 0.0
+        self.feasible = False
+
+        # Dirtiness between iterations.  ``pending_bound_ops`` feeds the
+        # bounds pass; ``pending_refined_ops`` feeds the schedule pass's
+        # affected-cone computation; cover kinds feed the per-kind
+        # scheduling-set cache.
+        self.pending_bound_ops: Set[str] = set()
+        self.pending_refined_ops: Set[str] = set()
+        self.dirty_cover_kinds: Set[str] = set()
+
+        # Previous-iteration snapshots consumed by warm starts.
+        self.prev_kind_covers: Dict[str, Tuple[ResourceType, ...]] = {}
+        self.prev_constraints: Dict[str, int] = {}
+        self.scheduled_bounds: Dict[str, int] = {}
+        self.prev_priorities: Dict[str, int] = {}
+        self.prev_first_rejects: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def record_refinement(self, step: RefinementStep) -> None:
+        """Bookkeeping for one accepted refinement move."""
+        self.refinements.append(step)
+        self.pending_bound_ops.add(step.operation)
+        self.pending_refined_ops.add(step.operation)
+        self.dirty_cover_kinds.add(self.kind_of[step.operation])
+        self.trace.append(
+            TraceEvent(
+                iteration=self.iteration,
+                move="refine",
+                target=step.operation,
+                pool=step.source,
+                makespan=self.makespan,
+                area=self.area,
+                scheduling_set_size=len(self.scheduling_set),
+            )
+        )
+
+    def record_bump(self, kind: str) -> None:
+        """Bookkeeping for one unit-count bump move."""
+        self.bumps[kind] = self.bumps.get(kind, 0) + 1
+        self.trace.append(
+            TraceEvent(
+                iteration=self.iteration,
+                move="bump",
+                target=kind,
+                pool=None,
+                makespan=self.makespan,
+                area=self.area,
+                scheduling_set_size=len(self.scheduling_set),
+            )
+        )
+
+    def record_accept(self) -> None:
+        self.trace.append(
+            TraceEvent(
+                iteration=self.iteration,
+                move="accept",
+                target=None,
+                pool=None,
+                makespan=self.makespan,
+                area=self.area,
+                scheduling_set_size=len(self.scheduling_set),
+            )
+        )
+
+    def to_datapath(self) -> Datapath:
+        assert self.schedule is not None and self.binding is not None
+        assert self.upper_bounds is not None
+        return Datapath(
+            schedule=dict(self.schedule),
+            binding=self.binding,
+            upper_bounds=dict(self.upper_bounds),
+            bound_latencies=dict(self.bound_latencies),
+            makespan=self.makespan,
+            area=self.area,
+            iterations=self.iteration,
+            refinements=tuple(self.refinements),
+            trace=tuple(self.trace) if self.options.trace else (),
+        )
+
+
+class Pass:
+    """One stage of the DPAlloc pipeline, operating on a SolverState."""
+
+    name = "pass"
+
+    def run(self, state: SolverState) -> None:
+        raise NotImplementedError
+
+
+class BoundsPass(Pass):
+    """Latency upper bounds ``L_o`` (paper Table 1).
+
+    Incremental: an ``H``-edge deletion changes only the refined
+    operation's bound, so only the pending dirty ops are recomputed.
+    """
+
+    name = "bounds"
+
+    def run(self, state: SolverState) -> None:
+        if state.incremental and state.upper_bounds is not None:
+            for name in sorted(state.pending_bound_ops):
+                state.upper_bounds[name] = state.wcg.upper_bound_latency(name)
+        else:
+            state.upper_bounds = state.wcg.upper_bound_latencies()
+        state.pending_bound_ops.clear()
+
+
+class SchedulePass(Pass):
+    """Scheduling set, derived constraints, and the list schedule.
+
+    Incremental: only the refined operation's kind is re-covered (the
+    cover problem is kind-separable), and the greedy list schedule is
+    warm-started past the placements that provably cannot have changed.
+    """
+
+    name = "schedule"
+
+    def run(self, state: SolverState) -> None:
+        opts = state.options
+        wcg = state.wcg
+
+        if state.incremental and state.kind_covers is not None:
+            for kind in sorted(state.dirty_cover_kinds):
+                state.kind_covers[kind] = wcg.kind_cover(kind)
+        else:
+            state.kind_covers = {
+                kind: wcg.kind_cover(kind) for kind in wcg.kinds()
+            }
+        scheduling_set = tuple(
+            sorted(
+                member
+                for cover in state.kind_covers.values()
+                for member in cover
+            )
+        )
+
+        if opts.mode == "min-units":
+            constraints = self._derived_constraints(state)
+        else:
+            constraints = dict(state.problem.resource_constraints or {})
+
+        assert state.upper_bounds is not None
+        priorities = critical_path_priorities(state.graph, state.upper_bounds)
+        warm = self._warm_start(state, priorities, constraints)
+        outcome = list_schedule_outcome(
+            state.graph,
+            wcg,
+            state.upper_bounds,
+            resource_constraints=constraints,
+            constraint=opts.constraint,
+            scheduling_set=scheduling_set,
+            warm=warm,
+            priorities=priorities,
+        )
+
+        state.schedule = outcome.starts
+        state.schedule_greedy = outcome.greedy
+        state.scheduling_set = scheduling_set
+        state.constraints = constraints
+        state.prev_kind_covers = dict(state.kind_covers)
+        state.prev_constraints = dict(constraints)
+        state.scheduled_bounds = dict(state.upper_bounds)
+        state.prev_priorities = priorities
+        state.prev_first_rejects = dict(outcome.first_rejects)
+        state.pending_refined_ops = set()
+        state.dirty_cover_kinds = set()
+
+    @staticmethod
+    def _derived_constraints(state: SolverState) -> Dict[str, int]:
+        """Effective ``N_y``: user ceilings where given, else ``|S_y| + bump``."""
+        assert state.kind_covers is not None
+        user = dict(state.problem.resource_constraints or {})
+        constraints: Dict[str, int] = {}
+        for kind, total in state.ops_per_kind.items():
+            if kind in user:
+                constraints[kind] = user[kind]
+            else:
+                derived = len(state.kind_covers.get(kind, ())) + state.bumps.get(
+                    kind, 0
+                )
+                constraints[kind] = min(max(derived, 1), total)
+        return constraints
+
+    @staticmethod
+    def _warm_start(
+        state: SolverState,
+        priorities: Dict[str, int],
+        constraints: Dict[str, int],
+    ) -> Optional[ScheduleWarmStart]:
+        """Divergence inputs for resuming last iteration's greedy schedule.
+
+        Release-based *affected* ops = the refined ops (latency and
+        Eqn.-3 share changes) plus every op whose critical-path priority
+        value actually moved (latency changes only propagate upward, and
+        usually die out where another successor chain dominates) plus
+        every op of a kind whose scheduling-set cover changed or whose
+        constraint moved non-monotonically.  A kind whose constraint
+        merely *increased* (cover unchanged) cannot flip a decision
+        before the previous run's first rejection of that kind, which
+        becomes the ``t0_cap`` bound instead of dragging the whole kind
+        into the affected set.
+        """
+        if not state.incremental or state.schedule is None:
+            return None
+        if not state.schedule_greedy:
+            # The serial fallback is not a greedy event trace; the
+            # prefix-reuse proof does not apply to it.
+            return None
+        affected: Set[str] = set(state.pending_refined_ops)
+        affected.update(
+            name
+            for name, value in priorities.items()
+            if state.prev_priorities.get(name) != value
+        )
+        assert state.kind_covers is not None
+        t0_cap: Optional[int] = None
+        for kind in state.ops_per_kind:
+            cover_same = state.prev_kind_covers.get(kind) == state.kind_covers.get(
+                kind
+            )
+            prev_limit = state.prev_constraints.get(kind)
+            new_limit = constraints.get(kind)
+            if cover_same and prev_limit == new_limit:
+                continue
+            if (
+                cover_same
+                and prev_limit is not None
+                and new_limit is not None
+                and new_limit > prev_limit
+            ):
+                # Monotone admission: every previous grant still holds.
+                first = state.prev_first_rejects.get(kind)
+                if first is not None:
+                    t0_cap = first if t0_cap is None else min(t0_cap, first)
+                continue
+            affected.update(state.ops_of_kind[kind])
+        return ScheduleWarmStart(
+            prev_starts=state.schedule,
+            prev_latencies=state.scheduled_bounds,
+            affected=frozenset(affected),
+            t0_cap=t0_cap,
+            prev_first_rejects=state.prev_first_rejects,
+        )
+
+
+class BindPass(Pass):
+    """Combined binding and wordlength selection (Algorithm Bindselect).
+
+    Runs from scratch in both modes: its inputs (schedule, bounds, the
+    refined ``H`` set) change on every continuing iteration, and the
+    greedy clique cover is a global decision over all of them.
+    """
+
+    name = "bind"
+
+    def run(self, state: SolverState) -> None:
+        assert state.schedule is not None and state.upper_bounds is not None
+        state.binding = bindselect(
+            state.wcg,
+            state.schedule,
+            state.upper_bounds,
+            state.problem.area_model,
+            grow=state.options.grow,
+            shrink=state.options.shrink,
+        )
+
+
+class CheckPass(Pass):
+    """Evaluate the bound datapath against the latency constraint."""
+
+    name = "check"
+
+    def run(self, state: SolverState) -> None:
+        assert state.schedule is not None and state.binding is not None
+        state.bound_latencies = state.binding.bound_latencies(state.wcg)
+        state.makespan = max(
+            state.schedule[n] + state.bound_latencies[n] for n in state.names
+        )
+        state.area = state.binding.area(state.problem.area_model)
+        state.feasible = state.makespan <= state.problem.latency_constraint
+
+
+class RefinePass(Pass):
+    """Pick the iteration's move: refine an op or bump a unit count.
+
+    Mirrors the paper's section 2.4 plus the two documented completions
+    (unit duplication when the bound critical path is unrefinable, and
+    a last-resort whole-set refinement).  Raises ``InfeasibleError``
+    when no move exists or the iteration cap is hit.
+    """
+
+    name = "refine"
+
+    def run(self, state: SolverState) -> None:
+        opts = state.options
+        problem = state.problem
+        if state.iteration >= state.iteration_cap:
+            raise InfeasibleError(
+                f"DPAlloc exceeded its iteration bound ({state.iteration_cap}) "
+                f"without meeting latency {problem.latency_constraint} "
+                f"(best makespan {state.makespan})"
+            )
+
+        assert state.schedule is not None and state.binding is not None
+        # Preferred move: refine a bound-critical operation (paper §2.4).
+        primary_pools = ("any",) if opts.blind_refinement else ("W", "Qb")
+        try:
+            step = refine_once(
+                state.wcg,
+                state.names,
+                state.edges,
+                state.schedule,
+                state.binding,
+                problem.latency_constraint,
+                pools=primary_pools,
+                selector=opts.selector,
+                bound_latencies=state.bound_latencies,
+                upper_bounds=state.upper_bounds,
+            )
+            state.record_refinement(step)
+            return
+        except InfeasibleError:
+            pass
+
+        # The bound critical path is unrefinable.  In min-units mode the
+        # principled move is to duplicate a unit of the bottleneck kind,
+        # directly relieving the serialisation that limits the makespan.
+        if opts.mode == "min-units":
+            bumpable = sorted(
+                kind
+                for kind, limit in state.constraints.items()
+                if kind not in state.user_kinds
+                and limit < state.ops_per_kind[kind]
+            )
+            if bumpable:
+                preferred = _bottleneck_kind(
+                    problem, state.schedule, state.bound_latencies
+                )
+                kind = preferred if preferred in bumpable else bumpable[0]
+                state.record_bump(kind)
+                return
+
+        # Last resort: refine any refinable operation (it may still grow
+        # the scheduling set and unlock parallelism).
+        try:
+            step = refine_once(
+                state.wcg,
+                state.names,
+                state.edges,
+                state.schedule,
+                state.binding,
+                problem.latency_constraint,
+                pools=("any",),
+                selector=opts.selector,
+                bound_latencies=state.bound_latencies,
+                upper_bounds=state.upper_bounds,
+            )
+            state.record_refinement(step)
+        except InfeasibleError:
+            raise InfeasibleError(
+                f"latency constraint {problem.latency_constraint} unreachable "
+                f"even with fully refined wordlengths and duplicated units "
+                f"(best makespan {state.makespan})"
+            ) from None
+
+
+PIPELINE: Tuple[Pass, ...] = (BoundsPass(), SchedulePass(), BindPass(), CheckPass())
+_REFINE = RefinePass()
+
+
+def run_pipeline(
+    problem: Problem,
+    options: Optional[DPAllocOptions] = None,
+    mode: Optional[str] = None,
+) -> Datapath:
+    """Run the DPAlloc pass pipeline on a concrete scheduling mode.
+
+    Args:
+        problem: the allocation problem.
+        options: heuristic knobs; ``mode="best"`` is a meta-mode handled
+            by :func:`repro.core.dpalloc.allocate`, not here.
+        mode: ``"incremental"`` / ``"scratch"`` recomputation mode;
+            ``None`` resolves via the ``REPRO_SOLVER`` environment
+            variable.  Both modes produce byte-identical canonical
+            results.
+
+    Raises:
+        InfeasibleError: the latency constraint is below the fully
+            refined critical path, or the resource-count constraints can
+            never be satisfied.
+    """
+    opts = options or DPAllocOptions()
+    if opts.mode == "best":
+        raise ValueError(
+            "mode='best' is a meta-mode; use repro.core.dpalloc.allocate"
+        )
+    incremental = resolve_solver_mode(mode) == "incremental"
+    state = SolverState(problem, opts, incremental=incremental)
+    if not state.names:
+        return Datapath(
+            schedule={},
+            binding=Binding(()),
+            upper_bounds={},
+            bound_latencies={},
+            makespan=0,
+            area=0.0,
+            iterations=0,
+        )
+
+    while True:
+        state.iteration += 1
+        for stage in PIPELINE:
+            stage.run(state)
+        if state.feasible:
+            state.record_accept()
+            return state.to_datapath()
+        _REFINE.run(state)

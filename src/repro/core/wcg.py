@@ -66,6 +66,18 @@ class WordlengthCompatibilityGraph:
             for r in compatible:
                 if not r.covers(self._ops[name]):
                     raise ValueError(f"edge {{{name}, {r}}} is not a coverage edge")
+        # Reverse H index (resource -> op names), maintained under
+        # refinement so O(r) lookups never rescan the whole edge set.
+        self._ops_by_resource: Dict[ResourceType, Set[str]] = {
+            r: set() for r in self._resources
+        }
+        for name, compatible in self._h.items():
+            for r in compatible:
+                self._ops_by_resource[r].add(name)
+        # Sorted-neighbourhood caches; refinement drops the refined
+        # op's entry (and its victims' reverse entries) only.
+        self._sorted_h: Dict[str, Tuple[ResourceType, ...]] = {}
+        self._sorted_ops: Dict[ResourceType, Tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -87,13 +99,22 @@ class WordlengthCompatibilityGraph:
 
     def compatible_resources(self, name: str) -> Tuple[ResourceType, ...]:
         """Current ``H`` neighbours of operation ``name``, sorted."""
-        return tuple(sorted(self._h[name]))
+        cached = self._sorted_h.get(name)
+        if cached is None:
+            cached = tuple(sorted(self._h[name]))
+            self._sorted_h[name] = cached
+        return cached
 
     def ops_for_resource(self, resource: ResourceType) -> Tuple[str, ...]:
         """``O(r)``: operations with a current ``H`` edge to ``resource``."""
-        return tuple(
-            sorted(name for name, res in self._h.items() if resource in res)
-        )
+        members = self._ops_by_resource.get(resource)
+        if members is None:
+            return ()
+        cached = self._sorted_ops.get(resource)
+        if cached is None:
+            cached = tuple(sorted(members))
+            self._sorted_ops[resource] = cached
+        return cached
 
     def has_edge(self, name: str, resource: ResourceType) -> bool:
         return resource in self._h[name]
@@ -136,20 +157,52 @@ class WordlengthCompatibilityGraph:
             r for r in self._h[name] if self._latency_cache[r] == bound
         )
         self._h[name] -= set(victims)
+        self._sorted_h.pop(name, None)
+        for r in victims:
+            self._ops_by_resource[r].discard(name)
+            self._sorted_ops.pop(r, None)
         return victims
 
     # ------------------------------------------------------------------
     # scheduling set (section 2.2)
     # ------------------------------------------------------------------
-    def scheduling_set(self) -> Tuple[ResourceType, ...]:
-        """Minimum-cardinality ``S ⊆ R`` with an ``H`` edge to every op."""
-        universe: Set[str] = set(self._ops)
+    def kinds(self) -> Tuple[str, ...]:
+        """Resource kinds present in the operation set, sorted."""
+        return tuple(sorted({op.resource_kind for op in self._ops.values()}))
+
+    def kind_cover(self, kind: str) -> Tuple[ResourceType, ...]:
+        """Minimum-cardinality cover of the operations of one kind.
+
+        Coverage edges never cross kinds (``ResourceType.covers``
+        requires kind equality, and the constructor validates every
+        ``H`` edge is a coverage edge), so the scheduling-set problem
+        decomposes exactly into independent per-kind covers.  This is
+        the unit of incremental recomputation: refining an operation
+        invalidates only its own kind's cover.
+        """
+        universe: Set[str] = {
+            name
+            for name, op in self._ops.items()
+            if op.resource_kind == kind
+        }
         sets = {
-            r: {name for name, res in self._h.items() if r in res}
+            r: self._ops_by_resource[r] & universe
             for r in self._resources
+            if r.kind == kind
         }
         cover = min_cardinality_cover(universe, sets)
         return tuple(sorted(cover))
+
+    def scheduling_set(self) -> Tuple[ResourceType, ...]:
+        """Minimum-cardinality ``S ⊆ R`` with an ``H`` edge to every op.
+
+        Computed per resource kind (:meth:`kind_cover`) and merged; the
+        decomposition is exact because ``H`` edges never cross kinds.
+        """
+        members: List[ResourceType] = []
+        for kind in self.kinds():
+            members.extend(self.kind_cover(kind))
+        return tuple(sorted(members))
 
     def members_covering(
         self, name: str, scheduling_set: Iterable[ResourceType]

@@ -21,10 +21,19 @@ __all__ = ["dpalloc", "ilp", "two_stage", "fds", "clique_sort", "uniform"]
 
 @register_allocator("dpalloc")
 def dpalloc(problem: Problem, **options):
-    """The paper's heuristic; options are :class:`DPAllocOptions` fields."""
+    """The paper's heuristic; options are :class:`DPAllocOptions` fields.
+
+    Runs through the :mod:`repro.core.solver` pass pipeline
+    (incremental by default; ``REPRO_SOLVER=scratch`` recomputes every
+    iteration from scratch with byte-identical canonical results).
+    ``options={"trace": True}`` attaches the per-iteration
+    :class:`~repro.core.solution.TraceEvent` sequence to the datapath.
+    """
     opts = DPAllocOptions(**options) if options else None
     datapath = allocate(problem, opts)
     extras = {"options": asdict(opts)} if opts else {}
+    if datapath.trace:
+        extras["trace_events"] = len(datapath.trace)
     return datapath, extras
 
 

@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..core.problem import Problem
-from ..core.solution import Datapath
+from ..core.solution import Datapath, TraceEvent
 
 __all__ = ["AllocationRequest", "AllocationResult"]
 
@@ -86,6 +86,16 @@ class AllocationResult:
     def ok(self) -> bool:
         """True when a datapath was produced and passed validation."""
         return self.datapath is not None and self.error is None and bool(self.valid)
+
+    @property
+    def trace(self) -> Tuple[TraceEvent, ...]:
+        """The solver's per-iteration trace, if the run recorded one.
+
+        Non-empty only for DPAlloc runs with ``options={"trace": True}``
+        -- the events ride on the datapath and survive JSON round-trips
+        (batch files, the result cache, shard merges).
+        """
+        return self.datapath.trace if self.datapath is not None else ()
 
     def canonical_dict(self) -> Dict[str, Any]:
         """Content view excluding wall-clock and cache provenance.

@@ -1,6 +1,6 @@
 """Experiment harness regenerating every figure and table of the paper."""
 
-from . import ablations, fig3, fig4, fig5, table2
+from . import ablations, fig3, fig4, fig5, parity, table2
 from .common import (
     DEFAULT_BASE_SEED,
     ExperimentCase,
@@ -18,6 +18,7 @@ __all__ = [
     "fig3",
     "fig4",
     "fig5",
+    "parity",
     "relaxed_constraint",
     "resolve_samples",
     "table2",

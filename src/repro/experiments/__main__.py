@@ -7,7 +7,10 @@ Targets regenerate the paper's evaluation artefacts as text tables:
 * ``fig5``   -- execution-time scaling, heuristic vs ILP
 * ``table2`` -- execution time vs latency relaxation at |O| = 9
 * ``ablations`` -- design-choice ablations
-* ``all``    -- everything above
+* ``parity`` -- incremental-vs-scratch solver parity over the union of
+  every DPAlloc request of the sweeps above (exits nonzero on any
+  canonical-JSON divergence; the CI parity job runs this)
+* ``all``    -- every figure/table above (not ``parity``)
 
 ``--samples`` overrides the per-point graph count (paper: 200; default
 here is 20 to keep a full run in minutes -- see EXPERIMENTS.md).
@@ -22,7 +25,7 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional
 
-from . import ablations, fig3, fig4, fig5, table2
+from . import ablations, fig3, fig4, fig5, parity, table2
 
 TARGETS: Dict[str, Callable[[Optional[int], Optional[int]], str]] = {
     "fig3": fig3.main,
@@ -30,6 +33,7 @@ TARGETS: Dict[str, Callable[[Optional[int], Optional[int]], str]] = {
     "fig5": fig5.main,
     "table2": table2.main,
     "ablations": ablations.main,
+    "parity": parity.main,
 }
 
 

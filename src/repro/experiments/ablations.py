@@ -36,7 +36,10 @@ from .common import (
     sweep_engine,
 )
 
-__all__ = ["AblationResult", "VARIANTS", "run", "render"]
+__all__ = ["AblationResult", "VARIANTS", "DEFAULT_SIZES", "DEFAULT_RELAXATIONS", "run", "render"]
+
+DEFAULT_SIZES = (6, 10, 14, 18)
+DEFAULT_RELAXATIONS = (0.1, 0.3)
 
 VARIANTS: Dict[str, DPAllocOptions] = {
     "no-grow": DPAllocOptions(grow=False),
@@ -75,8 +78,8 @@ class AblationResult:
 
 
 def run(
-    sizes: Sequence[int] = (6, 10, 14, 18),
-    relaxations: Sequence[float] = (0.1, 0.3),
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    relaxations: Sequence[float] = DEFAULT_RELAXATIONS,
     samples: Optional[int] = None,
     engine: Optional[Engine] = None,
     workers: Optional[int] = None,

@@ -16,6 +16,11 @@ latency constraints built by relaxing the minimum achievable latency
   ``process``) -- opt a whole sweep into the preemptive
   process-per-run executor without touching experiment code;
 * wall-clock measurement helpers.
+
+The solver's recomputation mode is likewise environment-driven:
+``REPRO_SOLVER=scratch`` makes every DPAlloc run in a sweep recompute
+each iteration from scratch (byte-identical results to the default
+incremental mode; ``python -m repro.experiments parity`` enforces it).
 """
 
 from __future__ import annotations

@@ -1,0 +1,146 @@
+"""Incremental-vs-scratch solver parity over the full experiment sweep.
+
+The solver pipeline (:mod:`repro.core.solver`) reuses per-iteration work
+that a refinement provably did not invalidate; ``REPRO_SOLVER=scratch``
+disables every reuse.  The two modes are *guaranteed* to produce
+byte-identical canonical :class:`~repro.engine.AllocationResult` JSON --
+this module enforces that guarantee over the union of every DPAlloc
+request the experiment harness issues (fig3, fig4, fig5 including the
+extended sizes, table2, and all ablation variants), deduplicated by
+problem fingerprint and option set.
+
+Run as ``python -m repro.experiments parity`` (the CI parity job uses
+``REPRO_SAMPLES=1``); exits nonzero on the first divergence, printing
+the offending request.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+from typing import Dict, List, Optional, Tuple
+
+from ..core.solver import SOLVER_ENV
+from ..engine import AllocationRequest, Engine
+from . import ablations, fig3, fig4, fig5, table2
+from .common import build_case, resolve_samples, resolve_workers
+
+__all__ = ["sweep_requests", "run", "render", "main"]
+
+
+def sweep_requests(samples: Optional[int] = None) -> List[AllocationRequest]:
+    """Every distinct DPAlloc request of the full experiment sweep.
+
+    Mirrors the grids of the five experiment modules (sizes,
+    relaxations, sample counts, option variants) and deduplicates on
+    ``(problem fingerprint, options)`` -- several experiments share
+    evaluation points, and parity only needs each distinct solve once.
+    """
+    count = resolve_samples(samples)
+    ablation_count = resolve_samples(samples, default=10)
+    extended_count = min(count, 5)
+
+    points: List[Tuple[int, int, float]] = []
+    for n in fig3.DEFAULT_SIZES:
+        for relaxation in fig3.DEFAULT_RELAXATIONS:
+            points.extend((n, s, relaxation) for s in range(count))
+    for n in fig4.DEFAULT_SIZES:  # fig5 shares this grid at relaxation 0
+        points.extend((n, s, 0.0) for s in range(count))
+    for n in fig5.EXTENDED_SIZES:
+        points.extend(
+            (n, s, fig5.EXTENDED_RELAXATION) for s in range(extended_count)
+        )
+    for ratio in table2.DEFAULT_RATIOS:
+        points.extend(
+            (table2.DEFAULT_NUM_OPS, s, ratio - 1.0) for s in range(count)
+        )
+
+    ablation_points: List[Tuple[int, int, float]] = []
+    for n in ablations.DEFAULT_SIZES:
+        for relaxation in ablations.DEFAULT_RELAXATIONS:
+            ablation_points.extend(
+                (n, s, relaxation) for s in range(ablation_count)
+            )
+
+    requests: List[AllocationRequest] = []
+    seen: set = set()
+
+    def add(num_ops: int, sample: int, relaxation: float, options: Dict) -> None:
+        problem = build_case(num_ops, sample, relaxation).problem
+        key = (problem.fingerprint(), tuple(sorted(options.items())))
+        if key in seen:
+            return
+        seen.add(key)
+        requests.append(AllocationRequest(
+            problem, "dpalloc", options=options,
+            label=f"tgff-{num_ops}-{sample}-{relaxation:g}",
+        ))
+
+    for num_ops, sample, relaxation in points:
+        add(num_ops, sample, relaxation, {})
+    for num_ops, sample, relaxation in ablation_points:
+        add(num_ops, sample, relaxation, {})
+        for variant in ablations.VARIANTS.values():
+            add(num_ops, sample, relaxation, asdict(variant))
+    return requests
+
+
+def _run_mode(
+    requests: List[AllocationRequest], mode: str, workers: int
+) -> List[str]:
+    """Canonical JSON of every request under one ``REPRO_SOLVER`` mode."""
+    previous = os.environ.get(SOLVER_ENV)
+    os.environ[SOLVER_ENV] = mode
+    try:
+        results = Engine().run_batch(requests, workers=workers)
+    finally:
+        if previous is None:
+            os.environ.pop(SOLVER_ENV, None)
+        else:
+            os.environ[SOLVER_ENV] = previous
+    return [result.canonical_json() for result in results]
+
+
+def run(
+    samples: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Dict:
+    """Solve the full sweep incrementally and from scratch; diff the bytes."""
+    requests = sweep_requests(samples)
+    width = resolve_workers(workers)
+    incremental = _run_mode(requests, "incremental", width)
+    scratch = _run_mode(requests, "scratch", width)
+    mismatches = [
+        {
+            "label": request.label,
+            "options": dict(request.options),
+            "incremental": inc,
+            "scratch": scr,
+        }
+        for request, inc, scr in zip(requests, incremental, scratch)
+        if inc != scr
+    ]
+    return {
+        "requests": len(requests),
+        "identical": len(requests) - len(mismatches),
+        "mismatches": mismatches,
+    }
+
+
+def render(report: Dict) -> str:
+    lines = [
+        f"solver parity: {report['identical']}/{report['requests']} "
+        f"requests byte-identical (incremental vs REPRO_SOLVER=scratch)"
+    ]
+    for entry in report["mismatches"]:
+        lines.append(f"  MISMATCH {entry['label']} options={entry['options']}")
+    return "\n".join(lines)
+
+
+def main(samples: Optional[int] = None, workers: Optional[int] = None) -> str:
+    report = run(samples=samples, workers=workers)
+    text = render(report)
+    print(text)
+    if report["mismatches"]:
+        raise SystemExit(1)
+    return text

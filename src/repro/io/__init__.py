@@ -16,6 +16,8 @@ from .json_io import (
     problem_from_dict,
     problem_to_dict,
     save_json,
+    trace_event_from_dict,
+    trace_event_to_dict,
 )
 
 __all__ = [
@@ -35,4 +37,6 @@ __all__ = [
     "problem_from_dict",
     "problem_to_dict",
     "save_json",
+    "trace_event_from_dict",
+    "trace_event_to_dict",
 ]

@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import Dict, Union
 
 from ..core.binding import Binding, BoundClique
-from ..core.solution import Datapath
+from ..core.solution import Datapath, TraceEvent
 from ..ir.ops import Operation
 from ..ir.seqgraph import SequencingGraph
 from ..resources.types import ResourceType
@@ -26,6 +26,8 @@ __all__ = [
     "netlist_from_dict",
     "datapath_to_dict",
     "datapath_from_dict",
+    "trace_event_to_dict",
+    "trace_event_from_dict",
     "problem_to_dict",
     "problem_from_dict",
     "allocation_request_to_dict",
@@ -103,12 +105,43 @@ def netlist_from_dict(data: Dict) -> Netlist:
 
 
 # ----------------------------------------------------------------------
-# datapaths
+# datapaths and solver iteration traces
 # ----------------------------------------------------------------------
 
-def datapath_to_dict(datapath: Datapath) -> Dict:
-    """Serialise a datapath solution (refinement trace omitted)."""
+def trace_event_to_dict(event: TraceEvent) -> Dict:
+    """Serialise one solver iteration trace event."""
     return {
+        "iteration": event.iteration,
+        "move": event.move,
+        "target": event.target,
+        "pool": event.pool,
+        "makespan": event.makespan,
+        "area": event.area,
+        "scheduling_set_size": event.scheduling_set_size,
+    }
+
+
+def trace_event_from_dict(data: Dict) -> TraceEvent:
+    """Deserialise one solver iteration trace event."""
+    return TraceEvent(
+        iteration=int(data["iteration"]),
+        move=data["move"],
+        target=data.get("target"),
+        pool=data.get("pool"),
+        makespan=int(data["makespan"]),
+        area=float(data["area"]),
+        scheduling_set_size=int(data["scheduling_set_size"]),
+    )
+
+
+def datapath_to_dict(datapath: Datapath) -> Dict:
+    """Serialise a datapath solution.
+
+    The per-iteration solver trace is included only when present
+    (``DPAllocOptions(trace=True)``), so untraced payloads keep their
+    historical shape; the refinement-step trace is omitted.
+    """
+    payload = {
         "kind": "datapath",
         "method": datapath.method,
         "schedule": dict(datapath.schedule),
@@ -126,6 +159,9 @@ def datapath_to_dict(datapath: Datapath) -> Dict:
         "area": datapath.area,
         "iterations": datapath.iterations,
     }
+    if datapath.trace:
+        payload["trace"] = [trace_event_to_dict(e) for e in datapath.trace]
+    return payload
 
 
 def datapath_from_dict(data: Dict) -> Datapath:
@@ -148,6 +184,9 @@ def datapath_from_dict(data: Dict) -> Datapath:
         area=float(data["area"]),
         iterations=int(data.get("iterations", 1)),
         method=data.get("method", "unknown"),
+        trace=tuple(
+            trace_event_from_dict(entry) for entry in data.get("trace", ())
+        ),
     )
 
 

@@ -82,6 +82,81 @@ class TestAllocate:
         assert code == 1
 
 
+class TestTrace:
+    def test_allocate_trace_prints_convergence_table(self, capsys):
+        assert main(["allocate", "motivational", "--relax", "0.0", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "solver trace:" in out
+        assert "accept" in out
+        assert "makespan" in out
+
+    def test_trace_rides_into_json_and_summarises(self, tmp_path, capsys):
+        out = tmp_path / "dp.json"
+        assert main([
+            "allocate", "motivational", "--relax", "0.0",
+            "--trace", "--json", str(out),
+        ]) == 0
+        payload = load_json(out)
+        assert payload["trace"]
+        capsys.readouterr()
+        assert main(["trace", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "iterations -> makespan" in rendered
+        assert "accept" in rendered
+
+    def test_trace_on_batch_json(self, tmp_path, capsys):
+        out = tmp_path / "batch.json"
+        # batch has no --trace flag; traced runs come from allocate or
+        # engine options -- so synthesise a batch file from one result.
+        from repro.engine import AllocationRequest, Engine
+        from repro.io import allocation_result_to_dict
+        from repro.cli import _build_problem
+
+        problem = _build_problem("motivational", 0.0, None)
+        result = Engine().run(
+            AllocationRequest(
+                problem, "dpalloc", options={"trace": True}, label="motivational",
+            )
+        )
+        save_json(
+            {"kind": "allocation-batch",
+             "results": [allocation_result_to_dict(result)]},
+            out,
+        )
+        assert main(["trace", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "motivational/dpalloc" in rendered
+
+    def test_trace_without_events_hints(self, tmp_path, capsys):
+        out = tmp_path / "dp.json"
+        assert main(["allocate", "motivational", "--relax", "0.5",
+                     "--json", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(out)]) == 1
+        assert "--trace" in capsys.readouterr().err
+
+    def test_trace_rejects_wrong_payload(self, tmp_path, capsys):
+        path = tmp_path / "graph.json"
+        from repro.gen.workloads import dct4
+
+        save_json(graph_to_dict(dct4()), path)
+        assert main(["trace", str(path)]) == 2
+        assert "kind" in capsys.readouterr().err
+
+    def test_trace_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_warns_for_non_dpalloc_method(self, capsys):
+        assert main([
+            "allocate", "motivational", "--relax", "1.0",
+            "--method", "uniform", "--trace",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "untraced" in captured.err
+        assert "solver trace:" not in captured.out
+
+
 class TestCompare:
     def test_table_has_all_methods(self, capsys):
         assert main(["compare", "motivational", "--relax", "1.0"]) == 0

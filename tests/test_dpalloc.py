@@ -184,6 +184,77 @@ class TestOptions:
         with pytest.raises(ValueError):
             DPAllocOptions(mode="warp-speed")
 
+    def test_invalid_constraint_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="constraint"):
+            DPAllocOptions(constraint="eqn7")
+
+    def test_invalid_selector_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="selector"):
+            DPAllocOptions(selector="random")
+
+
+class TestBestModeIterationCap:
+    """mode='best' shares max_iterations across both sub-modes and
+    reports the winning variant's iteration count."""
+
+    def test_cap_applies_to_both_submodes(self, diamond_graph):
+        p = make_problem(diamond_graph, relaxation=0.0)
+        # Cap below what either sub-mode needs: both must fail.
+        assert allocate(p).iterations > 1
+        with pytest.raises(InfeasibleError):
+            allocate(p, DPAllocOptions(mode="best", max_iterations=1))
+
+    def test_iterations_reflect_winning_variant(self, diamond_graph):
+        for relaxation in (0.0, 0.3, 1.0):
+            p = make_problem(diamond_graph, relaxation)
+            cap = 64
+            best = allocate(p, DPAllocOptions(mode="best", max_iterations=cap))
+            assert best.iterations <= cap
+            winner = min(
+                (
+                    allocate(p, DPAllocOptions(mode=mode, max_iterations=cap))
+                    for mode in ("min-units", "asap")
+                ),
+                key=lambda dp: (dp.area, dp.makespan),
+            )
+            assert best.iterations == winner.iterations
+            assert best.area == winner.area
+
+    def test_cap_allows_feasible_submode_to_win(self, diamond_graph):
+        # With generous slack both modes finish in one iteration; the
+        # cap of 1 must not reject the run.
+        p = make_problem(diamond_graph, relaxation=5.0)
+        best = allocate(p, DPAllocOptions(mode="best", max_iterations=1))
+        assert best.iterations == 1
+
+
+class TestBottleneckKindTies:
+    def test_tie_resolves_to_smallest_name(self):
+        from repro.core.solver import _bottleneck_kind
+        from repro.ir.seqgraph import SequencingGraph
+
+        g = SequencingGraph()
+        g.add("alpha", "add", (8, 8))
+        g.add("beta", "mul", (8, 8))
+        p = Problem(g, latency_constraint=10)
+        schedule = {"alpha": 0, "beta": 0}
+        bound_latencies = {"alpha": 3, "beta": 3}
+        # Both finish at step 3; the lexicographically smallest name
+        # ("alpha", an add) must win -- not the largest ("beta").
+        assert _bottleneck_kind(p, schedule, bound_latencies) == "add"
+
+    def test_strict_maximum_still_wins(self):
+        from repro.core.solver import _bottleneck_kind
+        from repro.ir.seqgraph import SequencingGraph
+
+        g = SequencingGraph()
+        g.add("alpha", "add", (8, 8))
+        g.add("beta", "mul", (8, 8))
+        p = Problem(g, latency_constraint=10)
+        schedule = {"alpha": 0, "beta": 1}
+        bound_latencies = {"alpha": 3, "beta": 3}
+        assert _bottleneck_kind(p, schedule, bound_latencies) == "mul"
+
 
 class TestIterationAccounting:
     def test_refinement_trace_recorded(self):

@@ -74,6 +74,33 @@ class TestDatapathRoundTrip:
         with pytest.raises(ValueError, match="not a datapath"):
             datapath_from_dict({"kind": "netlist"})
 
+    def test_untraced_payload_has_no_trace_key(self):
+        problem = make_problem(iir_biquad(), 0.4)
+        payload = datapath_to_dict(allocate(problem))
+        assert "trace" not in payload
+
+    def test_trace_round_trip(self):
+        from repro import DPAllocOptions
+
+        problem = make_problem(iir_biquad(), 0.0)
+        dp = allocate(problem, DPAllocOptions(trace=True))
+        assert dp.trace
+        payload = datapath_to_dict(dp)
+        assert len(payload["trace"]) == len(dp.trace)
+        clone = datapath_from_dict(json.loads(json.dumps(payload)))
+        assert clone.trace == dp.trace
+        assert clone.trace[-1].move == "accept"
+
+    def test_trace_event_round_trip(self):
+        from repro import TraceEvent
+        from repro.io import trace_event_from_dict, trace_event_to_dict
+
+        event = TraceEvent(
+            iteration=3, move="refine", target="m1", pool="W",
+            makespan=12, area=208.0, scheduling_set_size=4,
+        )
+        assert trace_event_from_dict(trace_event_to_dict(event)) == event
+
 
 class TestFiles:
     def test_save_and_load(self, tmp_path):
