@@ -7,6 +7,10 @@ latency up front.  This script sweeps the latency constraint and shows
 the heuristic trading latency slack for area, including the exact unit
 mix chosen at each point.
 
+(Direct ``allocate()`` calls keep the single-solve algorithm in view;
+sweeps like this run in production through ``Engine.run_batch`` -- see
+``examples/engine_batch.py`` and ``examples/fir_filter_design.py``.)
+
 Run with::
 
     python examples/fig1_motivational.py

@@ -6,6 +6,10 @@ datapath -- units, operand multiplexers (sharing's hidden cost) and
 registers (left-edge allocated) -- then exports the most shared design as
 structural Verilog so the muxes are visible in the RTL.
 
+(Single solves are shown via direct ``allocate()`` for clarity; batch
+or cached flows should go through :class:`repro.engine.Engine` -- see
+``examples/engine_batch.py``.)
+
 Run with::
 
     python examples/interconnect_report.py

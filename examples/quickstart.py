@@ -2,7 +2,11 @@
 
 Builds a tiny fixed-point DFG with the signal-level builder, runs the
 paper's DPAlloc heuristic under two latency constraints, and prints the
-resulting schedules/bindings.  Run with::
+resulting schedules/bindings.  This example calls ``allocate()``
+directly to keep the algorithm in view; production flows route through
+the :class:`repro.engine.Engine` front door (registry dispatch, result
+envelopes, batching, caching) -- see ``examples/engine_batch.py``.
+Run with::
 
     python examples/quickstart.py
 """

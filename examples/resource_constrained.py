@@ -5,6 +5,12 @@ hard per-kind unit budgets ``N_y``.  This script allocates an IIR biquad
 under shrinking multiplier budgets and shows how the schedule stretches
 while the budget is honoured -- and how an impossible budget is reported.
 
+(Direct ``allocate()`` raises ``InfeasibleError`` on impossible
+budgets; through :class:`repro.engine.Engine` the same failure comes
+back as an ``AllocationResult`` row instead -- the engine path to use
+when a sweep must survive infeasible cells; see
+``examples/engine_batch.py``.)
+
 Run with::
 
     python examples/resource_constrained.py

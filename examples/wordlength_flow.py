@@ -12,6 +12,11 @@ future work.  This script closes the loop:
    kernel under the same latency constraint;
 4. the trimmed datapath is functionally verified by simulation.
 
+(The two single solves use direct ``allocate()`` for clarity;
+production front-ends should submit both through
+``repro.engine.Engine.run_batch`` to get envelopes, caching and
+parallelism for free -- see ``examples/engine_batch.py``.)
+
 Run with::
 
     python examples/wordlength_flow.py

@@ -1,9 +1,9 @@
-"""Setuptools shim.
+"""Setuptools shim for legacy installers.
 
-The execution environment has no network access and no ``wheel`` package,
-so PEP 517 editable installs cannot build; this shim lets
-``pip install -e . --no-build-isolation --no-use-pep517`` use the legacy
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+All metadata lives in ``pyproject.toml`` (PEP 621); ``pip install -e .``
+is the supported path and is exercised by the CI docs job.  This shim
+only keeps ``setup.py develop``-style legacy installs working in
+environments that still need them.
 """
 
 from setuptools import setup

@@ -506,6 +506,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Heuristic datapath allocation for multiple wordlength systems",
+        epilog="Full subcommand documentation with copy-pasteable "
+               "invocations: docs/cli.md (architecture notes: "
+               "docs/architecture.md).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

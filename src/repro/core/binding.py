@@ -23,6 +23,15 @@ A final wordlength-selection pass implements each clique in the cheapest
 resource type compatible (via current ``H`` edges) with all members;
 ``H`` membership guarantees the resource is never slower than the latency
 upper bounds used by the scheduler, so the schedule remains valid.
+
+**Incremental Bindselect** (see ``docs/architecture.md``): the max-chain
+kernel is a pure function of the candidate tuple and its members'
+``(start, L_o)`` values, so the solver pipeline persists a
+:class:`ChainCache` across iterations and replays unchanged chains
+verbatim, invalidating only chains touching operations whose schedule
+position or latency bound the last refinement actually moved.
+``REPRO_SOLVER=scratch`` bypasses the cache; both paths are
+byte-identical by construction.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from ..resources.area import AreaModel
 from ..resources.types import ResourceType
 from .wcg import WordlengthCompatibilityGraph
 
-__all__ = ["BoundClique", "Binding", "max_chain", "bindselect"]
+__all__ = ["BoundClique", "Binding", "ChainCache", "max_chain", "bindselect"]
 
 
 @dataclass(frozen=True)
@@ -116,10 +125,17 @@ def max_chain(
 ) -> List[str]:
     """Maximum chain (pairwise sequential ops) among ``candidates``.
 
-    The compatibility relation "finishes no later than the other starts"
-    is an interval order; a maximum clique of the comparability graph is
-    a longest chain, computed by DP over ops sorted by start time.
-    Deterministic: ties prefer lexicographically smaller predecessors.
+    The inner kernel of Algorithm Bindselect (paper section 2.3): each
+    greedy step needs, per resource type ``r``, a maximum clique of the
+    compatibility graph ``G'(O, C)`` restricted to ``O(r)``.  The
+    compatibility relation "finishes no later than the other starts" is
+    an interval order, so ``G'`` is transitively oriented and a maximum
+    clique is a maximum *chain* (Golumbic [11]), computed here by
+    dynamic programming over ops sorted by start time.  Deterministic:
+    ties prefer lexicographically smaller predecessors, and the result
+    is a pure function of ``(candidates, schedule|candidates,
+    latencies|candidates)`` -- the property :class:`ChainCache` relies
+    on to replay chains verbatim across solver iterations.
     """
     if not candidates:
         return []
@@ -142,6 +158,94 @@ def max_chain(
         cursor = best_pred[cursor]
     chain.reverse()
     return chain
+
+
+class ChainCache:
+    """Memoised :func:`max_chain` results for incremental Bindselect.
+
+    A chain is a pure function of the candidate tuple and the
+    candidates' ``(start, L_o)`` values, so a cached chain may be
+    replayed *verbatim* whenever those inputs recur -- both across the
+    greedy rounds of one ``bindselect`` call (a selected clique leaves
+    most other resources' candidate sets untouched) and across outer
+    DPAlloc iterations (a refinement changes the schedule region and
+    candidate sets of only the affected cone; see
+    :class:`repro.core.scheduling.ScheduleWarmStart` for the scheduling
+    side of that argument).
+
+    Consistency contract: :meth:`refresh` must be called with the
+    current schedule and latency bounds before each ``bindselect`` call.
+    It diffs the per-op ``(start, L_o)`` snapshot taken at the previous
+    refresh and evicts exactly the entries whose member ops moved;
+    candidate-set changes need no eviction because the candidate tuple
+    *is* the lookup key.  Cached chains are therefore byte-identical to
+    a from-scratch ``max_chain`` -- the ``REPRO_SOLVER=scratch`` parity
+    guarantee extends to incremental Bindselect unchanged.
+    """
+
+    def __init__(self, max_entries_per_resource: int = 64) -> None:
+        self._chains: Dict[
+            ResourceType, Dict[Tuple[str, ...], Tuple[str, ...]]
+        ] = {}
+        self._starts: Dict[str, int] = {}
+        self._latencies: Dict[str, int] = {}
+        self._max_entries = max_entries_per_resource
+        self.hits = 0
+        self.misses = 0
+        self.evicted = 0
+
+    def refresh(
+        self,
+        schedule: Mapping[str, int],
+        latencies: Mapping[str, int],
+        names: Sequence[str],
+    ) -> int:
+        """Evict entries whose ops' ``(start, L_o)`` changed; resnapshot.
+
+        Returns the number of evicted entries (for diagnostics).
+        """
+        changed = {
+            n
+            for n in names
+            if self._starts.get(n) != schedule[n]
+            or self._latencies.get(n) != latencies[n]
+        }
+        dropped = 0
+        if changed:
+            for chains in self._chains.values():
+                stale = [key for key in chains if not changed.isdisjoint(key)]
+                for key in stale:
+                    del chains[key]
+                dropped += len(stale)
+        self._starts = {n: schedule[n] for n in names}
+        self._latencies = {n: latencies[n] for n in names}
+        self.evicted += dropped
+        return dropped
+
+    def chain(
+        self,
+        resource: ResourceType,
+        candidates: Sequence[str],
+        schedule: Mapping[str, int],
+        latencies: Mapping[str, int],
+    ) -> List[str]:
+        """The max chain for ``candidates`` on ``resource``, memoised."""
+        key = tuple(candidates)
+        chains = self._chains.setdefault(resource, {})
+        cached = chains.get(key)
+        if cached is not None:
+            self.hits += 1
+            # LRU: re-append so capacity eviction drops cold keys, not
+            # the hot full-candidate-set chains that recur every round.
+            chains[key] = chains.pop(key)
+            return list(cached)
+        self.misses += 1
+        result = max_chain(candidates, schedule, latencies)
+        while len(chains) >= self._max_entries:
+            del chains[next(iter(chains))]  # least recently used
+            self.evicted += 1
+        chains[key] = tuple(result)
+        return result
 
 
 def _cheapest_covering_resource(
@@ -167,8 +271,17 @@ def bindselect(
     area_model: AreaModel,
     grow: bool = True,
     shrink: bool = True,
+    chain_cache: Optional[ChainCache] = None,
 ) -> Binding:
-    """Algorithm Bindselect of the paper.
+    """Algorithm Bindselect of the paper (section 2.3).
+
+    Implicit weighted unate covering (Eqn. 6) by Chvátal's greedy
+    heuristic [1]: at each step pick the resource type whose maximum
+    chain of still-uncovered operations maximises ``|clique| / cost``,
+    grow the new clique over earlier selections (the paper's
+    compensation for greedy short-sightedness), and finally implement
+    each clique in the cheapest resource type compatible with all of
+    its members (Eqn. 4).
 
     Args:
         wcg: scheduled wordlength compatibility graph (current ``H``).
@@ -178,6 +291,11 @@ def bindselect(
         area_model: resource cost for the greedy ratio and Eqn. 5.
         grow: enable the clique-growth compensation step.
         shrink: enable the final cheapest-cover wordlength selection.
+        chain_cache: optional :class:`ChainCache` supplying memoised
+            max chains (the solver pipeline's incremental Bindselect).
+            The caller must have ``refresh``-ed it against ``schedule``
+            and ``latencies``; results are byte-identical with or
+            without it.
 
     Returns:
         a :class:`Binding` covering every operation exactly once.
@@ -193,7 +311,12 @@ def bindselect(
             ]
             if not candidates:
                 continue
-            chain = max_chain(candidates, schedule, latencies)
+            if chain_cache is not None:
+                chain = chain_cache.chain(
+                    resource, candidates, schedule, latencies
+                )
+            else:
+                chain = max_chain(candidates, schedule, latencies)
             cost = area_model.area(resource)
             key = (len(chain) / cost, -cost)
             if best is None or key > (best[0], best[1]):

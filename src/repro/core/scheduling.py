@@ -249,6 +249,13 @@ class ScheduleWarmStart:
     (not the serial fallback): the reuse proof replays the greedy
     event trace.  :func:`list_schedule_outcome` reports which path
     produced a schedule so callers can gate the next warm start.
+
+    Downstream passes reuse the same change-locality: the bind pass's
+    :class:`~repro.core.binding.ChainCache` invalidates exactly the
+    chains whose ops' ``(start, L_o)`` moved between iterations, and
+    the refine pass's :class:`~repro.core.refinement.BoundPathEngine`
+    repairs ASAP/ALAP values only around changed binding edges -- see
+    ``docs/architecture.md`` for the whole reuse table.
     """
 
     prev_starts: Mapping[str, int]

@@ -19,9 +19,14 @@ touch:
   resumed from the last placement that provably cannot have changed
   (see :class:`repro.core.scheduling.ScheduleWarmStart` for the
   argument) instead of being rebuilt from control step 0.
-* **bind / check** -- Bindselect is a global greedy over the *new*
-  schedule and runs every iteration in both modes (its inputs change
-  whenever the loop continues).
+* **bind / check** -- Bindselect's greedy runs every iteration, but its
+  max-chain kernel is memoised in a :class:`~repro.core.binding.ChainCache`:
+  chains whose candidate sets and members' ``(start, L_o)`` values did
+  not move since the previous iteration are replayed verbatim.
+* **refine** -- the bound critical path ``Q_b`` is maintained by a
+  :class:`~repro.core.refinement.BoundPathEngine`: ASAP/ALAP longest
+  paths over the augmented DAG are repaired per added/deleted binding
+  edge and per changed bound latency instead of being rebuilt.
 
 Setting ``REPRO_SOLVER=scratch`` (or passing ``mode="scratch"``)
 disables every reuse: all pass products are recomputed from scratch
@@ -44,9 +49,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..resources.types import ResourceType
-from .binding import Binding, bindselect
+from .binding import Binding, ChainCache, bindselect
 from .problem import InfeasibleError, Problem
-from .refinement import RefinementStep, refine_once
+from .refinement import BoundPathEngine, RefinementStep, refine_once
 from .scheduling import (
     ScheduleWarmStart,
     critical_path_priorities,
@@ -229,6 +234,14 @@ class SolverState:
         self.scheduled_bounds: Dict[str, int] = {}
         self.prev_priorities: Dict[str, int] = {}
         self.prev_first_rejects: Dict[str, int] = {}
+
+        # Cross-iteration reuse state of the bind and refine passes
+        # (incremental runs only): memoised Bindselect max chains and
+        # the maintained bound-critical-path engine.
+        self.chain_cache: Optional[ChainCache] = (
+            ChainCache() if incremental else None
+        )
+        self.bound_path: Optional[BoundPathEngine] = None
 
     # ------------------------------------------------------------------
     def record_refinement(self, step: RefinementStep) -> None:
@@ -461,15 +474,24 @@ class SchedulePass(Pass):
 class BindPass(Pass):
     """Combined binding and wordlength selection (Algorithm Bindselect).
 
-    Runs from scratch in both modes: its inputs (schedule, bounds, the
-    refined ``H`` set) change on every continuing iteration, and the
-    greedy clique cover is a global decision over all of them.
+    The greedy clique cover is a global decision, so the greedy loop
+    itself runs every iteration in both modes -- but its dominant cost,
+    the per-resource max-chain computation, is a pure function of the
+    candidate tuple and its members' ``(start, L_o)`` values.
+    Incremental: a persistent :class:`ChainCache` replays chains whose
+    inputs did not move; ``refresh`` evicts exactly the chains touching
+    operations the last refinement's schedule/bounds diff actually
+    changed.  Scratch: every chain is recomputed.  Both are
+    byte-identical by construction.
     """
 
     name = "bind"
 
     def run(self, state: SolverState) -> None:
         assert state.schedule is not None and state.upper_bounds is not None
+        cache = state.chain_cache
+        if cache is not None:
+            cache.refresh(state.schedule, state.upper_bounds, state.names)
         state.binding = bindselect(
             state.wcg,
             state.schedule,
@@ -477,6 +499,7 @@ class BindPass(Pass):
             state.problem.area_model,
             grow=state.options.grow,
             shrink=state.options.shrink,
+            chain_cache=cache,
         )
 
 
@@ -500,7 +523,11 @@ class RefinePass(Pass):
 
     Mirrors the paper's section 2.4 plus the two documented completions
     (unit duplication when the bound critical path is unrefinable, and
-    a last-resort whole-set refinement).  Raises ``InfeasibleError``
+    a last-resort whole-set refinement).  Incremental: the bound
+    critical path ``Q_b`` comes from the maintained
+    :class:`BoundPathEngine` (exact single-edge/latency updates to the
+    augmented-DAG ASAP/ALAP longest paths) instead of a from-scratch
+    rebuild; the set is provably identical.  Raises ``InfeasibleError``
     when no move exists or the iteration cap is hit.
     """
 
@@ -517,6 +544,13 @@ class RefinePass(Pass):
             )
 
         assert state.schedule is not None and state.binding is not None
+        q_b = None
+        if state.incremental and not opts.blind_refinement:
+            if state.bound_path is None:
+                state.bound_path = BoundPathEngine(state.names, state.edges)
+            q_b = state.bound_path.critical_ops(
+                state.schedule, state.binding, state.bound_latencies
+            )
         # Preferred move: refine a bound-critical operation (paper §2.4).
         primary_pools = ("any",) if opts.blind_refinement else ("W", "Qb")
         try:
@@ -531,6 +565,7 @@ class RefinePass(Pass):
                 selector=opts.selector,
                 bound_latencies=state.bound_latencies,
                 upper_bounds=state.upper_bounds,
+                q_b=q_b,
             )
             state.record_refinement(step)
             return

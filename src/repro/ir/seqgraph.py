@@ -34,6 +34,18 @@ class SequencingGraph:
     def __init__(self) -> None:
         self._g = nx.DiGraph()
         self._ops: Dict[str, Operation] = {}
+        # Derived-structure caches, invalidated on mutation.  The solver
+        # pipeline asks for the topological order and sorted
+        # neighbourhoods once per iteration on a graph that never
+        # changes mid-solve, so these keep networkx off the hot path.
+        self._topo_cache: Optional[Tuple[str, ...]] = None
+        self._pred_cache: Dict[str, Tuple[str, ...]] = {}
+        self._succ_cache: Dict[str, Tuple[str, ...]] = {}
+
+    def _invalidate_caches(self) -> None:
+        self._topo_cache = None
+        self._pred_cache.clear()
+        self._succ_cache.clear()
 
     # ------------------------------------------------------------------
     # construction
@@ -44,6 +56,7 @@ class SequencingGraph:
             raise ValueError(f"duplicate operation name {op.name!r}")
         self._ops[op.name] = op
         self._g.add_node(op.name)
+        self._invalidate_caches()
         return op
 
     def add(self, name: str, kind: str, operand_widths: Iterable[int]) -> Operation:
@@ -61,6 +74,7 @@ class SequencingGraph:
         if not nx.is_directed_acyclic_graph(self._g):
             self._g.remove_edge(producer, consumer)
             raise CycleError(f"edge {producer!r}->{consumer!r} creates a cycle")
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------
     # inspection
@@ -91,10 +105,26 @@ class SequencingGraph:
         return tuple(self._g.edges())
 
     def predecessors(self, name: str) -> List[str]:
-        return sorted(self._g.predecessors(name))
+        cached = self._pred_cache.get(name)
+        if cached is None:
+            if name not in self._ops:
+                raise nx.NetworkXError(
+                    f"The node {name} is not in the digraph."
+                )
+            cached = tuple(sorted(self._g.predecessors(name)))
+            self._pred_cache[name] = cached
+        return list(cached)
 
     def successors(self, name: str) -> List[str]:
-        return sorted(self._g.successors(name))
+        cached = self._succ_cache.get(name)
+        if cached is None:
+            if name not in self._ops:
+                raise nx.NetworkXError(
+                    f"The node {name} is not in the digraph."
+                )
+            cached = tuple(sorted(self._g.successors(name)))
+            self._succ_cache[name] = cached
+        return list(cached)
 
     def sources(self) -> List[str]:
         return sorted(n for n in self._g.nodes if self._g.in_degree(n) == 0)
@@ -104,7 +134,11 @@ class SequencingGraph:
 
     def topological_order(self) -> List[str]:
         """Deterministic topological ordering (lexicographic tie-break)."""
-        return list(nx.lexicographical_topological_sort(self._g))
+        if self._topo_cache is None:
+            self._topo_cache = tuple(
+                nx.lexicographical_topological_sort(self._g)
+            )
+        return list(self._topo_cache)
 
     def to_networkx(self) -> nx.DiGraph:
         """A copy of the underlying dependency DiGraph."""

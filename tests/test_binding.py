@@ -4,7 +4,13 @@ import itertools
 
 import pytest
 
-from repro.core.binding import Binding, BoundClique, bindselect, max_chain
+from repro.core.binding import (
+    Binding,
+    BoundClique,
+    ChainCache,
+    bindselect,
+    max_chain,
+)
 from repro.core.wcg import WordlengthCompatibilityGraph
 from repro.ir.ops import Operation
 from repro.resources.area import SonicAreaModel
@@ -209,3 +215,81 @@ class TestBindingContainer:
     def test_bound_latencies_from(self):
         lat = self.binding.bound_latencies_from({SMALL: 2, ADD8: 2})
         assert lat == {"a": 2, "b": 2, "c": 2}
+
+
+class TestChainCache:
+    def setup_method(self):
+        self.schedule = {"a": 0, "b": 2, "c": 4, "d": 1}
+        self.latencies = {"a": 2, "b": 2, "c": 2, "d": 2}
+        self.names = ("a", "b", "c", "d")
+
+    def make_cache(self):
+        cache = ChainCache()
+        cache.refresh(self.schedule, self.latencies, self.names)
+        return cache
+
+    def test_miss_then_hit_returns_same_chain(self):
+        cache = self.make_cache()
+        first = cache.chain(SMALL, ["a", "b", "c"], self.schedule, self.latencies)
+        second = cache.chain(SMALL, ["a", "b", "c"], self.schedule, self.latencies)
+        assert first == second == max_chain(
+            ["a", "b", "c"], self.schedule, self.latencies
+        )
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_cached_chain_is_a_private_copy(self):
+        cache = self.make_cache()
+        first = cache.chain(SMALL, ["a", "b"], self.schedule, self.latencies)
+        first.append("junk")
+        assert cache.chain(SMALL, ["a", "b"], self.schedule, self.latencies) == [
+            "a", "b",
+        ]
+
+    def test_different_candidates_are_distinct_keys(self):
+        cache = self.make_cache()
+        cache.chain(SMALL, ["a", "b", "c"], self.schedule, self.latencies)
+        narrowed = cache.chain(SMALL, ["b", "c"], self.schedule, self.latencies)
+        assert narrowed == ["b", "c"]
+        assert cache.misses == 2
+
+    def test_refresh_evicts_only_touching_entries(self):
+        cache = self.make_cache()
+        cache.chain(SMALL, ["a", "b"], self.schedule, self.latencies)
+        cache.chain(BIG, ["c", "d"], self.schedule, self.latencies)
+        moved = dict(self.schedule, a=1)
+        dropped = cache.refresh(moved, self.latencies, self.names)
+        assert dropped == 1  # only the (a, b) entry contained 'a'
+        cache.chain(BIG, ["c", "d"], moved, self.latencies)
+        assert cache.hits == 1
+
+    def test_latency_change_also_evicts(self):
+        cache = self.make_cache()
+        cache.chain(SMALL, ["a", "b"], self.schedule, self.latencies)
+        slower = dict(self.latencies, b=3)
+        assert cache.refresh(self.schedule, slower, self.names) == 1
+
+    def test_capacity_evicts_oldest(self):
+        cache = ChainCache(max_entries_per_resource=2)
+        cache.refresh(self.schedule, self.latencies, self.names)
+        cache.chain(SMALL, ["a"], self.schedule, self.latencies)
+        cache.chain(SMALL, ["b"], self.schedule, self.latencies)
+        cache.chain(SMALL, ["c"], self.schedule, self.latencies)  # evicts ["a"]
+        cache.chain(SMALL, ["a"], self.schedule, self.latencies)
+        assert cache.misses == 4 and cache.evicted == 2
+
+    def test_bindselect_with_cache_is_identical(self):
+        ops = [Operation(f"m{i}", "mul", (8 + i, 8)) for i in range(6)]
+        wcg = make_wcg(ops, [SMALL, BIG, ResourceType("mul", (14, 8))])
+        schedule = {f"m{i}": 3 * i for i in range(6)}
+        latencies = {name: wcg.upper_bound_latency(name) for name in schedule}
+        cache = ChainCache()
+        cache.refresh(schedule, latencies, tuple(schedule))
+        plain = bindselect(wcg, schedule, latencies, AREA)
+        cached = bindselect(
+            wcg, schedule, latencies, AREA, chain_cache=cache
+        )
+        recached = bindselect(
+            wcg, schedule, latencies, AREA, chain_cache=cache
+        )
+        assert plain == cached == recached
+        assert cache.hits > 0

@@ -190,3 +190,131 @@ class TestRefineOnce:
             latency_constraint=20, pools=("W", "Qb"),
         )
         assert step.operation in {"a", "c"}
+
+
+class TestTopologicalOrder:
+    def test_deterministic_lexicographic(self):
+        from repro.core.refinement import _topological_order
+
+        names = ("c", "a", "b")
+        preds = {"a": set(), "b": set(), "c": {"a", "b"}}
+        succs = {"a": {"c"}, "b": {"c"}, "c": set()}
+        assert _topological_order(names, preds, succs) == ["a", "b", "c"]
+
+    def test_cycle_detected(self):
+        from repro.core.refinement import _topological_order
+
+        preds = {"a": {"b"}, "b": {"a"}}
+        succs = {"a": {"b"}, "b": {"a"}}
+        with pytest.raises(ValueError, match="cycle"):
+            _topological_order(("a", "b"), preds, succs)
+
+    def test_networkx_not_imported_by_refinement(self):
+        """The per-iteration hot path must not require networkx."""
+        import repro.core.refinement as refinement
+
+        assert not hasattr(refinement, "nx")
+        assert "networkx" not in refinement.__loader__.get_source(
+            "repro.core.refinement"
+        ).split('"""', 2)[2]  # allowed in the docstring, not in code
+
+
+class TestBoundPathEngine:
+    def _solver_loop_states(self, num_ops=16, sample=0, relaxation=0.0):
+        """Replicate the DPAlloc loop, yielding per-iteration inputs."""
+        from repro.core.binding import bindselect
+        from repro.core.scheduling import list_schedule_outcome
+        from repro.experiments import build_case
+
+        problem = build_case(num_ops, sample, relaxation).problem
+        graph = problem.graph
+        wcg = WordlengthCompatibilityGraph(
+            graph.operations, problem.resource_set(), problem.latency_model
+        )
+        for _ in range(12):
+            bounds = wcg.upper_bound_latencies()
+            schedule = list_schedule_outcome(graph, wcg, bounds).starts
+            binding = bindselect(
+                wcg, schedule, bounds, problem.area_model
+            )
+            bound_latencies = binding.bound_latencies(wcg)
+            yield graph, wcg, schedule, binding, bound_latencies
+            refinable = sorted(n for n in graph.names if wcg.can_refine(n))
+            if not refinable:
+                return
+            wcg.refine(refinable[0])
+
+    def test_matches_scratch_across_solver_iterations(self):
+        from repro.core.refinement import BoundPathEngine
+
+        engine = None
+        iterations = 0
+        for graph, wcg, schedule, binding, lat in self._solver_loop_states():
+            if engine is None:
+                engine = BoundPathEngine(graph.names, graph.edges())
+            maintained = engine.critical_ops(schedule, binding, lat)
+            scratch = bound_critical_path(
+                graph.names, graph.edges(), schedule, binding, lat
+            )
+            assert maintained == scratch
+            iterations += 1
+        assert iterations > 3
+        assert engine.full_passes == 1
+        assert engine.incremental_updates == iterations - 1
+
+    def test_repeated_identical_iteration_is_stable(self):
+        from repro.core.refinement import BoundPathEngine
+
+        states = list(self._solver_loop_states(num_ops=10))
+        graph, wcg, schedule, binding, lat = states[0]
+        engine = BoundPathEngine(graph.names, graph.edges())
+        first = engine.critical_ops(schedule, binding, lat)
+        again = engine.critical_ops(schedule, binding, lat)
+        assert first == again
+
+    def test_single_op_graph(self):
+        from repro.core.refinement import BoundPathEngine
+
+        binding = Binding((BoundClique(SMALL, ("a",)),))
+        engine = BoundPathEngine(("a",), ())
+        assert engine.critical_ops({"a": 0}, binding, {"a": 2}) == {"a"}
+
+
+class TestRefineOncePrecomputedQb:
+    def _fixture(self):
+        ops = [
+            Operation("a", "mul", (8, 8)),
+            Operation("b", "mul", (8, 8)),
+            Operation("c", "mul", (8, 8)),
+        ]
+        wcg = WordlengthCompatibilityGraph(ops, [SMALL, BIG], LAT)
+        binding = Binding(
+            (BoundClique(BIG, ("a", "c")), BoundClique(BIG, ("b",)))
+        )
+        schedule = {"a": 0, "c": 4, "b": 0}
+        return wcg, binding, schedule
+
+    def test_precomputed_qb_matches_internal(self):
+        wcg1, binding, schedule = self._fixture()
+        step_internal = refine_once(
+            wcg1, ("a", "b", "c"), (("a", "c"),), schedule, binding,
+            latency_constraint=20,
+        )
+        wcg2, binding, schedule = self._fixture()
+        q_b = bound_critical_path(
+            ("a", "b", "c"), (("a", "c"),), schedule, binding,
+            binding.bound_latencies(wcg2),
+        )
+        step_precomputed = refine_once(
+            wcg2, ("a", "b", "c"), (("a", "c"),), schedule, binding,
+            latency_constraint=20, q_b=q_b,
+        )
+        assert step_internal == step_precomputed
+
+    def test_unknown_pool_rejected(self):
+        wcg, binding, schedule = self._fixture()
+        with pytest.raises(ValueError, match="unknown candidate pool"):
+            refine_once(
+                wcg, ("a", "b", "c"), (("a", "c"),), schedule, binding,
+                latency_constraint=20, pools=("mystery",),
+            )

@@ -157,3 +157,45 @@ class TestTiming:
         g.add("x", "mul", (4, 4))
         g.add("y", "mul", (6, 6))
         assert g.asap({"x": 1, "y": 2}) == {"x": 0, "y": 0}
+
+
+class TestDerivedStructureCaches:
+    """topological_order / neighbour caches stay correct under mutation."""
+
+    def _chain(self):
+        g = SequencingGraph()
+        g.add("a", "mul", (8, 8))
+        g.add("b", "add", (16, 16))
+        g.add_dependency("a", "b")
+        return g
+
+    def test_topological_order_cache_invalidated_by_new_edge(self):
+        g = self._chain()
+        assert g.topological_order() == ["a", "b"]
+        g.add("c", "add", (16, 16))
+        g.add_dependency("c", "a")
+        assert g.topological_order() == ["c", "a", "b"]
+
+    def test_neighbour_caches_invalidated_by_new_edge(self):
+        g = self._chain()
+        assert g.predecessors("b") == ["a"]
+        assert g.successors("a") == ["b"]
+        g.add("c", "mul", (8, 8))
+        g.add_dependency("c", "b")
+        assert g.predecessors("b") == ["a", "c"]
+
+    def test_returned_lists_are_copies(self):
+        g = self._chain()
+        g.predecessors("b").append("junk")
+        g.topological_order().append("junk")
+        assert g.predecessors("b") == ["a"]
+        assert g.topological_order() == ["a", "b"]
+
+    def test_unknown_name_still_raises(self):
+        import networkx as nx
+
+        g = self._chain()
+        with pytest.raises(nx.NetworkXError):
+            g.predecessors("ghost")
+        with pytest.raises(nx.NetworkXError):
+            g.successors("ghost")

@@ -299,3 +299,56 @@ class TestSolverValidity:
             problem = build_case(num_ops, sample, 0.1).problem
             datapath = run_pipeline(problem, mode=mode)
             validate_datapath(problem, datapath)
+
+
+class TestIncrementalReuseState:
+    """The bind/refine reuse machinery actually engages on real solves."""
+
+    def _drive(self, incremental: bool):
+        from repro.core.solver import PIPELINE, _REFINE, SolverState
+
+        problem = build_case(24, 0, 0.0).problem
+        state = SolverState(problem, DPAllocOptions(), incremental=incremental)
+        while True:
+            state.iteration += 1
+            for stage in PIPELINE:
+                stage.run(state)
+            if state.feasible:
+                state.record_accept()
+                return state
+            _REFINE.run(state)
+
+    def test_chain_cache_hits_on_multi_iteration_solve(self):
+        state = self._drive(incremental=True)
+        assert state.iteration > 1
+        assert state.chain_cache is not None
+        assert state.chain_cache.hits > 0
+        # Refinements move only a cone of the schedule; most chains survive.
+        assert state.chain_cache.hits > state.chain_cache.evicted
+
+    def test_bound_path_engine_updates_incrementally(self):
+        state = self._drive(incremental=True)
+        engine = state.bound_path
+        assert engine is not None
+        assert engine.full_passes == 1
+        assert engine.incremental_updates >= state.iteration - 2
+
+    def test_scratch_state_owns_no_reuse_state(self):
+        state = self._drive(incremental=False)
+        assert state.chain_cache is None
+        assert state.bound_path is None
+
+    def test_blind_refinement_skips_bound_path(self):
+        from repro.core.solver import PIPELINE, _REFINE, SolverState
+
+        problem = build_case(12, 0, 0.0).problem
+        options = DPAllocOptions(blind_refinement=True)
+        state = SolverState(problem, options, incremental=True)
+        while True:
+            state.iteration += 1
+            for stage in PIPELINE:
+                stage.run(state)
+            if state.feasible:
+                break
+            _REFINE.run(state)
+        assert state.bound_path is None

@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Docs smoke check: run code fences, verify intra-repo links.
+
+Scans ``README.md`` and ``docs/*.md`` and
+
+1. **executes** every fenced ```` ```bash ```` / ```` ```python ````
+   block (skipping those whose info string contains ``no-run``) from
+   the repository root, with ``src/`` prepended to ``PYTHONPATH`` --
+   a fence that exits nonzero fails the check, so the documentation's
+   copy-pasteable commands cannot rot;
+2. checks every relative markdown link ``[text](target)`` resolves to a
+   file or directory in the repository (anchors and external
+   ``http(s)``/``mailto`` links are ignored).
+
+Run with::
+
+    python tools/check_docs.py [--docs PATH ...] [--list]
+
+Exit status: 0 when every fence ran and every link resolved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def display(path: Path) -> str:
+    """Repo-relative rendering when possible, absolute otherwise."""
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+# A fence opens with >= 3 backticks plus an optional info string and
+# closes with a backtick-only line of at least the opening length --
+# so example fences shown inside ````-literal blocks are body text,
+# never executed.
+FENCE_OPEN_RE = re.compile(r"^(`{3,})([^`]*)$")
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+RUNNABLE = {"bash", "python"}
+FENCE_TIMEOUT_SECONDS = 600
+
+
+@dataclass
+class Fence:
+    path: Path
+    line: int  # 1-based line of the opening ```
+    language: str
+    flags: Tuple[str, ...]
+    body: str
+
+    @property
+    def runnable(self) -> bool:
+        return self.language in RUNNABLE and "no-run" not in self.flags
+
+    @property
+    def label(self) -> str:
+        return f"{display(self.path)}:{self.line}"
+
+
+def default_documents() -> List[Path]:
+    docs = [REPO / "README.md"]
+    docs.extend(sorted((REPO / "docs").glob("*.md")))
+    return [d for d in docs if d.exists()]
+
+
+def _is_close(line: str, opening: str) -> bool:
+    stripped = line.strip()
+    return (
+        stripped == "`" * len(stripped)
+        and len(stripped) >= len(opening)
+        and bool(stripped)
+    )
+
+
+def extract_fences(path: Path) -> List[Fence]:
+    fences: List[Fence] = []
+    lines = path.read_text().splitlines()
+    opening = ""  # backtick run of the currently open fence, "" if none
+    info: List[str] = []
+    start = 0
+    body: List[str] = []
+    for number, line in enumerate(lines, start=1):
+        if not opening:
+            match = FENCE_OPEN_RE.match(line.strip())
+            if match:
+                opening = match.group(1)
+                info = match.group(2).strip().split()
+                start = number
+                body = []
+        elif _is_close(line, opening):
+            opening = ""
+            fences.append(Fence(
+                path=path,
+                line=start,
+                language=info[0] if info else "",
+                flags=tuple(info[1:]),
+                body="\n".join(body) + "\n",
+            ))
+        else:
+            body.append(line)
+    if opening:
+        raise ValueError(f"{path}: unterminated code fence at line {start}")
+    return fences
+
+
+def run_fence(fence: Fence) -> Tuple[bool, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    if fence.language == "bash":
+        command = ["bash", "-euo", "pipefail", "-c", fence.body]
+    else:
+        command = [sys.executable, "-c", fence.body]
+    try:
+        proc = subprocess.run(
+            command,
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=FENCE_TIMEOUT_SECONDS,
+        )
+    except subprocess.TimeoutExpired:
+        return False, f"timed out after {FENCE_TIMEOUT_SECONDS}s"
+    if proc.returncode != 0:
+        tail = (proc.stderr or proc.stdout).strip().splitlines()[-12:]
+        return False, "\n".join(tail)
+    return True, ""
+
+
+def check_links(path: Path) -> List[str]:
+    problems: List[str] = []
+    opening = ""
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        # Skip fenced code: example links inside fences are not claims.
+        if not opening:
+            match = FENCE_OPEN_RE.match(line.strip())
+            if match:
+                opening = match.group(1)
+                continue
+        else:
+            if _is_close(line, opening):
+                opening = ""
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{display(path)}:{number}: broken link -> {target}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--docs", nargs="*", type=Path, default=None,
+        help="markdown files to check (default: README.md docs/*.md)",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list fences and exit without executing")
+    args = parser.parse_args(argv)
+
+    documents = (
+        [p.resolve() for p in args.docs] if args.docs else default_documents()
+    )
+    if not documents:
+        print("check_docs: no documents found", file=sys.stderr)
+        return 2
+
+    failures: List[str] = []
+    executed = skipped = 0
+    for document in documents:
+        for problem in check_links(document):
+            failures.append(problem)
+        for fence in extract_fences(document):
+            if not fence.runnable:
+                skipped += 1
+                continue
+            if args.list:
+                print(f"would run {fence.label} [{fence.language}]")
+                continue
+            ok, detail = run_fence(fence)
+            executed += 1
+            status = "ok" if ok else "FAIL"
+            print(f"[{status}] {fence.label} [{fence.language}]")
+            if not ok:
+                failures.append(f"{fence.label}: fence failed\n{detail}")
+
+    print(
+        f"\ncheck_docs: {len(documents)} documents, {executed} fences "
+        f"executed, {skipped} skipped"
+    )
+    if failures:
+        print("\n" + "\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
