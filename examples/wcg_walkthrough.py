@@ -56,7 +56,7 @@ def main() -> None:
     eqn3 = Eqn3Tracker(wcg, {"mul": 1})
     eqn3.place("o1", 0, 2)
     print(f"  Eqn. 3 admits o2 at step 10: {eqn3.admits('o2', 10, 5)}   (correct)")
-    print(f"  Eqn. 3 LHS for 'mul' after placing both would be 2 > N = 1")
+    print("  Eqn. 3 LHS for 'mul' after placing both would be 2 > N = 1")
 
 
 if __name__ == "__main__":

@@ -20,7 +20,13 @@ Subcommands:
   manifests by ``Problem.fingerprint()`` (run each anywhere);
 * ``merge`` -- merge per-shard result files back into one
   index-ordered batch result;
-* ``cache`` -- inspect / prune / clear an engine result cache.
+* ``cache`` -- inspect / prune / clear an engine result cache;
+* ``serve`` -- run the asyncio HTTP/JSON allocation service
+  (``POST /allocate``, ``POST /batch``, ``GET /healthz``,
+  ``GET /stats``; see ``docs/service.md``);
+* ``submit`` -- send a workloads x methods sweep to a running service
+  and print the standard batch table (envelopes are
+  canonical-byte-identical to a local ``batch`` run).
 
 All dispatch goes through the allocator registry
 (:mod:`repro.engine`): ``--method`` choices are discovered, never
@@ -51,6 +57,11 @@ Cache lifecycle::
     python -m repro cache stats .cache
     python -m repro cache prune .cache --max-mb 64
     python -m repro cache clear .cache
+
+Allocation service (server and client)::
+
+    python -m repro serve --port 8035 --workers 4 --cache-dir .cache
+    python -m repro submit fir biquad --url http://127.0.0.1:8035
 """
 
 from __future__ import annotations
@@ -324,15 +335,9 @@ def _cmd_batch(args) -> int:
         + (f", {args.workers} workers" if args.workers else "")
     ))
     if args.json:
-        from .io import allocation_result_to_dict
+        from .io import batch_results_to_dict
 
-        save_json(
-            {
-                "kind": "allocation-batch",
-                "results": [allocation_result_to_dict(r) for r in results],
-            },
-            args.json,
-        )
+        save_json(batch_results_to_dict(results), args.json)
         print(f"wrote {args.json}")
     return _report_failures(results)
 
@@ -398,7 +403,7 @@ def _cmd_shard(args) -> int:
 
 def _cmd_merge(args) -> int:
     from .engine import merge_shard_results
-    from .io import allocation_result_to_dict
+    from .io import batch_results_to_dict
 
     try:
         results = merge_shard_results(load_json(path) for path in args.results)
@@ -409,13 +414,7 @@ def _cmd_merge(args) -> int:
         f"merged {len(args.results)} shard files: {len(results)} results"
     ))
     if args.json:
-        save_json(
-            {
-                "kind": "allocation-batch",
-                "results": [allocation_result_to_dict(r) for r in results],
-            },
-            args.json,
-        )
+        save_json(batch_results_to_dict(results), args.json)
         print(f"wrote {args.json}")
     return _report_failures(results)
 
@@ -475,12 +474,81 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the asyncio HTTP/JSON allocation service until interrupted."""
+    import asyncio
+
+    from .service import AllocationServer
+
+    # _engine() validates the flag combinations (e.g. --cache-max-mb
+    # without --cache-dir exits 2 with a message, not a traceback).
+    engine = _engine(args)
+
+    async def _serve() -> None:
+        server = AllocationServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.workers,
+            default_timeout=args.default_timeout,
+        )
+        await server.start()
+        print(
+            f"repro service listening on {server.url} "
+            f"(workers={args.workers}, executor={args.executor}, "
+            f"cache={args.cache_dir or 'off'})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Send a workloads x methods sweep to a running service."""
+    from .io import batch_results_to_dict
+    from .service import ServiceClient, ServiceError
+
+    requests = _sweep_requests(args)
+    if requests is None:
+        return 2
+    client = ServiceClient(args.url, timeout=args.http_timeout)
+    try:
+        results = client.batch(requests)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    methods = sorted({r.allocator for r in results})
+    _print_results_table(results, title=(
+        f"served by {args.url}: {len(args.workloads)} workloads x "
+        f"{len(methods)} methods"
+    ))
+    if args.json:
+        save_json(batch_results_to_dict(results), args.json)
+        print(f"wrote {args.json}")
+    return _report_failures(results)
+
+
 def _cmd_cache(args) -> int:
     import json as json_module
 
     engine = Engine(cache_dir=args.cache_dir)
     if args.action == "stats":
-        print(json_module.dumps(engine.cache_stats(), indent=2, sort_keys=True))
+        stats = engine.cache_stats()
+        print(json_module.dumps(stats, indent=2, sort_keys=True))
+        if stats and stats.get("stale_dropped"):
+            print(
+                f"note: skipped {stats['stale_dropped']} manifest entries "
+                f"whose files were deleted behind the cache's back",
+                file=sys.stderr,
+            )
         return 0
     if args.action == "prune":
         if args.max_mb is None:
@@ -508,7 +576,8 @@ def main(argv=None) -> int:
         description="Heuristic datapath allocation for multiple wordlength systems",
         epilog="Full subcommand documentation with copy-pasteable "
                "invocations: docs/cli.md (architecture notes: "
-               "docs/architecture.md).",
+               "docs/architecture.md; HTTP service endpoints and wire "
+               "schema: docs/service.md).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -516,7 +585,7 @@ def main(argv=None) -> int:
 
     methods = allocator_names()
 
-    def add_problem_args(cmd, workload_nargs=None):
+    def add_problem_args(cmd, workload_nargs=None, cache=True):
         if workload_nargs:
             cmd.add_argument(
                 "workloads", nargs=workload_nargs,
@@ -535,8 +604,9 @@ def main(argv=None) -> int:
         )
         cmd.add_argument("--latency", type=int, default=None,
                          help="absolute latency constraint (overrides --relax)")
-        cmd.add_argument("--cache-dir", default=None,
-                         help="directory for the on-disk result cache")
+        if cache:
+            cmd.add_argument("--cache-dir", default=None,
+                             help="directory for the on-disk result cache")
 
     def add_engine_args(cmd):
         """Engine execution flags, identical on every batch-shaped command."""
@@ -618,6 +688,45 @@ def main(argv=None) -> int:
     cmd.add_argument("--max-mb", type=float, default=None,
                      help="size budget for 'prune'")
 
+    cmd = sub.add_parser(
+        "serve",
+        help="run the async HTTP/JSON allocation service "
+             "(see docs/service.md)",
+    )
+    cmd.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    cmd.add_argument("--port", type=int, default=8035,
+                     help="TCP port (default 8035; 0 picks a free port)")
+    cmd.add_argument("--workers", type=_positive_int, default=4,
+                     help="max concurrent solves (default 4)")
+    cmd.add_argument("--cache-dir", default=None,
+                     help="shared on-disk result cache for all requests")
+    cmd.add_argument("--cache-max-mb", type=float, default=None,
+                     help="LRU-evict the cache beyond this size "
+                          "(needs --cache-dir)")
+    cmd.add_argument(
+        "--executor", choices=EXECUTORS, default="process",
+        help="fresh-run execution mode (default 'process': one killable "
+             "worker process per solve, so hung solves cannot pile up)",
+    )
+    cmd.add_argument("--default-timeout", type=float, default=None,
+                     help="per-solve budget for requests without their own")
+
+    cmd = sub.add_parser(
+        "submit",
+        help="send a workloads x methods sweep to a running service",
+    )
+    add_problem_args(cmd, workload_nargs="+", cache=False)
+    cmd.add_argument("--methods", default=None,
+                     help=f"comma-separated subset of: {', '.join(methods)}")
+    cmd.add_argument("--timeout", type=float, default=None,
+                     help="per-run wall-clock budget in seconds")
+    cmd.add_argument("--url", default="http://127.0.0.1:8035",
+                     help="service base URL (default http://127.0.0.1:8035)")
+    cmd.add_argument("--http-timeout", type=float, default=600.0,
+                     help="HTTP socket timeout in seconds (default 600)")
+    cmd.add_argument("--json", help="write the full result envelopes as JSON")
+
     args = parser.parse_args(argv)
     handlers = {
         "list-workloads": _cmd_list_workloads,
@@ -628,6 +737,8 @@ def main(argv=None) -> int:
         "merge": _cmd_merge,
         "cache": _cmd_cache,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

@@ -37,7 +37,7 @@ Scaling surfaces on top of the engine:
 """
 
 from .cache import ResultCache
-from .engine import EXECUTORS, Engine, execute_request
+from .engine import EXECUTORS, Engine, execute_request, request_content_key
 from .executor import ProcessPerRunExecutor
 from .registry import (
     Allocator,
@@ -75,6 +75,7 @@ __all__ = [
     "merge_shard_results",
     "partition_requests",
     "register_allocator",
+    "request_content_key",
     "run_shard",
     "shard_of",
     "unregister_allocator",

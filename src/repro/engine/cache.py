@@ -20,13 +20,23 @@ corrupt or stale manifest is rebuilt from a directory scan (file sizes
 and mtimes), and every manifest write is atomic (per-process tmp name +
 rename) with ``OSError`` swallowed, matching the entry-write discipline.
 Concurrent engines sharing a cache directory may lose a manifest update
-race; the next rebuild reconciles.
+race; the next rebuild reconciles.  Manifest entries whose files were
+deleted behind the cache's back (an external prune, a cleanup cron, a
+second host sharing the directory) are *reported* -- counted in
+``stats()["stale_dropped"]`` -- and skipped, never an error: a
+long-running service must survive any on-disk state it finds.
+
+Instances are thread-safe: every public method holds one re-entrant
+lock, so the many concurrent requests of :mod:`repro.service` can share
+a single cache without corrupting the manifest (single-flight dedup in
+the service layer additionally collapses identical concurrent misses).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -61,6 +71,12 @@ class ResultCache:
         self.max_mb = max_mb
         self.hits = 0
         self.misses = 0
+        # Cumulative count of manifest entries dropped because their
+        # entry files had been deleted behind the cache's back.
+        self.stale_dropped = 0
+        # One lock for every public method: concurrent service requests
+        # share a single instance (reads, writes, reconciling scans).
+        self._lock = threading.RLock()
         # In-memory manifest view: loaded (with a reconciling directory
         # scan) on first use, then kept current by read/write so hot
         # paths never pay a per-operation scan.  stats/prune re-scan.
@@ -86,37 +102,39 @@ class ResultCache:
         manifest flush (a warm sweep would otherwise rewrite the whole
         manifest once per request).
         """
-        path = self.entry_path(key)
-        try:
-            text = path.read_text()
-        except OSError:
-            self.misses += 1
-            return None
-        self.hits += 1
-        now = _utcnow()
-        try:
-            os.utime(path, (now, now))
-        except OSError:
-            pass
-        entry = self._manifest_view()["entries"].get(key)
-        if entry is not None:
-            entry["last_used"] = now
-        return text
+        with self._lock:
+            path = self.entry_path(key)
+            try:
+                text = path.read_text()
+            except OSError:
+                self.misses += 1
+                return None
+            self.hits += 1
+            now = _utcnow()
+            try:
+                os.utime(path, (now, now))
+            except OSError:
+                pass
+            entry = self._manifest_view()["entries"].get(key)
+            if entry is not None:
+                entry["last_used"] = now
+            return text
 
     def invalidate(self, key: str) -> None:
         """Drop an entry that turned out to be unusable (corrupt JSON,
         wrong shape) and reclassify its lookup as a miss, so hit-rate
         statistics only count lookups that actually served a result."""
-        if self.hits > 0:
-            self.hits -= 1
-        self.misses += 1
-        try:
-            self.entry_path(key).unlink(missing_ok=True)
-        except OSError:
-            pass
-        manifest = self._manifest_view()
-        if manifest["entries"].pop(key, None) is not None:
-            self._dirty = True
+        with self._lock:
+            if self.hits > 0:
+                self.hits -= 1
+            self.misses += 1
+            try:
+                self.entry_path(key).unlink(missing_ok=True)
+            except OSError:
+                pass
+            manifest = self._manifest_view()
+            if manifest["entries"].pop(key, None) is not None:
+                self._dirty = True
 
     def write(self, key: str, text: str, version: str) -> None:
         """Atomically store ``text`` under ``key`` and track it.
@@ -127,66 +145,82 @@ class ResultCache:
         budget is configured, least-recently-used entries are evicted
         until the cache fits.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.entry_path(key)
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        try:
-            tmp.write_text(text)
-            tmp.replace(path)
-        except OSError:
+        with self._lock:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.entry_path(key)
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
             try:
-                tmp.unlink(missing_ok=True)
+                tmp.write_text(text)
+                tmp.replace(path)
             except OSError:
-                pass
-            return
-        now = _utcnow()
-        manifest = self._manifest_view()
-        manifest["entries"][key] = {
-            "version": version,
-            "created": now,
-            "last_used": now,
-            "size": len(text.encode("utf-8")),
-        }
-        if self.max_mb is not None:
-            # The in-process view is current for everything this
-            # instance wrote; no need to re-scan the directory on the
-            # store hot path (prune() does, for external callers).
-            self._evict(manifest, self.max_mb)
-        self._dirty = True
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                return
+            now = _utcnow()
+            manifest = self._manifest_view()
+            manifest["entries"][key] = {
+                "version": version,
+                "created": now,
+                "last_used": now,
+                "size": len(text.encode("utf-8")),
+            }
+            if self.max_mb is not None:
+                # The in-process view is current for everything this
+                # instance wrote; no need to re-scan the directory on the
+                # store hot path (prune() does, for external callers).
+                self._evict(manifest, self.max_mb)
+            self._dirty = True
 
     def flush(self) -> None:
         """Write the in-memory manifest to disk if it has unsaved
         changes.  The engine calls this once per run/batch; a crash
         before a flush only costs metadata (the next load reconciles
         from the entry files themselves)."""
-        if self._dirty and self._manifest is not None:
-            self._store_manifest(self._manifest)
-            self._dirty = False
+        with self._lock:
+            if self._dirty and self._manifest is not None:
+                self._store_manifest(self._manifest)
+                self._dirty = False
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, Any]:
+    def stats(self, reconcile: bool = True) -> Dict[str, Any]:
         """Aggregate cache statistics.
 
         Returns a dict with ``entries``, ``total_bytes``, ``max_bytes``
-        (``None`` when unbounded), ``directory``, and this instance's
-        runtime ``hits``/``misses`` counters.
+        (``None`` when unbounded), ``directory``, this instance's
+        runtime ``hits``/``misses`` counters, and ``stale_dropped`` --
+        the cumulative count of manifest entries skipped because their
+        files had been deleted behind the cache's back.
+
+        ``reconcile=False`` serves the in-memory manifest view without
+        the per-call directory rescan (and without picking up external
+        deletions until something else reconciles).  The service's
+        ``/stats`` endpoint uses it so a monitoring poller holding the
+        cache lock through thousands of ``stat()`` calls cannot stall
+        concurrent allocations.
         """
-        manifest = self._manifest_view(reconcile=True)
-        total = sum(e["size"] for e in manifest["entries"].values())
-        return {
-            "directory": str(self.directory),
-            "entries": len(manifest["entries"]),
-            "total_bytes": total,
-            "max_bytes": (
-                int(self.max_mb * 1024 * 1024)
-                if self.max_mb is not None
-                else None
-            ),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            manifest = self._manifest_view(reconcile=reconcile)
+            # Persist any reconcile repairs so repeated stats() calls
+            # do not rediscover (and recount) the same stale entries.
+            self.flush()
+            total = sum(e["size"] for e in manifest["entries"].values())
+            return {
+                "directory": str(self.directory),
+                "entries": len(manifest["entries"]),
+                "total_bytes": total,
+                "max_bytes": (
+                    int(self.max_mb * 1024 * 1024)
+                    if self.max_mb is not None
+                    else None
+                ),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale_dropped": self.stale_dropped,
+            }
 
     def prune(self, max_mb: Optional[float] = None) -> Dict[str, int]:
         """Evict least-recently-used entries until under ``max_mb``.
@@ -201,12 +235,13 @@ class ResultCache:
             # must not treat the same value as "evict everything" --
             # full eviction is what clear() is for.
             raise ValueError(f"max_mb must be positive, got {budget_mb}")
-        manifest = self._manifest_view(reconcile=True)
-        report = self._evict(manifest, budget_mb)
-        if report["evicted"]:
-            self._store_manifest(manifest)
-            self._dirty = False
-        return report
+        with self._lock:
+            manifest = self._manifest_view(reconcile=True)
+            report = self._evict(manifest, budget_mb)
+            if report["evicted"]:
+                self._store_manifest(manifest)
+                self._dirty = False
+            return report
 
     def _evict(
         self, manifest: Dict[str, Any], budget_mb: Optional[float]
@@ -241,22 +276,23 @@ class ResultCache:
 
     def clear(self) -> int:
         """Remove every entry (and the manifest); returns entries removed."""
-        removed = 0
-        if not self.directory.is_dir():
-            return removed
-        for path in self._scan_entry_paths():
+        with self._lock:
+            removed = 0
+            if not self.directory.is_dir():
+                return removed
+            for path in self._scan_entry_paths():
+                try:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                except OSError:
+                    pass
             try:
-                path.unlink(missing_ok=True)
-                removed += 1
+                (self.directory / MANIFEST_NAME).unlink(missing_ok=True)
             except OSError:
                 pass
-        try:
-            (self.directory / MANIFEST_NAME).unlink(missing_ok=True)
-        except OSError:
-            pass
-        self._manifest = None
-        self._dirty = False
-        return removed
+            self._manifest = None
+            self._dirty = False
+            return removed
 
     # ------------------------------------------------------------------
     # manifest internals
@@ -270,20 +306,35 @@ class ResultCache:
 
     def _manifest_view(self, reconcile: bool = False) -> Dict[str, Any]:
         """The working manifest; ``reconcile`` forces a fresh scan."""
-        if reconcile or self._manifest is None:
-            # Unsaved in-memory state (entry versions, LRU touches)
-            # must survive the reload, which reads the on-disk file.
-            self.flush()
-            self._manifest = self._load_manifest()
-        return self._manifest
+        with self._lock:
+            if reconcile or self._manifest is None:
+                # Unsaved in-memory state (entry versions, LRU touches)
+                # must survive the reload, which reads the on-disk file.
+                self.flush()
+                self._manifest = self._load_manifest()
+            return self._manifest
+
+    @staticmethod
+    def _entry_usable(entry: Any) -> bool:
+        return (
+            isinstance(entry, dict)
+            and isinstance(entry.get("size"), int)
+            and isinstance(entry.get("last_used"), (int, float))
+        )
 
     def _load_manifest(self) -> Dict[str, Any]:
         """The manifest, rebuilt from a directory scan when unusable.
 
-        Rebuild also reconciles drift: entries whose files vanished are
-        dropped, files the manifest never saw (written by a concurrent
-        engine that lost the manifest race) are adopted with their
-        filesystem timestamps and an ``unknown`` version.
+        Rebuild also reconciles drift, entry by entry so one bad record
+        never discards the metadata of every other entry:
+
+        * entries whose files vanished (deleted behind the cache's
+          back) are dropped and **reported** via ``stale_dropped``;
+        * malformed entry records whose files still exist are repaired
+          from filesystem metadata;
+        * files the manifest never saw (written by a concurrent engine
+          that lost the manifest race) are adopted with their
+          filesystem timestamps and an ``unknown`` version.
         """
         manifest_path = self.directory / MANIFEST_NAME
         manifest: Optional[Dict[str, Any]] = None
@@ -293,12 +344,6 @@ class ResultCache:
                 isinstance(data, dict)
                 and data.get("kind") == _MANIFEST_KIND
                 and isinstance(data.get("entries"), dict)
-                and all(
-                    isinstance(e, dict)
-                    and isinstance(e.get("size"), int)
-                    and isinstance(e.get("last_used"), (int, float))
-                    for e in data["entries"].values()
-                )
             ):
                 manifest = data
         except (OSError, ValueError):
@@ -306,24 +351,34 @@ class ResultCache:
         if manifest is None:
             manifest = {"kind": _MANIFEST_KIND, "entries": {}}
         entries = manifest["entries"]
+        reconciled = False
         on_disk = {path.stem: path for path in self._scan_entry_paths()}
         for key in list(entries):
             if key not in on_disk:
+                # Since-deleted entry file: skip the record, count it.
                 del entries[key]
+                self.stale_dropped += 1
+                reconciled = True
         for key, path in on_disk.items():
             try:
                 stat = path.stat()
             except OSError:
-                entries.pop(key, None)
+                # Deleted between the scan and the stat: same skip.
+                if entries.pop(key, None) is not None:
+                    self.stale_dropped += 1
+                    reconciled = True
                 continue
             entry = entries.get(key)
-            if entry is None:
+            if not self._entry_usable(entry):
+                # Missing or malformed record for a file that exists:
+                # repair from filesystem metadata.
                 entries[key] = {
                     "version": "unknown",
                     "created": stat.st_mtime,
                     "last_used": stat.st_mtime,
                     "size": stat.st_size,
                 }
+                reconciled = True
             else:
                 # Hits bump the file mtime without flushing the
                 # manifest; the durable LRU position is the newer of
@@ -331,6 +386,11 @@ class ResultCache:
                 # rewrote the entry.
                 entry["last_used"] = max(entry["last_used"], stat.st_mtime)
                 entry["size"] = stat.st_size
+        if reconciled:
+            # The repaired view must reach disk, or the next reload
+            # re-reads the stale on-disk manifest and re-counts the
+            # same drops (stale_dropped would grow on every stats()).
+            self._dirty = True
         return manifest
 
     def _store_manifest(self, manifest: Dict[str, Any]) -> None:

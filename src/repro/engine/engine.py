@@ -26,6 +26,7 @@ from __future__ import annotations
 import concurrent.futures
 import hashlib
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -36,7 +37,7 @@ from ..core.solution import Datapath
 from .registry import get_allocator
 from .results import AllocationRequest, AllocationResult
 
-__all__ = ["Engine", "execute_request"]
+__all__ = ["Engine", "execute_request", "request_content_key"]
 
 PathLike = Union[str, Path]
 
@@ -140,6 +141,30 @@ def _error_result(request: AllocationRequest, exc: BaseException) -> AllocationR
 EXECUTORS = ("pool", "process")
 
 
+def request_content_key(request: AllocationRequest) -> Optional[str]:
+    """Stable content hash of a request's (problem, allocator, options).
+
+    The single source of truth for "are two requests the same work":
+    the engine's cache key is this plus the package version, and the
+    service layer's single-flight dedup is this plus the timeout.
+    ``None`` when the request has no JSON identity (callable-table
+    models, non-JSON options) -- such requests are uncacheable and
+    never deduplicated.
+    """
+    try:
+        payload = json.dumps(
+            {
+                "problem": request.problem.fingerprint(),
+                "allocator": request.allocator,
+                "options": sorted(dict(request.options).items()),
+            },
+            sort_keys=True,
+        )
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 class Engine:
     """Batch/serial allocation runner over the allocator registry.
 
@@ -193,14 +218,32 @@ class Engine:
             raise ValueError("cache_max_mb requires cache_dir")
         # Cumulative ProcessPerRunExecutor counters across this engine's
         # process-mode runs (started/completed/timeouts/killed/crashed).
+        # Accumulation is locked: the async service layer calls run()
+        # from many worker threads against one shared engine.
         self.executor_stats: Dict[str, int] = {}
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # cache lifecycle
     # ------------------------------------------------------------------
-    def cache_stats(self) -> Optional[Dict[str, Any]]:
-        """Entry count / size / hit statistics; ``None`` without a cache."""
-        return self._cache.stats() if self._cache is not None else None
+    def cache_stats(self, reconcile: bool = True) -> Optional[Dict[str, Any]]:
+        """Entry count / size / hit statistics; ``None`` without a cache.
+
+        ``reconcile=False`` skips the per-call directory rescan (see
+        :meth:`repro.engine.cache.ResultCache.stats`).
+        """
+        if self._cache is None:
+            return None
+        return self._cache.stats(reconcile=reconcile)
+
+    def executor_stats_snapshot(self) -> Dict[str, int]:
+        """A consistent copy of :attr:`executor_stats`.
+
+        Taken under the accumulation lock so readers on other threads
+        (the service's ``/stats``) never observe the dict mid-update.
+        """
+        with self._stats_lock:
+            return dict(self.executor_stats)
 
     def prune_cache(self, max_mb: Optional[float] = None) -> Dict[str, int]:
         """LRU-evict cache entries down to ``max_mb`` (or the configured
@@ -220,23 +263,16 @@ class Engine:
         """Stable cache key for ``request``; ``None`` if uncacheable."""
         if self.cache_dir is None:
             return None
+        content = request_content_key(request)
+        if content is None:
+            return None  # no JSON identity: run uncached
         from .. import __version__
 
-        try:
-            payload = json.dumps(
-                {
-                    "problem": request.problem.fingerprint(),
-                    "allocator": request.allocator,
-                    "options": sorted(dict(request.options).items()),
-                    # Key on the package version so a persistent cache
-                    # never serves envelopes computed by older code.
-                    "version": __version__,
-                },
-                sort_keys=True,
-            )
-        except (TypeError, ValueError):
-            return None  # non-JSON options: run uncached
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        # Mix in the package version so a persistent cache never
+        # serves envelopes computed by older code.
+        return hashlib.sha256(
+            f"{content}:{__version__}".encode("utf-8")
+        ).hexdigest()
 
     def _cache_load(
         self, key: Optional[str], request: AllocationRequest
@@ -309,10 +345,11 @@ class Engine:
         try:
             return runner.run_many(requests)
         finally:
-            for name, value in runner.stats.items():
-                self.executor_stats[name] = (
-                    self.executor_stats.get(name, 0) + value
-                )
+            with self._stats_lock:
+                for name, value in runner.stats.items():
+                    self.executor_stats[name] = (
+                        self.executor_stats.get(name, 0) + value
+                    )
 
     def run_batch(
         self,

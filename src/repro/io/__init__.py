@@ -1,6 +1,13 @@
-"""Serialisation: JSON round-trips and Graphviz DOT export."""
+"""Serialisation: JSON round-trips, service payloads, Graphviz DOT export."""
 
 from .dot import datapath_to_dot, graph_to_dot
+from .service import (
+    batch_request_from_dict,
+    batch_request_to_dict,
+    batch_results_from_dict,
+    batch_results_to_dict,
+    error_to_dict,
+)
 from .json_io import (
     allocation_request_from_dict,
     allocation_request_to_dict,
@@ -25,6 +32,11 @@ __all__ = [
     "allocation_request_to_dict",
     "allocation_result_from_dict",
     "allocation_result_to_dict",
+    "batch_request_from_dict",
+    "batch_request_to_dict",
+    "batch_results_from_dict",
+    "batch_results_to_dict",
+    "error_to_dict",
     "datapath_from_dict",
     "datapath_to_dict",
     "datapath_to_dot",

@@ -1,0 +1,94 @@
+"""Wire payload schemas for the allocation service (:mod:`repro.service`).
+
+The service speaks plain JSON over HTTP, reusing the envelope
+serialisation from :mod:`repro.io.json_io` so that everything that goes
+over the wire is byte-compatible with the offline artefacts
+(``repro batch --json`` files, shard results, the on-disk result cache):
+
+* ``POST /allocate`` body: one ``allocation-request`` payload
+  (:func:`~repro.io.json_io.allocation_request_to_dict`); response: one
+  ``allocation-result`` payload.
+* ``POST /batch`` body: an ``allocation-batch-request`` payload
+  (:func:`batch_request_to_dict`); response: an ``allocation-batch``
+  payload (:func:`batch_results_to_dict`) -- the *same* shape
+  ``repro batch --json`` writes, results ordered like the requests.
+* errors: a ``service-error`` payload (:func:`error_to_dict`) carrying
+  the HTTP status and a human-readable reason.
+
+Every helper validates the ``kind`` discriminator and raises
+``ValueError`` on a malformed payload; the server maps those to HTTP
+400 responses instead of tracebacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .json_io import (
+    allocation_request_from_dict,
+    allocation_request_to_dict,
+    allocation_result_from_dict,
+    allocation_result_to_dict,
+)
+
+__all__ = [
+    "BATCH_REQUEST_KIND",
+    "BATCH_RESULTS_KIND",
+    "ERROR_KIND",
+    "batch_request_to_dict",
+    "batch_request_from_dict",
+    "batch_results_to_dict",
+    "batch_results_from_dict",
+    "error_to_dict",
+]
+
+BATCH_REQUEST_KIND = "allocation-batch-request"
+BATCH_RESULTS_KIND = "allocation-batch"
+ERROR_KIND = "service-error"
+
+
+def batch_request_to_dict(requests: Sequence[Any]) -> Dict[str, Any]:
+    """Serialise a ``POST /batch`` body from allocation requests."""
+    return {
+        "kind": BATCH_REQUEST_KIND,
+        "requests": [allocation_request_to_dict(r) for r in requests],
+    }
+
+
+def batch_request_from_dict(data: Any) -> List[Any]:
+    """Deserialise a ``POST /batch`` body into allocation requests."""
+    if not isinstance(data, dict) or data.get("kind") != BATCH_REQUEST_KIND:
+        kind = data.get("kind") if isinstance(data, dict) else type(data).__name__
+        raise ValueError(f"not an {BATCH_REQUEST_KIND} payload: {kind!r}")
+    entries = data.get("requests")
+    if not isinstance(entries, list):
+        raise ValueError(f"{BATCH_REQUEST_KIND}: 'requests' must be a list")
+    return [allocation_request_from_dict(entry) for entry in entries]
+
+
+def batch_results_to_dict(results: Sequence[Any]) -> Dict[str, Any]:
+    """Serialise result envelopes as an ``allocation-batch`` payload.
+
+    This is the exact shape ``repro batch --json`` and ``repro merge
+    --json`` write, so served batches diff cleanly against offline runs.
+    """
+    return {
+        "kind": BATCH_RESULTS_KIND,
+        "results": [allocation_result_to_dict(r) for r in results],
+    }
+
+
+def batch_results_from_dict(data: Any) -> List[Any]:
+    """Deserialise an ``allocation-batch`` payload into result envelopes."""
+    if not isinstance(data, dict) or data.get("kind") != BATCH_RESULTS_KIND:
+        kind = data.get("kind") if isinstance(data, dict) else type(data).__name__
+        raise ValueError(f"not an {BATCH_RESULTS_KIND} payload: {kind!r}")
+    entries = data.get("results")
+    if not isinstance(entries, list):
+        raise ValueError(f"{BATCH_RESULTS_KIND}: 'results' must be a list")
+    return [allocation_result_from_dict(entry) for entry in entries]
+
+
+def error_to_dict(status: int, message: str) -> Dict[str, Any]:
+    """Serialise a service error response body."""
+    return {"kind": ERROR_KIND, "status": int(status), "error": str(message)}

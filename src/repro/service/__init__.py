@@ -1,0 +1,31 @@
+"""repro.service -- the allocation engine as an async network service.
+
+Three layers, each usable on its own:
+
+* :class:`AsyncEngine` -- ``await``-able front-end over
+  :class:`repro.engine.Engine`: semaphore-bounded concurrency, worker
+  threads (plus killable worker *processes* when the engine uses
+  ``executor="process"``), and single-flight dedup of identical
+  concurrent requests against one shared result cache.
+* :class:`AllocationServer` / :class:`ServerThread` -- a stdlib-only
+  asyncio HTTP/JSON server (``repro serve``) exposing
+  ``POST /allocate``, ``POST /batch``, ``GET /healthz`` and
+  ``GET /stats``.
+* :class:`ServiceClient` -- a thin synchronous client (``repro
+  submit``) whose envelopes are canonical-byte-identical to the offline
+  ``Engine.run_batch`` path.
+
+See ``docs/service.md`` for the wire schema and deployment notes.
+"""
+
+from .async_engine import AsyncEngine
+from .client import ServiceClient, ServiceError
+from .server import AllocationServer, ServerThread
+
+__all__ = [
+    "AllocationServer",
+    "AsyncEngine",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+]

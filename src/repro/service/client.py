@@ -1,0 +1,145 @@
+"""Thin stdlib HTTP client for the allocation service (``repro submit``).
+
+:class:`ServiceClient` round-trips problems and envelopes through the
+same :mod:`repro.io` serialisation the server uses, so a served result
+deserialises into exactly the :class:`~repro.engine.AllocationResult`
+the offline engine would have returned (canonical JSON byte-identical).
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8035")
+    client.wait_healthy()
+    result = client.allocate(AllocationRequest(problem, "dpalloc"))
+    results = client.batch(requests)          # ordered like requests
+    print(client.stats()["cache_hit_rate"])
+
+HTTP-level failures raise :class:`ServiceError` (with the server's
+``service-error`` payload when one was sent); *solver*-level failures
+never raise -- they are ``error`` fields of the returned envelopes,
+exactly like ``Engine.run``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..engine import AllocationRequest, AllocationResult
+from ..io.json_io import (
+    allocation_request_to_dict,
+    allocation_result_from_dict,
+)
+from ..io.service import batch_request_to_dict, batch_results_from_dict
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+# Per-request socket timeout: generous because an /allocate call spans
+# the whole solve (cap solves with AllocationRequest.timeout / the
+# server's --default-timeout, not the transport).
+DEFAULT_HTTP_TIMEOUT = 600.0
+
+
+class ServiceError(RuntimeError):
+    """The service refused or failed a request at the HTTP level."""
+
+    def __init__(self, status: int, message: str, payload: Optional[Dict] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Synchronous client for one allocation-service base URL."""
+
+    def __init__(
+        self, base_url: str, timeout: float = DEFAULT_HTTP_TIMEOUT
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = (
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail: Dict[str, Any] = {}
+            message = str(exc)
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+                message = detail.get("error", message)
+            except Exception:  # noqa: BLE001 -- non-JSON error body
+                pass
+            raise ServiceError(exc.code, message, detail) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``: liveness + server version."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats``: the server's ``AsyncEngine.stats()`` view."""
+        return self._request("GET", "/stats")
+
+    def allocate(self, request: AllocationRequest) -> AllocationResult:
+        """``POST /allocate``: run one request, return its envelope."""
+        payload = self._request(
+            "POST", "/allocate", allocation_request_to_dict(request)
+        )
+        return allocation_result_from_dict(payload)
+
+    def batch(
+        self, requests: Sequence[AllocationRequest]
+    ) -> List[AllocationResult]:
+        """``POST /batch``: run a batch, envelopes ordered like requests."""
+        payload = self._request(
+            "POST", "/batch", batch_request_to_dict(requests)
+        )
+        results = batch_results_from_dict(payload)
+        if len(results) != len(requests):
+            raise ServiceError(
+                0,
+                f"batch returned {len(results)} results "
+                f"for {len(requests)} requests",
+            )
+        return results
+
+    def wait_healthy(self, deadline_seconds: float = 10.0) -> Dict[str, Any]:
+        """Poll ``/healthz`` until it answers; raise after the deadline."""
+        deadline = time.monotonic() + deadline_seconds
+        last: Optional[ServiceError] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except ServiceError as exc:
+                last = exc
+                time.sleep(0.05)
+        raise ServiceError(
+            0,
+            f"{self.base_url} not healthy after {deadline_seconds:g}s "
+            f"({last})",
+        )

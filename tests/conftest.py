@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import Problem
-from repro.ir.ops import Operation
 from repro.ir.seqgraph import SequencingGraph
 from repro.resources.area import SonicAreaModel
 from repro.resources.latency import SonicLatencyModel

@@ -43,7 +43,7 @@ class TestOperations:
         b = DFGBuilder()
         x = b.input("x", 8)
         p = b.mul(x, b.constant("c", 4), name="p")
-        q = b.add(p, x, name="q")
+        b.add(p, x, name="q")
         g = b.graph()
         assert g.predecessors("q") == ["p"]
         assert g.successors("p") == ["q"]

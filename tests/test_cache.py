@@ -1,7 +1,6 @@
 """Tests for the result-cache lifecycle: manifest, stats, eviction."""
 
 import json
-import os
 import time
 
 import pytest
@@ -69,6 +68,73 @@ class TestManifest:
         engine.run_batch(requests_for(2))
         entry_files(cache_dir)[0].unlink()
         assert Engine(cache_dir=cache_dir).cache_stats()["entries"] == 1
+
+    def test_stale_manifest_entries_are_reported(self, tmp_path):
+        """Since-deleted entry files are skipped *and counted* -- a
+        long-running service sharing the directory with an external
+        cleanup must see the drift, never a traceback."""
+        cache_dir = tmp_path / "cache"
+        Engine(cache_dir=cache_dir).run_batch(requests_for(3))
+        for path in entry_files(cache_dir)[:2]:
+            path.unlink()
+        stats = Engine(cache_dir=cache_dir).cache_stats()
+        assert stats["entries"] == 1
+        assert stats["stale_dropped"] == 2
+
+    def test_stale_entries_counted_once_not_per_stats_call(self, tmp_path):
+        """The reconcile repairs the on-disk manifest, so a /stats
+        poller (or repeated `repro cache stats`) sees each deletion
+        counted once -- the counter must not grow without bound."""
+        cache_dir = tmp_path / "cache"
+        Engine(cache_dir=cache_dir).run_batch(requests_for(2))
+        entry_files(cache_dir)[0].unlink()
+        cache = ResultCache(cache_dir)
+        assert [cache.stats()["stale_dropped"] for _ in range(3)] == [1, 1, 1]
+        # ... and the repaired manifest reached disk: a fresh instance
+        # finds nothing stale.
+        assert ResultCache(cache_dir).stats()["stale_dropped"] == 0
+
+    def test_one_malformed_entry_does_not_discard_the_manifest(self, tmp_path):
+        """Per-entry validation: a single bad record is repaired from
+        filesystem metadata while every other entry keeps its recorded
+        version (pre-fix, one bad record rebuilt the whole manifest)."""
+        from repro import __version__
+
+        cache_dir = tmp_path / "cache"
+        Engine(cache_dir=cache_dir).run_batch(requests_for(3))
+        manifest_path = cache_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        victim = sorted(manifest["entries"])[0]
+        manifest["entries"][victim] = "garbage"
+        manifest_path.write_text(json.dumps(manifest))
+
+        cache = ResultCache(cache_dir)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["stale_dropped"] == 0
+        view = cache._manifest_view()
+        assert view["entries"][victim]["version"] == "unknown"  # repaired
+        others = [k for k in view["entries"] if k != victim]
+        assert all(
+            view["entries"][k]["version"] == __version__ for k in others
+        )
+
+    def test_deleted_and_malformed_mix_never_tracebacks(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        Engine(cache_dir=cache_dir).run_batch(requests_for(3))
+        manifest_path = cache_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        keys = sorted(manifest["entries"])
+        manifest["entries"][keys[0]] = None          # malformed record
+        manifest["entries"]["phantom"] = {            # references no file
+            "version": "x", "created": 0, "last_used": 0, "size": 1,
+        }
+        manifest_path.write_text(json.dumps(manifest))
+        (cache_dir / f"{keys[1]}.json").unlink()      # deleted entry file
+
+        stats = Engine(cache_dir=cache_dir).cache_stats()
+        assert stats["entries"] == 2                  # keys[0] repaired, keys[2] kept
+        assert stats["stale_dropped"] == 2            # phantom + keys[1]
 
 
 class TestStats:
@@ -220,6 +286,16 @@ class TestCacheCli:
         stats = json.loads(capsys.readouterr().out)
         assert stats["entries"] == 2 and stats["total_bytes"] > 0
 
+    def test_stats_warns_about_since_deleted_entries(self, tmp_path, capsys):
+        cache_dir = self.seed(tmp_path, capsys)
+        entry_files(cache_dir)[0].unlink()
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        captured = capsys.readouterr()
+        stats = json.loads(captured.out)
+        assert stats["entries"] == 1
+        assert stats["stale_dropped"] == 1
+        assert "skipped 1 manifest entries" in captured.err
+
     def test_prune_requires_budget(self, tmp_path, capsys):
         cache_dir = self.seed(tmp_path, capsys)
         assert main(["cache", "prune", str(cache_dir)]) == 2
@@ -239,4 +315,9 @@ class TestCacheCli:
         with pytest.raises(SystemExit):
             main(["batch", "fir", "--methods", "dpalloc",
                   "--cache-max-mb", "1"])
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_serve_cache_max_mb_needs_cache_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--port", "0", "--cache-max-mb", "1"])
         assert "--cache-dir" in capsys.readouterr().err

@@ -1,0 +1,290 @@
+"""Tests for the CI benchmark regression gate (tools/check_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    Path(__file__).resolve().parent.parent / "tools" / "check_bench.py",
+)
+check_bench = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(check_bench)
+
+
+def engine_report(**overrides):
+    report = {
+        "kind": "bench-engine",
+        "cases": 9,
+        "results_identical": True,
+        "cache": {"hit_speedup": 1500.0},
+    }
+    report.update(overrides)
+    return report
+
+
+def solver_report(refinement_speedup=1.8, binding_speedup=2.6,
+                  iterations=(50, 60), identical=True):
+    return {
+        "kind": "bench-solver",
+        "results_identical": identical,
+        "workloads": [
+            {
+                "name": "refinement-heavy",
+                "speedup": refinement_speedup,
+                "cases": [
+                    {"label": "tgff-48-0", "iterations": iterations[0]},
+                ],
+            },
+            {
+                "name": "binding-heavy",
+                "speedup": binding_speedup,
+                "cases": [
+                    {"label": "tgff-128-0", "iterations": iterations[1]},
+                ],
+            },
+        ],
+    }
+
+
+def service_report(ratio=2.0, identical=True):
+    return {
+        "kind": "bench-service",
+        "results_identical": identical,
+        "throughput_ratio": ratio,
+    }
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    fresh = tmp_path / "fresh"
+    baseline.mkdir()
+    fresh.mkdir()
+    return baseline, fresh
+
+
+def write(directory, name, report):
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(report))
+
+
+def write_all(baseline, fresh, fresh_solver=None, fresh_engine=None,
+              fresh_service=None):
+    write(baseline, "engine", engine_report())
+    write(baseline, "solver", solver_report())
+    write(baseline, "service", service_report())
+    write(fresh, "engine", fresh_engine or engine_report())
+    write(fresh, "solver", fresh_solver or solver_report())
+    write(fresh, "service", fresh_service or service_report())
+
+
+def run(baseline, fresh, *extra):
+    return check_bench.main([
+        "--baseline-dir", str(baseline), "--fresh-dir", str(fresh), *extra,
+    ])
+
+
+class TestGatePasses:
+    def test_identical_reports_pass(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(baseline, fresh)
+        assert run(baseline, fresh) == 0
+        assert "3 reports within the gate" in capsys.readouterr().out
+
+    def test_faster_than_baseline_passes(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_solver=solver_report(refinement_speedup=3.5),
+            fresh_service=service_report(ratio=5.0),
+        )
+        assert run(baseline, fresh) == 0
+
+    def test_fresh_subset_of_baseline_cases_passes(self, dirs):
+        """CI smoke runs fewer samples; only shared labels are compared."""
+        baseline, fresh = dirs
+        big = solver_report()
+        big["workloads"][0]["cases"].append(
+            {"label": "tgff-96-1", "iterations": 131}
+        )
+        write(baseline, "engine", engine_report())
+        write(baseline, "solver", big)
+        write(baseline, "service", service_report())
+        write(fresh, "engine", engine_report())
+        write(fresh, "solver", solver_report())  # lacks tgff-96-1
+        write(fresh, "service", service_report())
+        assert run(*dirs) == 0
+
+    def test_new_fresh_case_is_not_a_failure(self, dirs):
+        baseline, fresh = dirs
+        extra = solver_report()
+        extra["workloads"][1]["cases"].append(
+            {"label": "tgff-160-0", "iterations": 999}
+        )
+        write_all(baseline, fresh, fresh_solver=extra)
+        assert run(baseline, fresh) == 0
+
+
+class TestGateFails:
+    def test_family_slower_than_scratch_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_solver=solver_report(refinement_speedup=0.9),
+        )
+        assert run(baseline, fresh) == 1
+        out = capsys.readouterr()
+        assert "[FAIL] solver.refinement-heavy.speedup" in out.out
+        assert "REGRESSED" in out.err
+
+    def test_family_regressing_past_tolerance_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        # 2.6 -> 1.2 is a >50% drop: above the 1.0 hard floor but past
+        # the default 45% tolerance band.
+        write_all(
+            baseline, fresh,
+            fresh_solver=solver_report(binding_speedup=1.2),
+        )
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] solver.binding-heavy.speedup" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_the_band(self, dirs):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_solver=solver_report(binding_speedup=1.2),
+        )
+        assert run(baseline, fresh, "--tolerance", "0.99") == 0
+
+    def test_iteration_drift_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_solver=solver_report(iterations=(51, 60)),
+        )
+        assert run(baseline, fresh) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] solver.iteration_parity" in out
+        assert "tgff-48-0: 50 -> 51" in out
+
+    def test_results_not_identical_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_engine=engine_report(results_identical=False),
+        )
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] engine.results_identical" in capsys.readouterr().out
+
+    def test_cache_hit_floor_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_engine=engine_report(cache={"hit_speedup": 3.0}),
+        )
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] engine.cache_hit_speedup" in capsys.readouterr().out
+
+    def test_service_below_serial_throughput_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_service=service_report(ratio=0.8),
+        )
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] service.throughput_ratio" in capsys.readouterr().out
+
+    def test_missing_fresh_report_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(baseline, fresh)
+        (fresh / "BENCH_solver.json").unlink()
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] solver.reports" in capsys.readouterr().out
+
+    def test_missing_family_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        small = solver_report()
+        small["workloads"] = small["workloads"][:1]
+        write_all(baseline, fresh, fresh_solver=small)
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] solver.binding-heavy" in capsys.readouterr().out
+
+    def test_wrong_kind_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(baseline, fresh)
+        write(fresh, "engine", {"kind": "bench-solver"})
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] engine.reports" in capsys.readouterr().out
+
+    def test_zero_label_overlap_is_not_vacuous_parity(self, dirs, capsys):
+        """Renaming every benchmark case must not slip past the gate
+        as '0 labels compared, none drifted'."""
+        baseline, fresh = dirs
+        renamed = solver_report()
+        for family in renamed["workloads"]:
+            for case in family["cases"]:
+                case["label"] = "renamed-" + case["label"]
+        write_all(baseline, fresh, fresh_solver=renamed)
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] solver.iteration_parity" in capsys.readouterr().out
+
+    def test_new_fresh_family_still_gets_the_hard_floor(self, dirs, capsys):
+        """A family added to the bench before its baseline is committed
+        must not dodge the 'incremental never loses to scratch' floor."""
+        baseline, fresh = dirs
+        extra = solver_report()
+        extra["workloads"].append({
+            "name": "memory-heavy", "speedup": 0.7,
+            "cases": [{"label": "tgff-256-0", "iterations": 10}],
+        })
+        write_all(baseline, fresh, fresh_solver=extra)
+        assert run(baseline, fresh) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] solver.memory-heavy.speedup" in out
+        assert "no committed baseline" in out
+        # ... and a healthy new family passes with the same note
+        extra["workloads"][-1]["speedup"] = 1.4
+        write(fresh, "solver", extra)
+        assert run(baseline, fresh) == 0
+
+    def test_partial_coverage_is_noted_not_failed(self, dirs, capsys):
+        baseline, fresh = dirs
+        big = solver_report()
+        big["workloads"][0]["cases"].append(
+            {"label": "tgff-96-1", "iterations": 131}
+        )
+        write(baseline, "engine", engine_report())
+        write(baseline, "solver", big)
+        write(baseline, "service", service_report())
+        write(fresh, "engine", engine_report())
+        write(fresh, "solver", solver_report())
+        write(fresh, "service", service_report())
+        assert run(baseline, fresh) == 0
+        out = capsys.readouterr().out
+        assert "1 of 3 committed case labels not in the fresh report" in out
+
+
+class TestCliShapes:
+    def test_no_paths_is_usage_error(self, capsys):
+        assert check_bench.main([]) == 2
+        assert "nothing to compare" in capsys.readouterr().err
+
+    def test_explicit_paths_override_dirs(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(baseline, fresh)
+        bad = fresh / "bad_engine.json"
+        bad.write_text(json.dumps(engine_report(results_identical=False)))
+        assert check_bench.main([
+            "--baseline-dir", str(baseline), "--fresh-dir", str(fresh),
+            "--fresh-engine", str(bad),
+        ]) == 1
+        assert "[FAIL] engine.results_identical" in capsys.readouterr().out
+
+    def test_committed_baselines_pass_against_themselves(self, capsys):
+        repo = Path(__file__).resolve().parent.parent
+        assert check_bench.main([
+            "--baseline-dir", str(repo), "--fresh-dir", str(repo),
+        ]) == 0
+        assert "3 reports within the gate" in capsys.readouterr().out

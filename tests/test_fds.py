@@ -7,7 +7,6 @@ from repro.baselines.fds import allocate_fds, force_directed_schedule
 from repro.baselines.ilp import allocate_ilp
 from repro.baselines.two_stage import allocate_two_stage
 from repro.gen.tgff import random_sequencing_graph
-from repro.gen.workloads import fir_filter
 from repro.ir.seqgraph import SequencingGraph
 from tests.conftest import make_problem
 

@@ -5,7 +5,6 @@ import pytest
 from repro import Problem
 from repro.resources.extraction import dedicated_resource
 from repro.resources.latency import TableLatencyModel
-from repro.resources.types import ResourceType
 
 
 class TestValidation:

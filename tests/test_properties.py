@@ -19,7 +19,6 @@ from repro.baselines.ilp import allocate_ilp
 from repro.baselines.two_stage import allocate_two_stage
 from repro.core.binding import max_chain
 from repro.core.wcg import WordlengthCompatibilityGraph
-from repro.ir.ops import Operation
 from repro.ir.seqgraph import SequencingGraph
 from repro.resources.latency import SonicLatencyModel
 

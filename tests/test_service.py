@@ -1,0 +1,519 @@
+"""Tests for the allocation service: payloads, AsyncEngine, HTTP layer.
+
+The concurrency-edge cases the ISSUE calls out are covered explicitly:
+two clients submitting the same ``Problem.fingerprint()`` concurrently
+must not corrupt the shared ``ResultCache`` manifest (single-flight
+collapses them), and a killed worker mid-request must come back as the
+standard error envelope, never a hung connection.
+"""
+
+import asyncio
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro import Problem
+from repro.cli import main
+from repro.engine import (
+    AllocationRequest,
+    Engine,
+    get_allocator,
+    register_allocator,
+    unregister_allocator,
+)
+from repro.gen.workloads import fir_filter, motivational_example
+from repro.io.service import (
+    batch_request_from_dict,
+    batch_request_to_dict,
+    batch_results_from_dict,
+    batch_results_to_dict,
+    error_to_dict,
+)
+from repro.service import (
+    AsyncEngine,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="in-test registered allocators reach worker processes "
+           "only under the fork start method (see registry docstring)",
+)
+
+
+def make_problem(relax=0.5, graph_factory=fir_filter):
+    graph = graph_factory()
+    scratch = Problem(graph, latency_constraint=1_000_000)
+    lam = scratch.minimum_latency()
+    return scratch.with_latency_constraint(max(1, int(lam * (1 + relax))))
+
+
+def make_request(label=None, relax=0.5, allocator="dpalloc", timeout=None):
+    return AllocationRequest(
+        make_problem(relax), allocator, label=label, timeout=timeout
+    )
+
+
+# ----------------------------------------------------------------------
+# wire payloads
+# ----------------------------------------------------------------------
+
+class TestServicePayloads:
+    def test_batch_request_round_trip(self):
+        requests = [make_request("a"), make_request("b", relax=0.8)]
+        payload = batch_request_to_dict(requests)
+        assert payload["kind"] == "allocation-batch-request"
+        # wire-safe: the payload survives actual JSON text
+        restored = batch_request_from_dict(json.loads(json.dumps(payload)))
+        assert [r.label for r in restored] == ["a", "b"]
+        assert [r.problem.fingerprint() for r in restored] == \
+               [r.problem.fingerprint() for r in requests]
+
+    def test_batch_request_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError, match="allocation-batch-request"):
+            batch_request_from_dict({"kind": "other"})
+        with pytest.raises(ValueError, match="must be a list"):
+            batch_request_from_dict(
+                {"kind": "allocation-batch-request", "requests": {}}
+            )
+        with pytest.raises(ValueError):
+            batch_request_from_dict([1, 2, 3])
+
+    def test_batch_results_round_trip_matches_offline_shape(self):
+        results = Engine().run_batch([make_request("x")])
+        payload = batch_results_to_dict(results)
+        # the exact shape `repro batch --json` writes
+        assert payload["kind"] == "allocation-batch"
+        restored = batch_results_from_dict(json.loads(json.dumps(payload)))
+        assert [r.canonical_json() for r in restored] == \
+               [r.canonical_json() for r in results]
+
+    def test_batch_results_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError, match="allocation-batch"):
+            batch_results_from_dict({"kind": "nope"})
+        with pytest.raises(ValueError, match="must be a list"):
+            batch_results_from_dict(
+                {"kind": "allocation-batch", "results": "no"}
+            )
+
+    def test_error_payload(self):
+        payload = error_to_dict(404, "missing")
+        assert payload == {
+            "kind": "service-error", "status": 404, "error": "missing",
+        }
+
+
+# ----------------------------------------------------------------------
+# AsyncEngine semantics
+# ----------------------------------------------------------------------
+
+class TestAsyncEngine:
+    def test_run_matches_engine_run_canonically(self):
+        request = make_request("solo")
+        offline = Engine().run(request)
+
+        async def go():
+            engine = AsyncEngine(Engine(), max_concurrency=2)
+            try:
+                return await engine.run(request)
+            finally:
+                engine.close()
+
+        served = asyncio.run(go())
+        assert served.canonical_json() == offline.canonical_json()
+
+    def test_run_many_preserves_request_order(self):
+        requests = [
+            make_request("r0", relax=0.4),
+            make_request("r1", relax=0.6, allocator="uniform"),
+            make_request("r2", relax=0.8),
+        ]
+        offline = Engine().run_batch(requests)
+
+        async def go():
+            engine = AsyncEngine(Engine(), max_concurrency=3)
+            try:
+                return await engine.run_many(requests)
+            finally:
+                engine.close()
+
+        served = asyncio.run(go())
+        assert [r.label for r in served] == ["r0", "r1", "r2"]
+        assert [r.canonical_json() for r in served] == \
+               [r.canonical_json() for r in offline]
+
+    def test_concurrency_is_bounded_by_semaphore(self):
+        live = {"now": 0, "max": 0}
+        lock = threading.Lock()
+
+        @register_allocator("test-svc-gauge")
+        def gauge(problem, **options):
+            with lock:
+                live["now"] += 1
+                live["max"] = max(live["max"], live["now"])
+            time.sleep(0.15)
+            with lock:
+                live["now"] -= 1
+            return get_allocator("uniform")(problem)
+
+        try:
+            # Distinct relaxations so single-flight cannot collapse them.
+            requests = [
+                AllocationRequest(
+                    make_problem(0.3 + 0.1 * i), "test-svc-gauge", label=str(i)
+                )
+                for i in range(5)
+            ]
+
+            async def go():
+                engine = AsyncEngine(Engine(), max_concurrency=2)
+                try:
+                    return await engine.run_many(requests)
+                finally:
+                    engine.close()
+
+            results = asyncio.run(go())
+        finally:
+            unregister_allocator("test-svc-gauge")
+        assert all(r.ok for r in results)
+        assert live["max"] <= 2
+
+    def test_identical_concurrent_requests_single_flight(self):
+        calls = {"count": 0}
+        lock = threading.Lock()
+
+        @register_allocator("test-svc-once")
+        def once(problem, **options):
+            with lock:
+                calls["count"] += 1
+            time.sleep(0.15)  # long enough for every client to pile on
+            return get_allocator("uniform")(problem)
+
+        try:
+            requests = [
+                AllocationRequest(make_problem(), "test-svc-once", label=str(i))
+                for i in range(4)
+            ]
+
+            async def go():
+                engine = AsyncEngine(Engine(), max_concurrency=4)
+                try:
+                    results = await engine.run_many(requests)
+                    return results, engine.stats()
+                finally:
+                    engine.close()
+
+            results, stats = asyncio.run(go())
+        finally:
+            unregister_allocator("test-svc-once")
+        assert calls["count"] == 1
+        assert [r.label for r in results] == ["0", "1", "2", "3"]
+        assert len({r.canonical_json() for r in results}) == 4  # labels differ
+        assert stats["deduplicated"] == 3
+        assert stats["completed"] == 1
+
+    def test_different_timeouts_do_not_share_a_flight(self):
+        calls = {"count": 0}
+        lock = threading.Lock()
+
+        @register_allocator("test-svc-budget")
+        def budgeted(problem, **options):
+            with lock:
+                calls["count"] += 1
+            time.sleep(0.1)
+            return get_allocator("uniform")(problem)
+
+        try:
+            requests = [
+                AllocationRequest(
+                    make_problem(), "test-svc-budget", timeout=timeout
+                )
+                for timeout in (None, 30.0)
+            ]
+
+            async def go():
+                engine = AsyncEngine(Engine(), max_concurrency=2)
+                try:
+                    return await engine.run_many(requests)
+                finally:
+                    engine.close()
+
+            asyncio.run(go())
+        finally:
+            unregister_allocator("test-svc-budget")
+        assert calls["count"] == 2
+
+    def test_default_timeout_applied_to_bare_requests(self):
+        engine = AsyncEngine(Engine(), default_timeout=7.5)
+        try:
+            bare = make_request()
+            assert engine._with_default_timeout(bare).timeout == 7.5
+            capped = make_request(timeout=1.0)
+            assert engine._with_default_timeout(capped).timeout == 1.0
+        finally:
+            engine.close()
+
+    def test_stats_shape(self):
+        async def go():
+            engine = AsyncEngine(Engine(), max_concurrency=3)
+            try:
+                await engine.run(make_request("s"))
+                return engine.stats()
+            finally:
+                engine.close()
+
+        stats = asyncio.run(go())
+        assert stats["kind"] == "service-stats"
+        assert stats["requests_total"] == 1
+        assert stats["completed"] == 1
+        assert stats["failed"] == 0
+        assert stats["in_flight"] == 0 and stats["queued"] == 0
+        assert stats["max_concurrency"] == 3
+        assert stats["latency_p50_seconds"] is not None
+        assert stats["latency_p95_seconds"] >= 0
+        assert stats["cache"] is None  # no cache configured
+        assert stats["cache_hit_rate"] is None
+
+    def test_rejects_bad_concurrency(self):
+        with pytest.raises(ValueError, match="max_concurrency"):
+            AsyncEngine(Engine(), max_concurrency=0)
+
+
+# ----------------------------------------------------------------------
+# HTTP server + client
+# ----------------------------------------------------------------------
+
+class TestHttpEndpoints:
+    def test_healthz_and_stats(self):
+        with ServerThread(engine=Engine(), max_concurrency=2) as st:
+            client = ServiceClient(st.url)
+            health = client.wait_healthy()
+            assert health["status"] == "ok"
+            from repro import __version__
+
+            assert health["version"] == __version__
+            stats = client.stats()
+            assert stats["kind"] == "service-stats"
+            assert stats["requests_total"] == 0
+
+    def test_allocate_parity_with_offline_engine(self):
+        request = make_request("wire")
+        offline = Engine().run(request)
+        with ServerThread(engine=Engine(), max_concurrency=2) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            served = client.allocate(request)
+        assert served.canonical_json() == offline.canonical_json()
+        assert served.label == "wire"
+
+    def test_batch_parity_and_ordering(self):
+        requests = [
+            make_request("b0", relax=0.4),
+            make_request("b1", relax=0.6, allocator="uniform"),
+            make_request("b2", relax=0.9),
+        ]
+        offline = Engine().run_batch(requests)
+        with ServerThread(engine=Engine(), max_concurrency=3) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            served = client.batch(requests)
+        assert [r.label for r in served] == ["b0", "b1", "b2"]
+        assert [r.canonical_json() for r in served] == \
+               [r.canonical_json() for r in offline]
+
+    def test_http_error_paths(self):
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", "/nope")
+            assert excinfo.value.status == 404
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", "/allocate")
+            assert excinfo.value.status == 405
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("POST", "/allocate", {"kind": "garbage"})
+            assert excinfo.value.status == 400
+            # raw non-JSON body
+            import urllib.request
+
+            req = urllib.request.Request(
+                f"{st.url}/allocate", data=b"not json", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as raw:
+                urllib.request.urlopen(req, timeout=10)
+            assert raw.value.code == 400
+            payload = json.loads(raw.value.read().decode())
+            assert payload["kind"] == "service-error"
+
+    def test_solver_failure_is_an_envelope_not_an_http_error(self):
+        # An infeasible problem: tightest possible latency.
+        graph = motivational_example()
+        scratch = Problem(graph, latency_constraint=1_000_000)
+        tight = scratch.with_latency_constraint(1)
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            result = client.allocate(AllocationRequest(tight, "dpalloc"))
+        assert not result.ok
+        assert result.error is not None
+        assert result.datapath is None
+
+    def test_submit_cli_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "served.json"
+        with ServerThread(engine=Engine(), max_concurrency=2) as st:
+            rc = main([
+                "submit", "fir", "--methods", "dpalloc,uniform",
+                "--relax", "0.5", "--url", st.url, "--json", str(out),
+            ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "served by" in captured.out
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "allocation-batch"
+        served = batch_results_from_dict(payload)
+        # canonical-byte parity with the offline batch path
+        problem = make_problem()
+        offline = Engine().run_batch([
+            AllocationRequest(problem, "dpalloc", label="fir"),
+            AllocationRequest(problem, "uniform", label="fir"),
+        ])
+        assert [r.canonical_json() for r in served] == \
+               [r.canonical_json() for r in offline]
+
+    def test_submit_cli_unreachable_service(self, capsys):
+        rc = main([
+            "submit", "fir", "--methods", "uniform",
+            "--url", "http://127.0.0.1:1",  # reserved port: nothing listens
+        ])
+        assert rc == 2
+        assert "submit failed" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# concurrent-access edges (the ISSUE's satellite cases)
+# ----------------------------------------------------------------------
+
+class TestConcurrentAccess:
+    def test_same_fingerprint_concurrent_clients_keep_manifest_valid(
+        self, tmp_path
+    ):
+        calls = {"count": 0}
+        lock = threading.Lock()
+
+        @register_allocator("test-svc-slow")
+        def slow(problem, **options):
+            with lock:
+                calls["count"] += 1
+            time.sleep(0.3)  # wide overlap window for both clients
+            return get_allocator("uniform")(problem)
+
+        cache_dir = tmp_path / "cache"
+        try:
+            engine = Engine(cache_dir=cache_dir)
+            with ServerThread(engine=engine, max_concurrency=4) as st:
+                results = [None, None]
+
+                def client_call(slot):
+                    client = ServiceClient(st.url)
+                    results[slot] = client.allocate(AllocationRequest(
+                        make_problem(), "test-svc-slow", label=f"c{slot}",
+                    ))
+
+                threads = [
+                    threading.Thread(target=client_call, args=(slot,))
+                    for slot in range(2)
+                ]
+                ServiceClient(st.url).wait_healthy()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30)
+        finally:
+            unregister_allocator("test-svc-slow")
+
+        assert all(r is not None and r.ok for r in results)
+        assert results[0].label == "c0" and results[1].label == "c1"
+        assert results[0].canonical_dict()["label"] == "c0"
+        # single-flight: the identical concurrent request ran once ...
+        assert calls["count"] == 1
+        # ... and the shared manifest is valid, with exactly one entry
+        manifest = json.loads((cache_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "cache-manifest"
+        assert len(manifest["entries"]) == 1
+        # the cache still serves the entry afterwards
+        fresh = Engine(cache_dir=cache_dir)
+        hit = fresh.run(AllocationRequest(make_problem(), "test-svc-slow"))
+        assert hit.cached
+
+    def test_distinct_concurrent_requests_all_land_in_manifest(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = Engine(cache_dir=cache_dir)
+        requests = [
+            AllocationRequest(make_problem(0.3 + 0.15 * i), "uniform",
+                              label=str(i))
+            for i in range(5)
+        ]
+        with ServerThread(engine=engine, max_concurrency=4) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            served = client.batch(requests)
+        assert all(r.ok for r in served)
+        manifest = json.loads((cache_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "cache-manifest"
+        assert len(manifest["entries"]) == len(
+            {r.problem.fingerprint() for r in requests}
+        )
+
+    @fork_only
+    def test_killed_worker_yields_error_envelope_not_hung_connection(self):
+        @register_allocator("test-svc-crash")
+        def crash(problem, **options):
+            os._exit(13)  # simulate a segfaulting native solver
+
+        try:
+            engine = Engine(executor="process")
+            with ServerThread(engine=engine, max_concurrency=2) as st:
+                client = ServiceClient(st.url, timeout=30.0)
+                client.wait_healthy()
+                began = time.perf_counter()
+                result = client.allocate(
+                    AllocationRequest(make_problem(), "test-svc-crash")
+                )
+                elapsed = time.perf_counter() - began
+        finally:
+            unregister_allocator("test-svc-crash")
+        assert not result.ok
+        assert result.error.startswith("error: WorkerCrashError")
+        assert elapsed < 20.0
+
+    @fork_only
+    def test_hung_worker_yields_timeout_envelope_within_budget(self):
+        @register_allocator("test-svc-hang")
+        def hang(problem, **options):
+            time.sleep(120)
+            return get_allocator("uniform")(problem)
+
+        try:
+            engine = Engine(executor="process")
+            with ServerThread(
+                engine=engine, max_concurrency=2, default_timeout=1.0
+            ) as st:
+                client = ServiceClient(st.url, timeout=30.0)
+                client.wait_healthy()
+                began = time.perf_counter()
+                result = client.allocate(
+                    AllocationRequest(make_problem(), "test-svc-hang")
+                )
+                elapsed = time.perf_counter() - began
+        finally:
+            unregister_allocator("test-svc-hang")
+        assert result.error == "timeout: no result within 1s"
+        assert result.datapath is None
+        assert elapsed < 15.0

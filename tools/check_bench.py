@@ -1,0 +1,295 @@
+#!/usr/bin/env python
+"""CI regression gate over the benchmark reports (the perf trajectory).
+
+Compares freshly-generated ``BENCH_engine.json`` / ``BENCH_solver.json``
+/ ``BENCH_service.json`` against the committed baselines and fails when
+the trajectory regresses:
+
+* **solver families** (``refinement-heavy``, ``binding-heavy``): the
+  incremental/scratch speedup must stay >= ``--min-family-ratio``
+  (default 1.0 -- incremental may never be slower than scratch) *and*
+  must not fall below ``baseline * (1 - tolerance)``;
+* **iteration parity**: for every workload-family case label present in
+  both reports, the solver's iteration count must match the baseline
+  exactly (the solver is deterministic -- any drift means the search
+  path changed);
+* **envelope identity**: every report's ``results_identical`` flag must
+  hold (parallel/cached/incremental/served results byte-identical);
+* **cache hits**: the engine's warm-cache speedup must stay above an
+  absolute floor (wall-clock ratios across CI hosts are too noisy for a
+  relative bound; serving a hit thousands of times faster than solving
+  degrades to "merely" ``--min-hit-speedup``x before the gate trips);
+* **service throughput**: the served ``/batch`` stream must sustain at
+  least ``--min-service-ratio`` (default 1.0) of the serial
+  ``Engine.run_batch`` throughput.
+
+Relative *wall-clock* comparisons between the committed baseline (dev
+container) and the CI host are intentionally avoided everywhere except
+the dimensionless ratios above: those are measured within one host, so
+they transfer.
+
+Run with (CI copies the committed baselines aside first)::
+
+    python tools/check_bench.py --baseline-dir /tmp/bench-baselines --fresh-dir .
+
+Exit status: 0 when every check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+REPORTS = ("engine", "solver", "service")
+FILENAMES = {name: f"BENCH_{name}.json" for name in REPORTS}
+
+
+class Gate:
+    """Collects [ok]/[FAIL] check lines; remembers whether any failed."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.failed = False
+
+    def check(self, ok: bool, label: str, detail: str) -> None:
+        status = "ok" if ok else "FAIL"
+        if not ok:
+            self.failed = True
+        self.lines.append(f"[{status}] {label}: {detail}")
+
+    def note(self, text: str) -> None:
+        self.lines.append(f"[--] {text}")
+
+
+def load_report(path: Path, expected_kind: str) -> Dict[str, Any]:
+    data = json.loads(path.read_text())
+    kind = data.get("kind") if isinstance(data, dict) else None
+    if kind != expected_kind:
+        raise ValueError(f"{path}: expected kind {expected_kind!r}, got {kind!r}")
+    return data
+
+
+def check_engine(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
+    gate.check(
+        fresh.get("results_identical") is True,
+        "engine.results_identical",
+        "serial/parallel/cached envelopes byte-identical",
+    )
+    gate.check(
+        int(fresh.get("cases", 0)) >= 1,
+        "engine.cases",
+        f"{fresh.get('cases')} sweep cases ran",
+    )
+    hit_speedup = float(fresh.get("cache", {}).get("hit_speedup", 0.0))
+    gate.check(
+        hit_speedup >= args.min_hit_speedup,
+        "engine.cache_hit_speedup",
+        f"{hit_speedup:g}x (floor {args.min_hit_speedup:g}x; "
+        f"baseline {baseline.get('cache', {}).get('hit_speedup', '?')}x)",
+    )
+
+
+def check_solver(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
+    gate.check(
+        fresh.get("results_identical") is True,
+        "solver.results_identical",
+        "incremental results byte-identical to scratch",
+    )
+    fresh_families = {w["name"]: w for w in fresh.get("workloads", [])}
+    baseline_iterations: Dict[str, int] = {}
+    for family in baseline.get("workloads", []):
+        name = family["name"]
+        for case in family.get("cases", []):
+            baseline_iterations[f"{name}/{case['label']}"] = case["iterations"]
+        fresh_family = fresh_families.get(name)
+        if fresh_family is None:
+            gate.check(
+                False, f"solver.{name}", "family missing from fresh report"
+            )
+            continue
+        ratio = float(fresh_family.get("speedup", 0.0))
+        floor = max(
+            args.min_family_ratio,
+            float(family.get("speedup", 0.0)) * (1.0 - args.tolerance),
+        )
+        gate.check(
+            ratio >= floor,
+            f"solver.{name}.speedup",
+            f"incremental/scratch {ratio:g}x "
+            f"(floor {floor:g}x = max({args.min_family_ratio:g}, "
+            f"baseline {family.get('speedup')}x - {args.tolerance:.0%}))",
+        )
+
+    # Families without a committed baseline (just added to the bench)
+    # still get the hard floor -- "incremental may never lose to
+    # scratch" must hold from a family's first CI run, not from its
+    # first committed baseline.
+    baseline_names = {w["name"] for w in baseline.get("workloads", [])}
+    for name, fresh_family in fresh_families.items():
+        if name in baseline_names:
+            continue
+        ratio = float(fresh_family.get("speedup", 0.0))
+        gate.check(
+            ratio >= args.min_family_ratio,
+            f"solver.{name}.speedup",
+            f"incremental/scratch {ratio:g}x "
+            f"(floor {args.min_family_ratio:g}x; new family, no "
+            f"committed baseline -- regenerate BENCH_solver.json)",
+        )
+
+    drifted: List[str] = []
+    seen: set = set()
+    for name, fresh_family in fresh_families.items():
+        for case in fresh_family.get("cases", []):
+            key = f"{name}/{case['label']}"
+            expected = baseline_iterations.get(key)
+            if expected is None:
+                continue  # new case: nothing committed to drift from
+            seen.add(key)
+            if case["iterations"] != expected:
+                drifted.append(
+                    f"{key}: {expected} -> {case['iterations']}"
+                )
+    # A smoke run (REPRO_SAMPLES=1) legitimately covers a subset of the
+    # committed grid -- but zero overlap means the gate compared
+    # nothing (renamed cases / changed grid), which must not pass as
+    # parity; partial coverage is surfaced, not failed.
+    uncovered = len(baseline_iterations) - len(seen)
+    if uncovered and baseline_iterations:
+        gate.note(
+            f"solver.iteration_parity: {uncovered} of "
+            f"{len(baseline_iterations)} committed case labels not in "
+            f"the fresh report (smaller smoke grid)"
+        )
+    if baseline_iterations and not seen:
+        gate.check(
+            False, "solver.iteration_parity",
+            "no case labels in common with the committed baselines -- "
+            "grid renamed? regenerate and commit BENCH_solver.json",
+        )
+    else:
+        gate.check(
+            not drifted,
+            "solver.iteration_parity",
+            (
+                f"{len(seen)} case labels match the committed "
+                f"iteration counts"
+                if not drifted
+                else f"iteration counts drifted: {', '.join(drifted)}"
+            ),
+        )
+
+
+def check_service(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
+    gate.check(
+        fresh.get("results_identical") is True,
+        "service.results_identical",
+        "served envelopes byte-identical to the serial run",
+    )
+    ratio = float(fresh.get("throughput_ratio", 0.0))
+    gate.check(
+        ratio >= args.min_service_ratio,
+        "service.throughput_ratio",
+        f"served /batch at {ratio:g}x serial run_batch throughput "
+        f"(floor {args.min_service_ratio:g}x; "
+        f"baseline {baseline.get('throughput_ratio', '?')}x)",
+    )
+
+
+CHECKERS = {
+    "engine": ("bench-engine", check_engine),
+    "solver": ("bench-solver", check_solver),
+    "service": ("bench-service", check_service),
+}
+
+
+def resolve_pair(
+    name: str, args
+) -> Tuple[Optional[Path], Optional[Path]]:
+    baseline = getattr(args, f"baseline_{name}")
+    fresh = getattr(args, f"fresh_{name}")
+    if baseline is None and args.baseline_dir is not None:
+        baseline = args.baseline_dir / FILENAMES[name]
+    if fresh is None and args.fresh_dir is not None:
+        fresh = args.fresh_dir / FILENAMES[name]
+    return baseline, fresh
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", type=Path, default=None,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--fresh-dir", type=Path, default=None,
+                        help="directory holding the freshly generated reports")
+    for name in REPORTS:
+        parser.add_argument(f"--baseline-{name}", type=Path, default=None,
+                            help=f"explicit baseline {FILENAMES[name]}")
+        parser.add_argument(f"--fresh-{name}", type=Path, default=None,
+                            help=f"explicit fresh {FILENAMES[name]}")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.45,
+        help="allowed relative drop of a family's incremental/scratch "
+             "speedup vs its committed baseline (default 0.45)",
+    )
+    parser.add_argument(
+        "--min-family-ratio", type=float, default=1.0,
+        help="hard floor for every family's incremental/scratch speedup "
+             "(default 1.0: incremental may never lose to scratch)",
+    )
+    parser.add_argument(
+        "--min-hit-speedup", type=float, default=25.0,
+        help="hard floor for the engine cache's warm-hit speedup "
+             "(default 25x)",
+    )
+    parser.add_argument(
+        "--min-service-ratio", type=float, default=1.0,
+        help="hard floor for served /batch throughput over serial "
+             "run_batch (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    gate = Gate()
+    compared = 0
+    for name in REPORTS:
+        baseline_path, fresh_path = resolve_pair(name, args)
+        expected_kind, checker = CHECKERS[name]
+        if baseline_path is None and fresh_path is None:
+            gate.note(f"{name}: no paths given, skipped")
+            continue
+        missing = [
+            str(p) for p in (baseline_path, fresh_path)
+            if p is None or not p.is_file()
+        ]
+        if missing:
+            gate.check(
+                False, f"{name}.reports",
+                f"missing report file(s): {', '.join(missing)}",
+            )
+            continue
+        try:
+            baseline = load_report(baseline_path, expected_kind)
+            fresh = load_report(fresh_path, expected_kind)
+        except (OSError, ValueError) as exc:
+            gate.check(False, f"{name}.reports", str(exc))
+            continue
+        checker(gate, baseline, fresh, args)
+        compared += 1
+
+    if compared == 0 and not gate.failed:
+        print("check_bench: nothing to compare "
+              "(give --baseline-dir/--fresh-dir or explicit paths)",
+              file=sys.stderr)
+        return 2
+    print("\n".join(gate.lines))
+    if gate.failed:
+        print("\ncheck_bench: perf trajectory REGRESSED", file=sys.stderr)
+        return 1
+    print(f"\ncheck_bench: {compared} reports within the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
