@@ -119,10 +119,13 @@ def force_directed_schedule(
             # Cost of fixing here: sum of squared DG values after moving
             # this op's probability mass onto [start, start+lat).
             cost = 0.0
+            # Sorted: the cost is a float accumulation, and float
+            # addition is not associative -- summation order must not
+            # depend on set hash order.
             steps = set(current) | set(
                 range(start, start + lat[name])
             )
-            for step in steps:
+            for step in sorted(steps):
                 value = table.get(step, 0.0) - current.get(step, 0.0)
                 if start <= step < start + lat[name]:
                     value += 1.0

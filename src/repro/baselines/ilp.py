@@ -273,6 +273,7 @@ def allocate_ilp(
     if time_limit is not None:
         options["time_limit"] = float(time_limit)
 
+    # reprolint: disable=RL002(telemetry only: canonical_dict strips solve_seconds)
     began = time.perf_counter()
     result = milp(
         c=model.cost,
@@ -281,6 +282,7 @@ def allocate_ilp(
         bounds=model.bounds,
         options=options,
     )
+    # reprolint: disable=RL002(telemetry only: canonical_dict strips solve_seconds)
     elapsed = time.perf_counter() - began
     stats = IlpStats(model.num_variables, model.num_constraints, elapsed)
 

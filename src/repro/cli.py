@@ -26,7 +26,10 @@ Subcommands:
   ``GET /stats``; see ``docs/service.md``);
 * ``submit`` -- send a workloads x methods sweep to a running service
   and print the standard batch table (envelopes are
-  canonical-byte-identical to a local ``batch`` run).
+  canonical-byte-identical to a local ``batch`` run);
+* ``lint`` -- run **reprolint**, the AST-based checker for the repo's
+  parity and concurrency contracts (rules RL001..RL005, inline
+  suppressions, CI baseline; see ``docs/static-analysis.md``).
 
 All dispatch goes through the allocator registry
 (:mod:`repro.engine`): ``--method`` choices are discovered, never
@@ -62,6 +65,12 @@ Allocation service (server and client)::
 
     python -m repro serve --port 8035 --workers 4 --cache-dir .cache
     python -m repro submit fir biquad --url http://127.0.0.1:8035
+
+Static analysis (part of the pre-PR checklist)::
+
+    python -m repro lint src/repro
+    python -m repro lint --list-rules
+    python -m repro lint --explain RL001
 """
 
 from __future__ import annotations
@@ -536,6 +545,13 @@ def _cmd_submit(args) -> int:
     return _report_failures(results)
 
 
+def _cmd_lint(args) -> int:
+    """Run reprolint; heavy lifting lives in repro.devtools.lint."""
+    from .devtools.lint import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_cache(args) -> int:
     import json as json_module
 
@@ -577,7 +593,8 @@ def main(argv=None) -> int:
         epilog="Full subcommand documentation with copy-pasteable "
                "invocations: docs/cli.md (architecture notes: "
                "docs/architecture.md; HTTP service endpoints and wire "
-               "schema: docs/service.md).",
+               "schema: docs/service.md; reprolint rule catalogue and "
+               "suppression workflow: docs/static-analysis.md).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -682,6 +699,15 @@ def main(argv=None) -> int:
                      help="shard-results JSON files (from batch --from-shard)")
     cmd.add_argument("--json", help="write the merged allocation-batch JSON")
 
+    cmd = sub.add_parser(
+        "lint",
+        help="run reprolint, the AST-based parity/concurrency contract "
+             "checker (see docs/static-analysis.md)",
+    )
+    from .devtools.lint import add_lint_arguments
+
+    add_lint_arguments(cmd)
+
     cmd = sub.add_parser("cache", help="inspect or manage a result cache")
     cmd.add_argument("action", choices=("stats", "prune", "clear"))
     cmd.add_argument("cache_dir", help="the cache directory")
@@ -736,6 +762,7 @@ def main(argv=None) -> int:
         "shard": _cmd_shard,
         "merge": _cmd_merge,
         "cache": _cmd_cache,
+        "lint": _cmd_lint,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

@@ -178,7 +178,7 @@ class BoundPathEngine:
         self._base_edges = frozenset(graph_edges)
         self._preds: Dict[str, Set[str]] = {n: set() for n in self._names}
         self._succs: Dict[str, Set[str]] = {n: set() for n in self._names}
-        for u, v in self._base_edges:
+        for u, v in sorted(self._base_edges):
             self._succs[u].add(v)
             self._preds[v].add(u)
         self._bind_edges: Set[Tuple[str, str]] = set()
@@ -296,7 +296,7 @@ class BoundPathEngine:
         for p in lat_changed:
             seeds.update(self._succs[p])
         asap, lat, preds, succs = self._asap, self._lat, self._preds, self._succs
-        heap = [(schedule[n], n) for n in seeds]
+        heap = [(schedule[n], n) for n in sorted(seeds)]
         heapq.heapify(heap)
         queued = set(seeds)
         while heap:
@@ -324,7 +324,7 @@ class BoundPathEngine:
         seeds.update(lat_changed)
         alap, lat, preds, succs = self._alap, self._lat, self._preds, self._succs
         deadline = self._deadline
-        heap = [(-schedule[n], n) for n in seeds]
+        heap = [(-schedule[n], n) for n in sorted(seeds)]
         heapq.heapify(heap)
         queued = set(seeds)
         while heap:

@@ -299,11 +299,11 @@ def serial_schedule(
     start: Dict[str, int] = {}
     remaining = set(graph.names)
     while remaining:
-        ready = [
-            n for n in remaining
-            if all(p in start for p in graph.predecessors(n))
-        ]
-        ready.sort(key=lambda n: (-priority[n], n))
+        ready = sorted(
+            (n for n in remaining
+             if all(p in start for p in graph.predecessors(n))),
+            key=lambda n: (-priority[n], n),
+        )
         name = ready[0]
         release = max(
             (start[p] + latencies[p] for p in graph.predecessors(name)),
@@ -322,7 +322,7 @@ def serial_schedule(
 
 def _greedy_schedule(
     graph: SequencingGraph,
-    tracker,
+    tracker: "Eqn2Tracker | Eqn3Tracker",
     latencies: Mapping[str, int],
     prefix: Optional[Mapping[str, int]] = None,
     resume: int = 0,
@@ -367,13 +367,12 @@ def _greedy_schedule(
                     if p in start_times), default=0)
 
     while pending:
-        ready = [
-            n
-            for n in pending
-            if all(p in start_times for p in graph.predecessors(n))
-            and release_time(n) <= now
-        ]
-        ready.sort(key=lambda n: (-priority[n], n))
+        ready = sorted(
+            (n for n in pending
+             if all(p in start_times for p in graph.predecessors(n))
+             and release_time(n) <= now),
+            key=lambda n: (-priority[n], n),
+        )
         for name in ready:
             if tracker.admits(name, now, latencies[name]):
                 start_times[name] = now
@@ -388,6 +387,7 @@ def _greedy_schedule(
         # Advance time to the next event: a running op finishing or a
         # dependency releasing a new ready op.
         events = [r.finish for r in running if r.finish > now]
+        # reprolint: disable=RL001(order-insensitive: every path feeds min)
         for n in pending:
             if all(p in start_times for p in graph.predecessors(n)):
                 rel = release_time(n)
@@ -502,7 +502,7 @@ def list_schedule_outcome(
     if not resource_constraints:
         return ScheduleOutcome(graph.asap(latencies), greedy=True)
 
-    def make_tracker():
+    def make_tracker() -> "Eqn2Tracker | Eqn3Tracker":
         if constraint == "eqn3":
             return Eqn3Tracker(wcg, resource_constraints, scheduling_set)
         if constraint == "eqn2":

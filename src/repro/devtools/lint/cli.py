@@ -1,0 +1,185 @@
+"""Command-line front-end for reprolint (``repro lint``).
+
+Also invoked by ``tools/run_lint.py`` (the CI entry) and importable as
+``python -m repro.devtools.lint``.  Argument handling lives here so
+:mod:`repro.cli` only registers a subparser and delegates.
+
+Exit codes: ``0`` no new findings, ``1`` new findings, ``2`` usage or
+input error (bad path, unknown rule, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .framework import (
+    LintReport,
+    all_rules,
+    format_text,
+    get_rule,
+    load_baseline,
+    run_lint,
+    save_baseline,
+)
+
+__all__ = ["add_lint_arguments", "main", "run_from_args"]
+
+DEFAULT_BASELINE = Path("tools") / "reprolint-baseline.json"
+DEFAULT_PATHS = [Path("src") / "repro"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the ``lint`` flags on ``parser`` (shared between the
+    ``repro lint`` subcommand and the standalone entry point)."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text; json emits the full "
+             "reprolint-report payload)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all; "
+             "RL000 suppression hygiene always runs)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every rule with the contract it protects and exit",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="CODE",
+        help="print one rule's full documentation and exit",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline of grandfathered findings "
+             f"(default {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0 "
+             "(grandfathers them; new findings after that fail)",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="include baselined findings in text output",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings (and their reasons) in text output",
+    )
+
+
+def _cmd_list_rules() -> int:
+    rows = []
+    for rule in all_rules():
+        scope = "/".join(rule.scope) if rule.scope else "all modules"
+        rows.append((rule.code, rule.name, scope, rule.contract))
+    width_name = max(len(r[1]) for r in rows)
+    width_scope = max(len(r[2]) for r in rows)
+    for code, name, scope, contract in rows:
+        print(f"{code}  {name:<{width_name}}  {scope:<{width_scope}}  "
+              f"{contract}")
+    print("\nrepro lint --explain CODE prints a rule's full documentation.")
+    return 0
+
+
+def _cmd_explain(code: str) -> int:
+    rule = get_rule(code.strip().upper())
+    if rule is None:
+        known = ", ".join(r.code for r in all_rules())
+        print(f"unknown rule {code!r}; known: {known}", file=sys.stderr)
+        return 2
+    doc = (type(rule).__doc__ or "").strip()
+    print(f"{rule.code} ({rule.name})")
+    print(f"contract: {rule.contract}")
+    scope = "/".join(rule.scope) if rule.scope else "all scanned modules"
+    print(f"scope: {scope}\n")
+    print(doc)
+    return 0
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code."""
+    if args.list_rules:
+        return _cmd_list_rules()
+    if args.explain:
+        return _cmd_explain(args.explain)
+
+    paths: List[Path] = [Path(p) for p in args.paths] or list(DEFAULT_PATHS)
+    rule_codes = (
+        [code.strip().upper() for code in args.rules.split(",") if code.strip()]
+        if args.rules
+        else None
+    )
+
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        elif DEFAULT_BASELINE.exists() or args.write_baseline:
+            baseline_path = DEFAULT_BASELINE
+
+    baseline = None
+    if baseline_path is not None and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"lint: bad baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        report: LintReport = run_lint(paths, rule_codes, baseline)
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("lint: --write-baseline conflicts with --no-baseline",
+                  file=sys.stderr)
+            return 2
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        count = save_baseline(baseline_path, report.findings)
+        print(f"lint: wrote {count} grandfathered findings to "
+              f"{baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_text(
+            report,
+            show_baselined=args.show_baselined,
+            show_suppressed=args.show_suppressed,
+        ))
+    return report.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="reprolint: AST-based checker for the repo's parity "
+                    "and concurrency contracts (docs/static-analysis.md)",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

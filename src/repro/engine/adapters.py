@@ -10,17 +10,18 @@ algorithmic behaviour.
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..core.dpalloc import DPAllocOptions, allocate
 from ..core.problem import Problem
+from ..core.solution import Datapath
 from .registry import register_allocator
 
 __all__ = ["dpalloc", "ilp", "two_stage", "fds", "clique_sort", "uniform"]
 
 
 @register_allocator("dpalloc")
-def dpalloc(problem: Problem, **options):
+def dpalloc(problem: Problem, **options: object) -> Tuple[Datapath, Dict]:
     """The paper's heuristic; options are :class:`DPAllocOptions` fields.
 
     Runs through the :mod:`repro.core.solver` pass pipeline
@@ -38,7 +39,9 @@ def dpalloc(problem: Problem, **options):
 
 
 @register_allocator("ilp")
-def ilp(problem: Problem, time_limit: Optional[float] = None):
+def ilp(
+    problem: Problem, time_limit: Optional[float] = None
+) -> Tuple[Datapath, Dict]:
     """Optimal time-indexed MILP [5]; ``time_limit`` in seconds (HiGHS)."""
     from ..baselines.ilp import allocate_ilp
 
@@ -51,7 +54,9 @@ def ilp(problem: Problem, time_limit: Optional[float] = None):
 
 
 @register_allocator("two-stage")
-def two_stage(problem: Problem, dp_limit: int = 13, node_budget: int = 200_000):
+def two_stage(
+    problem: Problem, dp_limit: int = 13, node_budget: int = 200_000
+) -> Tuple[Datapath, Dict]:
     """Two-stage wordlength-blind schedule + optimal binding [4]."""
     from ..baselines.two_stage import allocate_two_stage
 
@@ -66,7 +71,9 @@ def two_stage(problem: Problem, dp_limit: int = 13, node_budget: int = 200_000):
 
 
 @register_allocator("fds")
-def fds(problem: Problem, dp_limit: int = 13, node_budget: int = 200_000):
+def fds(
+    problem: Problem, dp_limit: int = 13, node_budget: int = 200_000
+) -> Tuple[Datapath, Dict]:
     """Force-directed scheduling + optimal no-latency-increase binding."""
     from ..baselines.fds import allocate_fds
 
@@ -81,7 +88,7 @@ def fds(problem: Problem, dp_limit: int = 13, node_budget: int = 200_000):
 
 
 @register_allocator("clique-sort")
-def clique_sort(problem: Problem):
+def clique_sort(problem: Problem) -> Datapath:
     """Descending-wordlength clique partitioning [14]."""
     from ..baselines.clique_sort import allocate_clique_sort
 
@@ -89,7 +96,7 @@ def clique_sort(problem: Problem):
 
 
 @register_allocator("uniform")
-def uniform(problem: Problem):
+def uniform(problem: Problem) -> Datapath:
     """Uniform-wordlength (DSP-processor style) allocation."""
     from ..baselines.uniform import allocate_uniform
 

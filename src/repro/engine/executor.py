@@ -59,7 +59,10 @@ class WorkerCrashError(RuntimeError):
     """A worker process died before reporting a result."""
 
 
-def _child_main(conn, request: AllocationRequest) -> None:
+def _child_main(
+    conn: multiprocessing.connection.Connection,
+    request: AllocationRequest,
+) -> None:
     """Entry point of one worker process: run, report, exit.
 
     ``execute_request`` already envelopes every solver-level failure;
@@ -89,7 +92,13 @@ class _LiveRun:
 
     __slots__ = ("request", "process", "conn", "deadline")
 
-    def __init__(self, request, process, conn, deadline) -> None:
+    def __init__(
+        self,
+        request: AllocationRequest,
+        process: multiprocessing.process.BaseProcess,
+        conn: multiprocessing.connection.Connection,
+        deadline: Optional[float],
+    ) -> None:
         self.request = request
         self.process = process
         self.conn = conn
@@ -186,7 +195,7 @@ class ProcessPerRunExecutor:
     # ------------------------------------------------------------------
     # scheduling internals
     # ------------------------------------------------------------------
-    def _start(self, request: AllocationRequest):
+    def _start(self, request: AllocationRequest) -> "_LiveRun | AllocationResult":
         """Fork one worker; an un-startable request envelopes the error."""
         parent_conn, child_conn = self._context.Pipe(duplex=False)
         process = self._context.Process(

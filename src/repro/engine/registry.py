@@ -41,7 +41,9 @@ from typing import (
 class Allocator(Protocol):
     """Calling convention every registered strategy satisfies."""
 
-    def __call__(self, problem, **options) -> Union[object, Tuple[object, Dict]]:
+    def __call__(
+        self, problem: object, **options: object
+    ) -> Union[object, Tuple[object, Dict]]:
         ...
 
 __all__ = [

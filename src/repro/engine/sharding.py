@@ -34,9 +34,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .results import AllocationRequest, AllocationResult
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
+    from .engine import Engine
 
 __all__ = [
     "ShardManifest",
@@ -166,7 +179,7 @@ def load_shard_manifest(path: PathLike) -> ShardManifest:
 
 def run_shard(
     manifest: ShardManifest,
-    engine=None,
+    engine: Optional["Engine"] = None,
     workers: Optional[int] = None,
     executor: Optional[str] = None,
 ) -> Dict[str, Any]:

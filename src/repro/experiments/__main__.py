@@ -37,7 +37,7 @@ TARGETS: Dict[str, Callable[[Optional[int], Optional[int]], str]] = {
 }
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation figures and tables.",

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import TYPE_CHECKING, Dict, Union
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
+    from ..core.problem import Problem
+    from ..engine.results import AllocationRequest, AllocationResult
 
 from ..core.binding import Binding, BoundClique
 from ..core.solution import Datapath, TraceEvent
@@ -194,7 +198,7 @@ def datapath_from_dict(data: Dict) -> Datapath:
 # problems and allocation requests (shard manifests, service payloads)
 # ----------------------------------------------------------------------
 
-def _model_to_dict(model) -> Dict:
+def _model_to_dict(model: object) -> Dict:
     """Serialise a technology model by type name + dataclass params.
 
     Only the built-in frozen-dataclass SONIC models round-trip --
@@ -219,7 +223,7 @@ def _model_to_dict(model) -> Dict:
     )
 
 
-def _model_from_dict(data: Dict):
+def _model_from_dict(data: Dict) -> object:
     from ..resources.area import SonicAreaModel
     from ..resources.latency import SonicLatencyModel
 
@@ -234,7 +238,7 @@ def _model_from_dict(data: Dict):
     return cls(**data.get("params", {}))
 
 
-def problem_to_dict(problem) -> Dict:
+def problem_to_dict(problem: "Problem") -> Dict:
     """Serialise a :class:`~repro.core.problem.Problem` instance."""
     return {
         "kind": "problem",
@@ -250,7 +254,7 @@ def problem_to_dict(problem) -> Dict:
     }
 
 
-def problem_from_dict(data: Dict):
+def problem_from_dict(data: Dict) -> "Problem":
     """Deserialise a :class:`~repro.core.problem.Problem` instance."""
     if data.get("kind") != "problem":
         raise ValueError(f"not a problem payload: {data.get('kind')!r}")
@@ -270,7 +274,7 @@ def problem_from_dict(data: Dict):
     )
 
 
-def allocation_request_to_dict(request) -> Dict:
+def allocation_request_to_dict(request: "AllocationRequest") -> Dict:
     """Serialise an :class:`~repro.engine.results.AllocationRequest`."""
     return {
         "kind": "allocation-request",
@@ -282,7 +286,7 @@ def allocation_request_to_dict(request) -> Dict:
     }
 
 
-def allocation_request_from_dict(data: Dict):
+def allocation_request_from_dict(data: Dict) -> "AllocationRequest":
     """Deserialise an :class:`~repro.engine.results.AllocationRequest`."""
     if data.get("kind") != "allocation-request":
         raise ValueError(
@@ -303,7 +307,7 @@ def allocation_request_from_dict(data: Dict):
 # allocation-result envelopes
 # ----------------------------------------------------------------------
 
-def allocation_result_to_dict(result) -> Dict:
+def allocation_result_to_dict(result: "AllocationResult") -> Dict:
     """Serialise an :class:`~repro.engine.results.AllocationResult`."""
     return {
         "kind": "allocation-result",
@@ -323,7 +327,7 @@ def allocation_result_to_dict(result) -> Dict:
     }
 
 
-def allocation_result_from_dict(data: Dict):
+def allocation_result_from_dict(data: Dict) -> "AllocationResult":
     """Deserialise an :class:`~repro.engine.results.AllocationResult`."""
     if data.get("kind") != "allocation-result":
         raise ValueError(

@@ -45,7 +45,9 @@ DEFAULT_HTTP_TIMEOUT = 600.0
 class ServiceError(RuntimeError):
     """The service refused or failed a request at the HTTP level."""
 
-    def __init__(self, status: int, message: str, payload: Optional[Dict] = None):
+    def __init__(
+        self, status: int, message: str, payload: Optional[Dict] = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.payload = payload or {}

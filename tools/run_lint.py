@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""CI entry for reprolint: self-lint the repo against the baseline.
+
+Runs ``repro lint src/repro`` from the repository root with the checked
+baseline (``tools/reprolint-baseline.json``), so the job fails exactly
+when the tree gains a finding that is neither suppressed inline (with a
+reason) nor grandfathered.  Works without an installed package -- the
+repo's ``src/`` is prepended to ``sys.path``.
+
+Run with::
+
+    python tools/run_lint.py [extra repro-lint flags ...]
+
+Exit status: 0 clean, 1 new findings, 2 usage/internal error -- the
+same semantics as ``repro lint`` (see docs/static-analysis.md).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    os.chdir(REPO)  # baseline + finding paths are repo-root relative
+    from repro.devtools.lint import main as lint_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not any(a.startswith("--baseline") or a == "--no-baseline"
+               for a in args):
+        args = ["--baseline", "tools/reprolint-baseline.json", *args]
+    # No explicit path means the lint CLI's default: src/repro.
+    return lint_main(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
