@@ -32,12 +32,40 @@ DEFAULT_BASELINE = Path("tools") / "reprolint-baseline.json"
 DEFAULT_PATHS = [Path("src") / "repro"]
 
 
+def _repo_root() -> Path:
+    """Root that the repo-relative defaults resolve against.
+
+    ``repro lint`` defaults (``src/repro``, the checked baseline) and
+    finding paths are repo-root relative; anchoring them at the cwd
+    would silently skip the baseline when invoked from a subdirectory
+    and scatter ``tools/`` directories on ``--write-baseline``.  Walk
+    up from the cwd for a ``pyproject.toml`` sitting beside
+    ``src/repro`` (any invocation from inside the checkout), fall back
+    to the checkout holding this file, and finally to the cwd itself
+    (installed package outside any checkout).
+    """
+    for base in (Path.cwd(), *Path.cwd().parents):
+        if (
+            (base / "pyproject.toml").is_file()
+            and (base / "src" / "repro").is_dir()
+        ):
+            return base
+    here = Path(__file__).resolve()
+    # <root>/src/repro/devtools/lint/cli.py in a source checkout.
+    if len(here.parents) > 4 and here.parents[3].name == "src":
+        root = here.parents[4]
+        if (root / "pyproject.toml").is_file():
+            return root
+    return Path.cwd()
+
+
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Register the ``lint`` flags on ``parser`` (shared between the
     ``repro lint`` subcommand and the standalone entry point)."""
     parser.add_argument(
         "paths", nargs="*",
-        help="files/directories to lint (default: src/repro)",
+        help="files/directories to lint (default: src/repro under the "
+             "repo root, wherever the command is invoked from)",
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -59,8 +87,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
-        help=f"baseline of grandfathered findings "
-             f"(default {DEFAULT_BASELINE} when it exists)",
+        help=f"baseline of grandfathered findings (default "
+             f"{DEFAULT_BASELINE} under the repo root, when it exists)",
     )
     parser.add_argument(
         "--no-baseline", action="store_true",
@@ -117,7 +145,11 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.explain:
         return _cmd_explain(args.explain)
 
-    paths: List[Path] = [Path(p) for p in args.paths] or list(DEFAULT_PATHS)
+    root = _repo_root()
+    paths: List[Path] = (
+        [Path(p) for p in args.paths]
+        or [root / p for p in DEFAULT_PATHS]
+    )
     rule_codes = (
         [code.strip().upper() for code in args.rules.split(",") if code.strip()]
         if args.rules
@@ -128,8 +160,8 @@ def run_from_args(args: argparse.Namespace) -> int:
     if not args.no_baseline:
         if args.baseline is not None:
             baseline_path = Path(args.baseline)
-        elif DEFAULT_BASELINE.exists() or args.write_baseline:
-            baseline_path = DEFAULT_BASELINE
+        elif (root / DEFAULT_BASELINE).exists() or args.write_baseline:
+            baseline_path = root / DEFAULT_BASELINE
 
     baseline = None
     if baseline_path is not None and baseline_path.exists():
@@ -141,7 +173,9 @@ def run_from_args(args: argparse.Namespace) -> int:
             return 2
 
     try:
-        report: LintReport = run_lint(paths, rule_codes, baseline)
+        report: LintReport = run_lint(
+            paths, rule_codes, baseline, display_root=root
+        )
     except FileNotFoundError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2

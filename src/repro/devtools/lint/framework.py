@@ -477,17 +477,20 @@ def _collect_files(paths: Sequence[PathLike]) -> List[Tuple[Path, Path]]:
     return pairs
 
 
-def _display_path(file_path: Path) -> str:
-    try:
-        return file_path.relative_to(Path.cwd()).as_posix()
-    except ValueError:
-        return file_path.as_posix()
+def _display_path(file_path: Path, base: Optional[Path] = None) -> str:
+    for candidate in filter(None, (base, Path.cwd())):
+        try:
+            return file_path.relative_to(candidate).as_posix()
+        except ValueError:
+            continue
+    return file_path.as_posix()
 
 
 def run_lint(
     paths: Sequence[PathLike],
     rule_codes: Optional[Sequence[str]] = None,
     baseline: Optional[Dict[str, Dict[str, Any]]] = None,
+    display_root: Optional[PathLike] = None,
 ) -> LintReport:
     """Lint ``paths`` and return the full report.
 
@@ -497,6 +500,10 @@ def run_lint(
         baseline: grandfathered-fingerprint entries from
             :func:`load_baseline`; matching findings are reported with
             ``status="baselined"`` and do not fail the run.
+        display_root: base that finding paths are reported relative to
+            (default: the cwd).  Baseline fingerprints hash these
+            paths, so the CLI pins this to the repo root to stay
+            cwd-independent.
 
     Raises:
         FileNotFoundError: a given path does not exist.
@@ -513,11 +520,12 @@ def run_lint(
             )
         selected = [rule for rule in selected if rule.code in wanted]
 
+    base = Path(display_root).resolve() if display_root is not None else None
     modules: List[ModuleSource] = []
     findings: List[Finding] = []
     files = 0
     for root, file_path in _collect_files(paths):
-        display = _display_path(file_path)
+        display = _display_path(file_path, base)
         files += 1
         try:
             modules.append(load_module(file_path, root, display))
@@ -556,7 +564,7 @@ def run_lint(
                 finding.status = "baselined"
 
     return LintReport(
-        root=str(Path.cwd()),
+        root=str(base if base is not None else Path.cwd()),
         files=files,
         rules=[rule.code for rule in selected],
         findings=findings,

@@ -535,6 +535,8 @@ class LockDisciplineRule(LintRule):
             holds_lock = any(
                 isinstance(item.context_expr, ast.Attribute)
                 and item.context_expr.attr == "_lock"
+                and isinstance(item.context_expr.value, ast.Name)
+                and item.context_expr.value.id == "self"
                 for item in node.items
             )
             if not holds_lock:

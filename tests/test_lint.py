@@ -203,6 +203,24 @@ class TestRL003:
         report = lint_file(tmp_path, "anywhere/ok.py", LOCKED_OK)
         assert report.new == []
 
+    def test_foreign_lock_does_not_count(self, tmp_path):
+        # Holding some *other* object's _lock is not lock discipline:
+        # the guarded attributes are still racy under self._lock.
+        report = lint_file(tmp_path, "anywhere/foreign.py", (
+            "import threading\n"
+            "class Cache:\n"
+            "    def __init__(self, other):\n"
+            "        self._lock = threading.RLock()\n"
+            "        self.other = other\n"
+            "        self.hits = 0\n"
+            "    def read(self, key):\n"
+            "        with self.other._lock:\n"
+            "            self.hits += 1\n"
+            "        return key\n"
+        ))
+        assert codes(report) == ["RL003"]
+        assert "self.hits" in report.new[0].message
+
     def test_class_without_lock_exempt(self, tmp_path):
         report = lint_file(tmp_path, "anywhere/nolock.py", (
             "class Plain:\n"
@@ -513,6 +531,17 @@ class TestCli:
         assert code == 1
         assert "does not parse" in capsys.readouterr().out
 
+    def test_defaults_resolve_from_subdirectory(self, capsys, monkeypatch):
+        # Invoked from a subdirectory, the defaults must still find the
+        # repo-root src/repro and checked baseline, and finding paths
+        # must stay root-relative (they feed baseline fingerprints).
+        monkeypatch.chdir(REPO / "docs")
+        assert repro_main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root"] == str(REPO)
+        for finding in payload["findings"]:
+            assert finding["path"].startswith("src/repro/"), finding
+
 
 # ----------------------------------------------------------------------
 # the acceptance criterion: the tree itself lints clean
@@ -540,3 +569,29 @@ class TestSelfLint:
             assert run_lint_tool.main([]) == 0
         finally:
             os.chdir(cwd)
+
+    def test_ci_entry_needs_no_third_party_deps(self):
+        # The CI reprolint job runs on a bare interpreter: the entry
+        # must not execute repro/__init__ (which imports networkx et
+        # al.).  Reproduce that runner by blocking those imports.
+        import subprocess
+        import sys
+
+        blocker = (
+            "import sys\n"
+            "class _Block:\n"
+            "    _names = {'numpy', 'scipy', 'networkx'}\n"
+            "    def find_spec(self, name, path=None, target=None):\n"
+            "        if name.split('.')[0] in self._names:\n"
+            "            raise ImportError('blocked for test: ' + name)\n"
+            "        return None\n"
+            "sys.meta_path.insert(0, _Block())\n"
+            "import runpy\n"
+            "sys.argv = ['run_lint.py']\n"
+            "runpy.run_path('tools/run_lint.py', run_name='__main__')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", blocker],
+            cwd=REPO, capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, (result.stdout, result.stderr)
