@@ -116,7 +116,7 @@ def bound_critical_path(
     edges = augmented_edges(graph_edges, schedule, binding, bound_latencies)
     preds: Dict[str, Set[str]] = {n: set() for n in names}
     succs: Dict[str, Set[str]] = {n: set() for n in names}
-    for u, v in edges:
+    for u, v in sorted(edges):
         succs[u].add(v)
         preds[v].add(u)
     order = _topological_order(names, preds, succs)
@@ -206,10 +206,10 @@ class BoundPathEngine:
         lat_changed = {
             n for n in self._names if self._lat.get(n) != bound_latencies[n]
         }
-        for u, v in removed:
+        for u, v in removed:  # reprolint: disable=RL001(commutative set updates; iteration order cannot reach results)
             self._succs[u].discard(v)
             self._preds[v].discard(u)
-        for u, v in added:
+        for u, v in added:  # reprolint: disable=RL001(commutative set updates; iteration order cannot reach results)
             self._succs[u].add(v)
             self._preds[v].add(u)
         self._bind_edges = new_bind

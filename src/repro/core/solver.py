@@ -46,7 +46,7 @@ from __future__ import annotations
 import os
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..resources.types import ResourceType
 from .binding import Binding, ChainCache, bindselect
@@ -72,6 +72,19 @@ __all__ = [
 
 SOLVER_ENV = "REPRO_SOLVER"
 SOLVER_MODES = ("incremental", "scratch")
+
+# The incremental-reuse protocol, declared as literals so reprolint's
+# RL007 can check it statically (see docs/static-analysis.md):
+#
+# * ``REUSE_CHANNELS``: a pass whose effects write the key field must
+#   also write every listed dirtiness channel -- downstream passes
+#   consult those channels to decide which derived products survive.
+# * ``REUSE_MEMOS``: a pass that reads a memo structure must also
+#   refresh it; memos are never trusted stale across iterations.
+REUSE_CHANNELS: Dict[str, Tuple[str, ...]] = {
+    "wcg": ("pending_bound_ops", "pending_refined_ops", "dirty_cover_kinds"),
+}
+REUSE_MEMOS: Tuple[str, ...] = ("chain_cache", "bound_path")
 
 _MODES = ("min-units", "asap", "best")
 _CONSTRAINTS = ("eqn3", "eqn2")
@@ -307,9 +320,19 @@ class SolverState:
 
 
 class Pass:
-    """One stage of the DPAlloc pipeline, operating on a SolverState."""
+    """One stage of the DPAlloc pipeline, operating on a SolverState.
+
+    Every concrete pass declares its effect contract: ``reads`` and
+    ``writes`` are literal frozensets of the ``SolverState`` field
+    names ``run`` may touch (directly or through helpers).  The
+    contracts are machine-checked against the inferred effects by
+    reprolint rule RL006, so a pass growing a new dependency without
+    updating its declaration fails CI.
+    """
 
     name = "pass"
+    reads: FrozenSet[str]
+    writes: FrozenSet[str]
 
     def run(self, state: SolverState) -> None:
         raise NotImplementedError
@@ -323,6 +346,10 @@ class BoundsPass(Pass):
     """
 
     name = "bounds"
+    reads = frozenset({
+        "incremental", "pending_bound_ops", "upper_bounds", "wcg",
+    })
+    writes = frozenset({"pending_bound_ops", "upper_bounds"})
 
     def run(self, state: SolverState) -> None:
         if state.incremental and state.upper_bounds is not None:
@@ -342,6 +369,19 @@ class SchedulePass(Pass):
     """
 
     name = "schedule"
+    reads = frozenset({
+        "bumps", "dirty_cover_kinds", "graph", "incremental",
+        "kind_covers", "ops_of_kind", "ops_per_kind", "options",
+        "pending_refined_ops", "prev_constraints", "prev_first_rejects",
+        "prev_kind_covers", "prev_priorities", "problem", "schedule",
+        "schedule_greedy", "scheduled_bounds", "upper_bounds", "wcg",
+    })
+    writes = frozenset({
+        "constraints", "dirty_cover_kinds", "kind_covers",
+        "pending_refined_ops", "prev_constraints", "prev_first_rejects",
+        "prev_kind_covers", "prev_priorities", "schedule",
+        "schedule_greedy", "scheduled_bounds", "scheduling_set",
+    })
 
     def run(self, state: SolverState) -> None:
         opts = state.options
@@ -486,6 +526,11 @@ class BindPass(Pass):
     """
 
     name = "bind"
+    reads = frozenset({
+        "chain_cache", "names", "options", "problem", "schedule",
+        "upper_bounds", "wcg",
+    })
+    writes = frozenset({"binding", "chain_cache"})
 
     def run(self, state: SolverState) -> None:
         assert state.schedule is not None and state.upper_bounds is not None
@@ -507,6 +552,13 @@ class CheckPass(Pass):
     """Evaluate the bound datapath against the latency constraint."""
 
     name = "check"
+    reads = frozenset({
+        "binding", "bound_latencies", "makespan", "names", "problem",
+        "schedule", "wcg",
+    })
+    writes = frozenset({
+        "area", "bound_latencies", "feasible", "makespan",
+    })
 
     def run(self, state: SolverState) -> None:
         assert state.schedule is not None and state.binding is not None
@@ -532,6 +584,18 @@ class RefinePass(Pass):
     """
 
     name = "refine"
+    reads = frozenset({
+        "area", "binding", "bound_latencies", "bound_path", "bumps",
+        "constraints", "dirty_cover_kinds", "edges", "incremental",
+        "iteration", "iteration_cap", "kind_of", "makespan", "names",
+        "ops_per_kind", "options", "pending_bound_ops",
+        "pending_refined_ops", "problem", "refinements", "schedule",
+        "scheduling_set", "trace", "upper_bounds", "user_kinds", "wcg",
+    })
+    writes = frozenset({
+        "bound_path", "bumps", "dirty_cover_kinds", "pending_bound_ops",
+        "pending_refined_ops", "refinements", "trace", "wcg",
+    })
 
     def run(self, state: SolverState) -> None:
         opts = state.options

@@ -97,6 +97,7 @@ class WordlengthCompatibilityGraph:
         """Cycles needed by one execution on ``resource``."""
         return self._latency_cache[resource]
 
+    # passaudit: const(lazy sort memo; refine() drops the entry)
     def compatible_resources(self, name: str) -> Tuple[ResourceType, ...]:
         """Current ``H`` neighbours of operation ``name``, sorted."""
         cached = self._sorted_h.get(name)
@@ -105,6 +106,7 @@ class WordlengthCompatibilityGraph:
             self._sorted_h[name] = cached
         return cached
 
+    # passaudit: const(lazy sort memo; refine() drops affected entries)
     def ops_for_resource(self, resource: ResourceType) -> Tuple[str, ...]:
         """``O(r)``: operations with a current ``H`` edge to ``resource``."""
         members = self._ops_by_resource.get(resource)

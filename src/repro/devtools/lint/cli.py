@@ -16,9 +16,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from ..passaudit.effects import analyze_project, effect_map
+from ..passaudit.rules import EFFECT_SCOPE
 from .framework import (
+    BASELINE_KIND,
     LintReport,
     all_rules,
+    collect_modules,
     format_text,
     get_rule,
     load_baseline,
@@ -29,6 +33,7 @@ from .framework import (
 __all__ = ["add_lint_arguments", "main", "run_from_args"]
 
 DEFAULT_BASELINE = Path("tools") / "reprolint-baseline.json"
+DEFAULT_EFFECTS = Path("tools") / "pass-effects.json"
 DEFAULT_PATHS = [Path("src") / "repro"]
 
 
@@ -68,9 +73,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
              "repo root, wherever the command is invoked from)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "github"), default="text",
         help="report format (default text; json emits the full "
-             "reprolint-report payload)",
+             "reprolint-report payload; github emits ::error workflow "
+             "annotations for new findings)",
     )
     parser.add_argument(
         "--rules", default=None, metavar="CODES",
@@ -107,6 +113,31 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--show-suppressed", action="store_true",
         help="include suppressed findings (and their reasons) in text output",
     )
+    parser.add_argument(
+        "--fail-stale", action="store_true",
+        help="exit 1 when the baseline holds entries no finding matches "
+             "any more (CI keeps the baseline minimal)",
+    )
+    parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline file without its stale entries and "
+             "exit 0",
+    )
+    parser.add_argument(
+        "--write-effects", action="store_true",
+        help="regenerate the committed pass-effect map from the current "
+             "sources and exit 0",
+    )
+    parser.add_argument(
+        "--check-effects", action="store_true",
+        help="exit 1 when the committed pass-effect map no longer "
+             "matches what the analysis infers from the sources",
+    )
+    parser.add_argument(
+        "--effects-file", default=None, metavar="FILE",
+        help=f"pass-effect map location (default {DEFAULT_EFFECTS} "
+             f"under the repo root)",
+    )
 
 
 def _cmd_list_rules() -> int:
@@ -138,6 +169,127 @@ def _cmd_explain(code: str) -> int:
     return 0
 
 
+def _gh_escape_data(value: str) -> str:
+    """Escape a workflow-command message (GitHub Actions syntax)."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _gh_escape_prop(value: str) -> str:
+    """Escape a workflow-command property value."""
+    return (
+        _gh_escape_data(value).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def format_github(report: LintReport) -> str:
+    """GitHub Actions ``::error`` annotations for the new findings.
+
+    One workflow command per new finding -- the Actions runner turns
+    them into inline PR annotations -- followed by the usual summary
+    line (plain text is passed through to the job log untouched).
+    """
+    out: List[str] = []
+    for finding in report.new:
+        out.append(
+            f"::error file={_gh_escape_prop(finding.path)},"
+            f"line={finding.line},col={finding.column + 1},"
+            f"title={_gh_escape_prop('reprolint ' + finding.rule)}"
+            f"::{_gh_escape_data(finding.message)}"
+        )
+    out.append(
+        f"reprolint: {report.files} files, {len(report.rules)} rules -- "
+        f"{len(report.new)} new, {len(report.baselined)} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(out)
+
+
+def _effects_payload(paths: List[Path], root: Path) -> "dict[str, object]":
+    """The pass-effect map inferred from the sources under ``paths``."""
+    modules = [
+        module
+        for module in collect_modules(paths, display_root=root)
+        if module.module_key and module.module_key[0] in EFFECT_SCOPE
+    ]
+    return effect_map(analyze_project(modules))
+
+
+def _cmd_write_effects(paths: List[Path], root: Path,
+                       effects_path: Path) -> int:
+    try:
+        payload = _effects_payload(paths, root)
+    except (OSError, SyntaxError) as exc:
+        print(f"lint: cannot analyze sources: {exc}", file=sys.stderr)
+        return 2
+    effects_path.parent.mkdir(parents=True, exist_ok=True)
+    effects_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    passes = payload["passes"]
+    assert isinstance(passes, dict)
+    print(f"lint: wrote effect contracts for {len(passes)} passes to "
+          f"{effects_path}")
+    return 0
+
+
+def _cmd_check_effects(paths: List[Path], root: Path,
+                       effects_path: Path) -> int:
+    if not effects_path.exists():
+        print(f"lint: no effect map at {effects_path} (generate with "
+              f"--write-effects)", file=sys.stderr)
+        return 2
+    try:
+        committed = json.loads(effects_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"lint: bad effect map {effects_path}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        current = _effects_payload(paths, root)
+    except (OSError, SyntaxError) as exc:
+        print(f"lint: cannot analyze sources: {exc}", file=sys.stderr)
+        return 2
+    if committed == current:
+        passes = current["passes"]
+        assert isinstance(passes, dict)
+        print(f"lint: effect map is current ({len(passes)} passes)")
+        return 0
+    old_passes = committed.get("passes") if isinstance(committed, dict) else {}
+    new_passes = current["passes"]
+    assert isinstance(new_passes, dict)
+    if not isinstance(old_passes, dict):
+        old_passes = {}
+    drifted = sorted(
+        key
+        for key in set(old_passes) | set(new_passes)
+        if old_passes.get(key) != new_passes.get(key)
+    )
+    what = ", ".join(drifted) if drifted else "protocol metadata"
+    print(f"lint: {effects_path} is stale ({what} drifted) -- "
+          f"regenerate with --write-effects and commit the diff",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_prune_baseline(
+    baseline_path: Path,
+    baseline: "dict[str, dict[str, object]]",
+    report: LintReport,
+) -> int:
+    present = {f.fingerprint for f in report.findings}
+    kept = {fp: entry for fp, entry in baseline.items() if fp in present}
+    dropped = len(baseline) - len(kept)
+    payload = {"kind": BASELINE_KIND, "version": 1, "entries": kept}
+    baseline_path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"lint: pruned {dropped} stale baseline entr"
+          f"{'y' if dropped == 1 else 'ies'} ({len(kept)} remain)")
+    return 0
+
+
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a parsed ``lint`` invocation; returns the exit code."""
     if args.list_rules:
@@ -155,6 +307,15 @@ def run_from_args(args: argparse.Namespace) -> int:
         if args.rules
         else None
     )
+
+    effects_path = (
+        Path(args.effects_file) if args.effects_file is not None
+        else root / DEFAULT_EFFECTS
+    )
+    if args.write_effects:
+        return _cmd_write_effects(paths, root, effects_path)
+    if args.check_effects:
+        return _cmd_check_effects(paths, root, effects_path)
 
     baseline_path: Optional[Path] = None
     if not args.no_baseline:
@@ -194,15 +355,34 @@ def run_from_args(args: argparse.Namespace) -> int:
               f"{baseline_path}")
         return 0
 
+    if args.prune_baseline:
+        if baseline_path is None or baseline is None:
+            print("lint: --prune-baseline needs an existing baseline file",
+                  file=sys.stderr)
+            return 2
+        return _cmd_prune_baseline(baseline_path, baseline, report)
+
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "github":
+        print(format_github(report))
     else:
         print(format_text(
             report,
             show_baselined=args.show_baselined,
             show_suppressed=args.show_suppressed,
         ))
-    return report.exit_code
+
+    exit_code = report.exit_code
+    if args.fail_stale and report.stale_baseline:
+        stale = report.stale_baseline
+        for fingerprint in stale:
+            print(f"stale baseline entry: {fingerprint}", file=sys.stderr)
+        print(f"lint: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} -- drop with "
+              f"'repro lint --prune-baseline'", file=sys.stderr)
+        exit_code = max(exit_code, 1)
+    return exit_code
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import ast
 from typing import (
+    Callable,
     Dict,
     Iterable,
     Iterator,
@@ -36,6 +37,8 @@ from typing import (
     Tuple,
 )
 
+from ..passaudit.callgraph import CallGraph, ClassInfo, module_name
+from ..passaudit.ordertaint import OrderTaint, TaintConfig
 from .framework import Finding, LintRule, ModuleSource, register_rule
 
 __all__ = [
@@ -125,9 +128,20 @@ class SetIterationRule(LintRule):
     ``frozenset()`` calls, set operators between known sets, set
     methods returning sets, plain assignments of those, and
     ``self.X`` attributes that are *only ever* assigned set-valued
-    expressions in their class.  A genuinely order-irrelevant
-    iteration (e.g. feeding a commutative reduction the rule cannot
-    see through) takes ``# reprolint: disable=RL001(reason)``.
+    expressions in their class.
+
+    It is also **interprocedural** through the bounded call graph
+    (:mod:`repro.devtools.passaudit`): a call expression is set-like
+    when the resolved helper *returns* unordered content -- either
+    unconditionally (``return {a for a in ...}``) or because a
+    set-like argument at this call site binds to a parameter whose
+    order taints the return value (``return list(pool)``,
+    ``return [x for x in pool]``).  ``sorted(...)`` inside the helper
+    breaks the taint, exactly as it does locally, and the helper
+    itself is never flagged for what its callers pass it.  A genuinely
+    order-irrelevant iteration (e.g. feeding a commutative reduction
+    the rule cannot see through) takes
+    ``# reprolint: disable=RL001(reason)``.
     """
 
     code = "RL001"
@@ -151,16 +165,47 @@ class SetIterationRule(LintRule):
         "frozenset",
     }
 
-    def check_module(self, module: ModuleSource) -> Iterable[Finding]:
+    def check_project(
+        self, modules: Sequence[ModuleSource]
+    ) -> Iterable[Finding]:
+        # All the work happens here (not per-module) because the
+        # order-taint summaries need every in-scope module at once.
         findings: List[Finding] = []
-        class_attrs = self._class_set_attrs(module.tree)
-        # Module top level, then every function scope independently.
-        self._check_scope(module, module.tree, {}, None, class_attrs, findings)
-        for function, owner in _function_scopes(module.tree):
-            attrs = class_attrs.get(owner, set()) if owner else set()
-            self._check_scope(module, function, {}, attrs, class_attrs,
-                              findings)
+        per_module_attrs = {
+            id(module): self._class_set_attrs(module.tree)
+            for module in modules
+        }
+
+        def class_set_attrs(cls: ClassInfo) -> Set[str]:
+            attrs = per_module_attrs.get(id(cls.module), {})
+            return attrs.get(cls.node, set())
+
+        taint = OrderTaint(
+            CallGraph(list(modules)), self._taint_config(), class_set_attrs,
+        )
+        for module in modules:
+            class_attrs = per_module_attrs[id(module)]
+            self._check_scope(module, module.tree, {}, None, class_attrs,
+                              findings, taint, None)
+            for function, owner in _function_scopes(module.tree):
+                attrs = class_attrs.get(owner, set()) if owner else set()
+                self._check_scope(module, function, {}, attrs, class_attrs,
+                                  findings, taint, owner)
         return findings
+
+    @classmethod
+    def _taint_config(cls) -> TaintConfig:
+        """Hand the rule's set-likeness vocabulary to the taint layer
+        so the two analyses can never drift apart."""
+        return TaintConfig(
+            factories=frozenset(cls._FACTORIES),
+            scan_calls=frozenset(cls._SCAN_CALLS),
+            scan_methods=frozenset(cls._SCAN_METHODS),
+            set_methods=frozenset(cls._SET_METHODS),
+            set_ops=tuple(cls._SET_OPS),
+            iter_sinks=frozenset(cls._ITER_SINKS),
+            order_safe=frozenset(cls._ORDER_SAFE),
+        )
 
     # -- set-typed inference -------------------------------------------
     def _class_set_attrs(
@@ -196,7 +241,11 @@ class SetIterationRule(LintRule):
         return result
 
     def _is_setlike(
-        self, node: ast.AST, env: Dict[str, bool], self_attrs: Set[str]
+        self,
+        node: ast.AST,
+        env: Dict[str, bool],
+        self_attrs: Set[str],
+        call_taint: Optional[Callable[[ast.Call], bool]] = None,
     ) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
             return True
@@ -216,17 +265,20 @@ class SetIterationRule(LintRule):
                 if node.func.attr in self._SCAN_METHODS:
                     return True
                 if node.func.attr in self._SET_METHODS:
-                    return self._is_setlike(node.func.value, env, self_attrs)
+                    return self._is_setlike(node.func.value, env, self_attrs,
+                                            call_taint)
+            if call_taint is not None and call_taint(node):
+                return True
             return False
         if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_OPS):
             return (
-                self._is_setlike(node.left, env, self_attrs)
-                or self._is_setlike(node.right, env, self_attrs)
+                self._is_setlike(node.left, env, self_attrs, call_taint)
+                or self._is_setlike(node.right, env, self_attrs, call_taint)
             )
         if isinstance(node, ast.IfExp):
             return (
-                self._is_setlike(node.body, env, self_attrs)
-                or self._is_setlike(node.orelse, env, self_attrs)
+                self._is_setlike(node.body, env, self_attrs, call_taint)
+                or self._is_setlike(node.orelse, env, self_attrs, call_taint)
             )
         return False
 
@@ -239,8 +291,11 @@ class SetIterationRule(LintRule):
         self_attrs: Optional[Set[str]],
         class_attrs: Dict[ast.ClassDef, Set[str]],
         findings: List[Finding],
+        taint: Optional[OrderTaint] = None,
+        owner: Optional[ast.ClassDef] = None,
     ) -> None:
         attrs = self_attrs or set()
+        modname = module_name(module)
         # Comprehensions handed *directly* to an order-insensitive
         # consumer (``sorted(n for n in pending if ...)``) are exempt:
         # the consumer erases the iteration order.  Outer calls are
@@ -248,8 +303,13 @@ class SetIterationRule(LintRule):
         # order), so the exemption is in place in time.
         exempt: Set[int] = set()
 
+        def call_taint(call: ast.Call) -> bool:
+            if taint is None:
+                return False
+            return taint.call_dangerous(modname, owner, call, setlike)
+
         def setlike(node: ast.AST) -> bool:
-            return self._is_setlike(node, env, attrs)
+            return self._is_setlike(node, env, attrs, call_taint)
 
         def bind_target(target: ast.AST, value_setlike: bool) -> None:
             if isinstance(target, ast.Name):

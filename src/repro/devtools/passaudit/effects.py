@@ -1,0 +1,696 @@
+"""Effect inference: which ``SolverState`` attributes each pass touches.
+
+For every function in the call graph a :class:`FunctionEffects` summary
+is computed to fixpoint: per parameter, the set of *first-level*
+attributes read and written, whether the parameter's object itself is
+mutated, and whether the summary is complete (every call on a path
+from the function resolved inside the scanned module set).
+
+Reads and writes are collected from
+
+* attribute loads (``state.wcg`` anywhere in an expression),
+* attribute stores, augmented stores and deletes (``state.schedule =``),
+* subscript stores through an attribute (``state.kind_covers[k] =``),
+* mutator method calls on an attribute (``state.trace.append(...)``,
+  ``state.pending_bound_ops.clear()``),
+* and transitively through helper calls: arguments are bound to the
+  callee's parameters and the callee's summary effects flow back to
+  the caller's view of its own parameters (``refine_once(state.wcg,
+  ...)`` marks ``wcg`` written because ``refine_once`` calls
+  ``wcg.refine``).
+
+The analysis is flow-insensitive but source-ordered: simple aliases
+(``wcg = state.wcg``; ``cache = state.chain_cache``) are tracked so
+mutation through the alias is attributed to the state attribute.
+Methods carrying ``# passaudit: const(reason)`` have their self-writes
+dropped -- the sanctioned escape hatch for lazily memoising queries.
+
+Deliberate approximations (documented so reviewers know the bounds):
+calls into the stdlib/builtins are assumed argument-pure; effects on
+objects reached through *second-level* attributes
+(``state.problem.area_model``) are attributed to the first attribute;
+a capitalised unresolved import is assumed to be an external
+constructor.  Anything else unresolved marks the summary incomplete,
+which RL006 surfaces rather than silently under-reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..lint.framework import ModuleSource
+from .callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    ImportEntry,
+)
+
+__all__ = [
+    "EFFECT_MAP_KIND",
+    "FunctionEffects",
+    "PassContract",
+    "PassReport",
+    "ProjectEffects",
+    "ReuseProtocol",
+    "analyze_project",
+    "effect_map",
+]
+
+EFFECT_MAP_KIND = "pass-effects"
+
+# Container methods that mutate their receiver in place (the tail are
+# the networkx graph mutators the IR layer leans on).
+MUTATORS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popitem", "popleft", "remove",
+    "reverse", "setdefault", "sort", "update",
+    "add_node", "add_edge", "add_nodes_from", "add_edges_from",
+    "remove_node", "remove_edge",
+})
+
+# Container/str methods known not to mutate their receiver, so a call
+# on a tracked object does not void the summary's completeness.
+PURE_METHODS = frozenset({
+    "copy", "count", "difference", "endswith", "format", "get",
+    "index", "intersection", "isdisjoint", "issubset", "issuperset",
+    "items", "join", "keys", "lower", "lstrip", "most_common",
+    "replace", "rstrip", "split", "splitlines", "startswith", "strip",
+    "symmetric_difference", "title", "union", "upper", "values",
+})
+
+# A local-name binding: the parameter itself, or a first-level
+# attribute of a parameter (`wcg = state.wcg`).
+Binding = Union[Tuple[str, str], Tuple[str, str, str], None]
+
+
+@dataclass
+class FunctionEffects:
+    """Per-parameter effect summary of one function."""
+
+    reads: Dict[str, Set[str]] = field(default_factory=dict)
+    writes: Dict[str, Set[str]] = field(default_factory=dict)
+    mutates: Set[str] = field(default_factory=set)
+    complete: bool = True
+    incomplete_why: str = ""
+
+    def read(self, param: str, attr: str) -> None:
+        self.reads.setdefault(param, set()).add(attr)
+
+    def write(self, param: str, attr: str) -> None:
+        self.writes.setdefault(param, set()).add(attr)
+
+    def mark_incomplete(self, why: str) -> None:
+        if self.complete:
+            self.complete = False
+            self.incomplete_why = why
+
+    def same_as(self, other: "FunctionEffects") -> bool:
+        return (
+            self.reads == other.reads
+            and self.writes == other.writes
+            and self.mutates == other.mutates
+            and self.complete == other.complete
+        )
+
+
+def _strip_const(effects: FunctionEffects, fi: FunctionInfo) -> None:
+    """Apply a ``# passaudit: const`` pragma: drop self-writes."""
+    self_param = fi.self_param
+    if self_param is None:
+        return
+    effects.writes.pop(self_param, None)
+    effects.mutates.discard(self_param)
+
+
+class _FunctionAnalyzer:
+    """One source-ordered walk of a function body."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        fi: FunctionInfo,
+        summaries: Dict[FunctionInfo, FunctionEffects],
+    ) -> None:
+        self.graph = graph
+        self.fi = fi
+        self.summaries = summaries
+        self.effects = FunctionEffects()
+        self.env: Dict[str, Binding] = {
+            p: ("param", p) for p in fi.params
+        }
+        self.local_funcs: Set[str] = set()
+
+    def run(self) -> FunctionEffects:
+        for stmt in self.fi.node.body:
+            self.visit(stmt)
+        if self.fi.is_const():
+            _strip_const(self.effects, self.fi)
+        return self.effects
+
+    # -- bindings -------------------------------------------------------
+    def binding_of(self, node: ast.AST) -> Binding:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            root, chain = self._attr_root(node)
+            if root is None or not chain:
+                return None
+            base = self.env.get(root)
+            if base is not None and base[0] == "param":
+                return ("attr", base[1], chain[0])
+            if base is not None and base[0] == "attr":
+                # attr of an aliased attr: still the same first level.
+                return ("attr", base[1], base[2])
+        return None
+
+    @staticmethod
+    def _attr_root(
+        node: ast.Attribute,
+    ) -> Tuple[Optional[str], List[str]]:
+        """Root ``Name`` and attribute chain of ``a.b.c`` (-> a, [b, c])."""
+        chain: List[str] = []
+        current: ast.AST = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        chain.reverse()
+        if isinstance(current, ast.Name):
+            return current.id, chain
+        return None, chain
+
+    # -- the walk -------------------------------------------------------
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            self.visit(node.value)
+            for target in node.targets:
+                self._assign_target(target, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self.visit(node.value)
+                self._assign_target(node.target, node.value)
+        elif isinstance(node, ast.AugAssign):
+            self.visit(node.value)
+            self._store_target(node.target, also_read=True)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._store_target(target)
+        elif isinstance(node, ast.Call):
+            self._visit_call(node)
+        elif isinstance(node, ast.Attribute):
+            self._record_attr_load(node)
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda)):
+            self._visit_nested(node)
+        elif isinstance(node, ast.ClassDef):
+            pass  # nested classes are separate scopes
+        else:
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+
+    def _visit_nested(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+    ) -> None:
+        # Nested functions/lambdas close over our locals and are (in
+        # this codebase) always called; include their bodies with the
+        # nested parameters shadowed.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.local_funcs.add(node.name)
+        args = node.args
+        shadowed = [a.arg for a in args.posonlyargs + args.args
+                    + args.kwonlyargs]
+        saved = {name: self.env.get(name) for name in shadowed}
+        for name in shadowed:
+            self.env[name] = None
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for stmt in body:
+            self.visit(stmt)
+        for name, binding in saved.items():
+            if binding is None:
+                self.env.pop(name, None)
+            else:
+                self.env[name] = binding
+
+    def _record_attr_load(self, node: ast.Attribute) -> None:
+        root, chain = self._attr_root(node)
+        if root is None or not chain:
+            return
+        base = self.env.get(root)
+        if base is not None and base[0] == "param":
+            self.effects.read(base[1], chain[0])
+
+    def _assign_target(self, target: ast.AST, value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = self.binding_of(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self.env[element.id] = None
+                else:
+                    self._store_target(element)
+        else:
+            self._store_target(target)
+
+    def _store_target(self, target: ast.AST, also_read: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if also_read:
+                return  # augmented store to a local: no state effect
+            self.env[target.id] = None
+            return
+        if isinstance(target, ast.Attribute):
+            root, chain = self._attr_root(target)
+            if root is not None and chain:
+                base = self.env.get(root)
+                if base is not None and base[0] == "param":
+                    self.effects.write(base[1], chain[0])
+                    if also_read or len(chain) > 1:
+                        self.effects.read(base[1], chain[0])
+                elif base is not None and base[0] == "attr":
+                    # store through an alias of state.X mutates X
+                    self.effects.write(base[1], base[2])
+            return
+        if isinstance(target, ast.Subscript):
+            self.visit(target.slice)
+            binding = self.binding_of(target.value)
+            if binding is not None and binding[0] == "param":
+                self.effects.mutates.add(binding[1])
+            elif binding is not None and binding[0] == "attr":
+                self.effects.write(binding[1], binding[2])
+                self.effects.read(binding[1], binding[2])
+            if isinstance(target.value, (ast.Attribute, ast.Call,
+                                         ast.Subscript)):
+                self.visit(target.value)
+            return
+        if isinstance(target, ast.Starred):
+            self._store_target(target.value, also_read=also_read)
+            return
+        for child in ast.iter_child_nodes(target):
+            self.visit(child)
+
+    # -- calls ----------------------------------------------------------
+    def _visit_call(self, node: ast.Call) -> None:
+        # Evaluate receiver and arguments first (records their reads
+        # and handles nested calls).
+        if isinstance(node.func, ast.Attribute):
+            self.visit(node.func.value)
+        for arg in node.args:
+            self.visit(arg.value if isinstance(arg, ast.Starred) else arg)
+        for keyword in node.keywords:
+            self.visit(keyword.value)
+
+        if isinstance(node.func, ast.Name):
+            self._call_by_name(node, node.func.id)
+        elif isinstance(node.func, ast.Attribute):
+            self._call_method(node, node.func)
+
+    def _call_by_name(self, node: ast.Call, name: str) -> None:
+        if name in self.local_funcs:
+            return  # nested def: its body is already inlined above
+        target = self.graph.resolve_name(self.fi.module_name, name)
+        if isinstance(target, FunctionInfo):
+            self._apply_callee(target, node, receiver=None)
+            return
+        if isinstance(target, ClassInfo):
+            init = target.methods.get("__init__")
+            if init is not None:
+                self._apply_callee(init, node, receiver=None,
+                                   skip_self=True)
+            # No __init__ (dataclass/plain exception): the constructor
+            # stores references without mutating its arguments.
+            return
+        if isinstance(target, ImportEntry):
+            if target.internal and target.symbol is not None:
+                # An intraproject symbol outside the scanned modules.
+                # Capitalised names are (by repo convention) classes;
+                # constructors do not mutate their arguments.
+                if not target.symbol[:1].isupper():
+                    self.effects.mark_incomplete(
+                        f"{self.fi.qualname}: call to {name}() resolves "
+                        f"outside the scanned modules "
+                        f"({target.target_module})"
+                    )
+            return  # stdlib / third-party: assumed argument-pure
+        if self.graph.is_builtin(name):
+            return
+        if name[:1].isupper():
+            return  # unresolved constructor-shaped name
+        self.effects.mark_incomplete(
+            f"{self.fi.qualname}: call to unresolvable name {name}()"
+        )
+
+    def _call_method(self, node: ast.Call, func: ast.Attribute) -> None:
+        receiver = func.value
+        recv_binding = self.binding_of(receiver)
+        receiver_is_self = (
+            isinstance(receiver, ast.Name)
+            and self.fi.owner is not None
+            and receiver.id == self.fi.self_param
+        )
+        candidates = self.graph.resolve_method(
+            self.fi.owner, receiver_is_self, func.attr)
+        if candidates:
+            for candidate in candidates:
+                self._apply_callee(candidate, node, receiver=recv_binding)
+            return
+        if func.attr in MUTATORS:
+            self._mutate_binding(recv_binding)
+            return
+        if func.attr in PURE_METHODS:
+            return
+        if recv_binding is not None:
+            # An unresolvable method on a parameter-connected object:
+            # it could mutate state we cannot see.
+            self.effects.mark_incomplete(
+                f"{self.fi.qualname}: unresolvable method "
+                f".{func.attr}() on a tracked object"
+            )
+
+    def _mutate_binding(self, binding: Binding) -> None:
+        if binding is None:
+            return
+        if binding[0] == "param":
+            self.effects.mutates.add(binding[1])
+        else:
+            self.effects.write(binding[1], binding[2])
+
+    def _apply_callee(
+        self,
+        callee: FunctionInfo,
+        node: ast.Call,
+        receiver: Binding,
+        skip_self: bool = False,
+    ) -> None:
+        summary = self.summaries.get(callee)
+        if summary is None:
+            return
+        if not summary.complete:
+            self.effects.mark_incomplete(
+                summary.incomplete_why
+                or f"{callee.qualname}: incomplete summary"
+            )
+
+        bound: List[Tuple[str, Binding]] = []
+        positional = list(callee.positional_params)
+        if callee.is_classmethod and positional:
+            positional = positional[1:]  # cls is not a tracked object
+        elif (
+            callee.owner is not None and not callee.is_static and positional
+        ):
+            if skip_self:
+                positional = positional[1:]
+            else:
+                bound.append((positional[0], receiver))
+                positional = positional[1:]
+
+        index = 0
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                break
+            if index >= len(positional):
+                break
+            bound.append((positional[index], self.binding_of(arg)))
+            index += 1
+        param_names = set(callee.params)
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg in param_names:
+                bound.append((keyword.arg, self.binding_of(keyword.value)))
+
+        for param, binding in bound:
+            if binding is None:
+                continue
+            callee_reads = summary.reads.get(param, set())
+            callee_writes = summary.writes.get(param, set())
+            touched = bool(callee_writes) or param in summary.mutates
+            if binding[0] == "param":
+                own = binding[1]
+                for attr in callee_reads:
+                    self.effects.read(own, attr)
+                for attr in callee_writes:
+                    self.effects.write(own, attr)
+                if param in summary.mutates:
+                    self.effects.mutates.add(own)
+            else:  # ("attr", param, attr)
+                if touched:
+                    self.effects.write(binding[1], binding[2])
+
+
+def compute_function_effects(
+    graph: CallGraph,
+) -> Dict[FunctionInfo, FunctionEffects]:
+    """Fixpoint over every scanned function's effect summary."""
+    functions = graph.all_functions()
+    summaries: Dict[FunctionInfo, FunctionEffects] = {
+        fi: FunctionEffects() for fi in functions
+    }
+    # Effects only grow and completeness only falls, so this
+    # terminates; the cap is a defensive bound.
+    for _round in range(20):
+        changed = False
+        for fi in functions:
+            updated = _FunctionAnalyzer(graph, fi, summaries).run()
+            if not updated.same_as(summaries[fi]):
+                summaries[fi] = updated
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+# ----------------------------------------------------------------------
+# pass contracts
+# ----------------------------------------------------------------------
+@dataclass
+class PassContract:
+    """A declared ``reads``/``writes`` frozenset on a Pass subclass."""
+
+    attrs: Set[str]
+    node: ast.AST
+    literal: bool = True
+
+
+@dataclass
+class PassReport:
+    """Inferred + declared effects for one ``Pass`` subclass."""
+
+    cls: ClassInfo
+    run: Optional[FunctionInfo]
+    state_param: Optional[str]
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    complete: bool = True
+    incomplete_why: str = ""
+    declared_reads: Optional[PassContract] = None
+    declared_writes: Optional[PassContract] = None
+
+    @property
+    def name(self) -> str:
+        return self.cls.name
+
+    @property
+    def key(self) -> str:
+        return f"{self.cls.module_name}:{self.cls.name}"
+
+
+@dataclass
+class ReuseProtocol:
+    """Module-level reuse declarations read from the pass module."""
+
+    module: ModuleSource
+    channels: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    memos: Tuple[str, ...] = ()
+
+
+@dataclass
+class ProjectEffects:
+    """Everything one passaudit analysis produced."""
+
+    graph: CallGraph
+    summaries: Dict[FunctionInfo, FunctionEffects]
+    passes: List[PassReport]
+    protocols: Dict[str, ReuseProtocol]  # keyed by module name
+
+
+def _is_pass_subclass(cls: ClassInfo) -> bool:
+    return "Pass" in cls.base_names()
+
+
+def _contract_from(node: ast.AST, value: ast.AST) -> PassContract:
+    """Parse ``frozenset({...})`` of string literals; mark non-literals."""
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "frozenset"
+        and len(value.args) <= 1
+        and not value.keywords
+    ):
+        if not value.args:
+            return PassContract(set(), node)
+        inner = value.args[0]
+        if isinstance(inner, (ast.Set, ast.List, ast.Tuple)):
+            attrs: Set[str] = set()
+            for element in inner.elts:
+                if (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ):
+                    attrs.add(element.value)
+                else:
+                    return PassContract(set(), node, literal=False)
+            return PassContract(attrs, node)
+    return PassContract(set(), node, literal=False)
+
+
+def _pass_contracts(
+    cls: ClassInfo,
+) -> Tuple[Optional[PassContract], Optional[PassContract]]:
+    declared: Dict[str, PassContract] = {}
+    for item in cls.node.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(item, ast.Assign):
+            targets, value = list(item.targets), item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets, value = [item.target], item.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in ("reads", "writes")
+                and value is not None
+            ):
+                declared[target.id] = _contract_from(item, value)
+    return declared.get("reads"), declared.get("writes")
+
+
+def _string_elements(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: List[str] = []
+        for element in node.elts:
+            if (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                out.append(element.value)
+            else:
+                return None
+        return tuple(out)
+    return None
+
+
+def _protocol_for(module: ModuleSource) -> ReuseProtocol:
+    protocol = ReuseProtocol(module=module)
+    for item in module.tree.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(item, ast.Assign):
+            targets, value = list(item.targets), item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets, value = [item.target], item.value
+        for target in targets:
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if target.id == "REUSE_CHANNELS" and isinstance(value, ast.Dict):
+                for key, entry in zip(value.keys, value.values):
+                    if not (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    ):
+                        continue
+                    channels = _string_elements(entry)
+                    if channels is not None:
+                        protocol.channels[key.value] = channels
+            elif target.id == "REUSE_MEMOS":
+                memos = _string_elements(value)
+                if memos is not None:
+                    protocol.memos = memos
+    return protocol
+
+
+# RL006 and RL007 both run over the same in-scope module list within
+# one lint invocation; a tiny keyed cache avoids computing the fixpoint
+# twice.  Keys are object identities -- safe because every cached
+# ProjectEffects holds its modules alive, so a live entry's ids cannot
+# be reused by new objects.
+_CACHE: Dict[Tuple[int, ...], "ProjectEffects"] = {}
+
+
+def analyze_project(modules: Sequence[ModuleSource]) -> ProjectEffects:
+    """Run the full effect analysis over the given modules (cached)."""
+    key = tuple(id(m) for m in modules)
+    hit = _CACHE.get(key)
+    if hit is not None:
+        return hit
+    result = _analyze_project(modules)
+    if len(_CACHE) >= 4:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = result
+    return result
+
+
+def _analyze_project(modules: Sequence[ModuleSource]) -> ProjectEffects:
+    graph = CallGraph(modules)
+    summaries = compute_function_effects(graph)
+    passes: List[PassReport] = []
+    protocols: Dict[str, ReuseProtocol] = {}
+    for key in sorted(graph.classes):
+        cls = graph.classes[key]
+        if not _is_pass_subclass(cls):
+            continue
+        if cls.module_name not in protocols:
+            protocols[cls.module_name] = _protocol_for(cls.module)
+        run = cls.methods.get("run")
+        declared_reads, declared_writes = _pass_contracts(cls)
+        report = PassReport(
+            cls=cls,
+            run=run,
+            state_param=None,
+            declared_reads=declared_reads,
+            declared_writes=declared_writes,
+        )
+        if run is not None:
+            positional = run.positional_params
+            subject_index = 0 if run.is_static else 1
+            if len(positional) > subject_index:
+                report.state_param = positional[subject_index]
+                summary = summaries[run]
+                report.reads = set(
+                    summary.reads.get(report.state_param, set()))
+                report.writes = set(
+                    summary.writes.get(report.state_param, set()))
+                report.complete = summary.complete
+                report.incomplete_why = summary.incomplete_why
+        passes.append(report)
+    return ProjectEffects(
+        graph=graph, summaries=summaries, passes=passes,
+        protocols=protocols,
+    )
+
+
+def effect_map(project: ProjectEffects) -> Dict[str, object]:
+    """The committed, diffable ``tools/pass-effects.json`` payload."""
+    passes: Dict[str, object] = {}
+    for report in sorted(project.passes, key=lambda r: r.key):
+        passes[report.key] = {
+            "reads": sorted(report.reads),
+            "writes": sorted(report.writes),
+            "complete": report.complete,
+        }
+    channels: Dict[str, List[str]] = {}
+    memos: Set[str] = set()
+    for modname in sorted(project.protocols):
+        protocol = project.protocols[modname]
+        for fieldname in sorted(protocol.channels):
+            channels[fieldname] = sorted(protocol.channels[fieldname])
+        memos.update(protocol.memos)
+    return {
+        "kind": EFFECT_MAP_KIND,
+        "version": 1,
+        "passes": passes,
+        "protocol": {
+            "channels": channels,
+            "memos": sorted(memos),
+        },
+    }

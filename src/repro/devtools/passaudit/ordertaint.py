@@ -1,0 +1,351 @@
+"""Iteration-order taint summaries: does a helper *return* hash order?
+
+The intra-function RL001 rule sees a set being iterated in the same
+scope.  It is blind to the interprocedural shape that actually bit the
+FDS baseline: a helper builds (or materialises) a set, returns it (or
+a ``list()`` of it), and the *caller* folds the result into a
+canonical value.  This module computes, per scanned function, an
+:class:`OrderTaintSummary`:
+
+* ``returns_unordered`` -- the return value exposes hash/scan order
+  with no assumptions about the arguments (``return {a, b}``,
+  ``return set(xs)``, ``return list(self._members)`` for a set-typed
+  attribute);
+* ``taint_params`` -- parameters whose set-likeness flows into the
+  return value (``return list(pool)``, ``return [x for x in pool]``,
+  ``return pool | other``).  ``sorted(...)`` anywhere on the path
+  breaks the taint, exactly as in the intra-function rule.
+
+Summaries are computed to fixpoint through the call graph, so taint
+survives helper-calls-helper chains and crosses module boundaries via
+the import table.  RL001 consults :meth:`OrderTaint.call_dangerous`
+per call site: a call is treated as set-like when the callee returns
+unordered content, or when a set-like argument binds to a tainted
+parameter.  The hypothesis runs never produce findings themselves --
+``def f(xs): return list(xs)`` is innocent until someone passes it a
+set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import CallGraph, ClassInfo, FunctionInfo, ImportEntry
+
+__all__ = ["OrderTaint", "OrderTaintSummary", "TaintConfig"]
+
+
+@dataclass(frozen=True)
+class TaintConfig:
+    """The set-likeness vocabulary, supplied by the RL001 rule so the
+    two analyses can never drift apart."""
+
+    factories: frozenset
+    scan_calls: frozenset
+    scan_methods: frozenset
+    set_methods: frozenset
+    set_ops: tuple
+    iter_sinks: frozenset
+    order_safe: frozenset
+
+
+@dataclass
+class OrderTaintSummary:
+    returns_unordered: bool = False
+    taint_params: Set[str] = field(default_factory=set)
+
+
+class OrderTaint:
+    """Fixpoint order-taint summaries over a :class:`CallGraph`."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        config: TaintConfig,
+        class_set_attrs: Optional[
+            Callable[[ClassInfo], Set[str]]
+        ] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self._class_set_attrs = class_set_attrs or (lambda cls: set())
+        self.summaries: Dict[FunctionInfo, OrderTaintSummary] = {}
+        self._compute()
+
+    # -- fixpoint -------------------------------------------------------
+    def _compute(self) -> None:
+        functions = self.graph.all_functions()
+        self.summaries = {fi: OrderTaintSummary() for fi in functions}
+        # Taint only ever grows, so this terminates; the cap is a
+        # defensive bound against pathological graphs.
+        for _round in range(10):
+            changed = False
+            for fi in functions:
+                summary = self._summarize(fi)
+                current = self.summaries[fi]
+                if (
+                    summary.returns_unordered != current.returns_unordered
+                    or summary.taint_params != current.taint_params
+                ):
+                    self.summaries[fi] = summary
+                    changed = True
+            if not changed:
+                break
+
+    def _summarize(self, fi: FunctionInfo) -> OrderTaintSummary:
+        hypothesis_params = [
+            p for p in fi.params if p != fi.self_param
+        ]
+        summary = OrderTaintSummary(
+            returns_unordered=self._returns_dangerous(fi, None)
+        )
+        for param in hypothesis_params:
+            if self._returns_dangerous(fi, param):
+                summary.taint_params.add(param)
+        return summary
+
+    def _returns_dangerous(
+        self, fi: FunctionInfo, tainted_param: Optional[str]
+    ) -> bool:
+        env: Dict[str, bool] = {}
+        if tainted_param is not None:
+            env[tainted_param] = True
+        walker = _TaintWalker(self, fi, env)
+        for stmt in fi.node.body:
+            walker.visit(stmt)
+        return walker.returns_dangerous
+
+    # -- call-site API used by RL001 ------------------------------------
+    def call_dangerous(
+        self,
+        module_name: str,
+        owner: Optional[ast.ClassDef],
+        call: ast.Call,
+        arg_dangerous: Callable[[ast.AST], bool],
+    ) -> bool:
+        """Is this call's return value order-tainted at this site?"""
+        candidates = self._resolve_call(module_name, owner, call)
+        for callee in candidates:
+            summary = self.summaries.get(callee)
+            if summary is None:
+                continue
+            if summary.returns_unordered:
+                return True
+            if not summary.taint_params:
+                continue
+            for param, arg in self._bind(callee, call):
+                if param in summary.taint_params and arg_dangerous(arg):
+                    return True
+        return False
+
+    def _resolve_call(
+        self,
+        module_name: str,
+        owner: Optional[ast.ClassDef],
+        call: ast.Call,
+    ) -> List[FunctionInfo]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = self.graph.resolve_name(module_name, func.id)
+            if isinstance(target, FunctionInfo):
+                return [target]
+            if isinstance(target, (ClassInfo, ImportEntry)):
+                return []
+            return []
+        if isinstance(func, ast.Attribute):
+            # The RL001 vocabulary (set methods, scan methods, join)
+            # is handled by the rule itself; here only *project*
+            # methods resolve, by owner or unique name.
+            if func.attr in self.config.set_methods:
+                return []
+            receiver_is_self = (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            )
+            owner_info: Optional[ClassInfo] = None
+            if owner is not None:
+                for key in self.graph.classes:
+                    candidate = self.graph.classes[key]
+                    if candidate.node is owner:
+                        owner_info = candidate
+                        break
+            return self.graph.resolve_method(
+                owner_info, receiver_is_self, func.attr)
+        return []
+
+    @staticmethod
+    def _bind(
+        callee: FunctionInfo, call: ast.Call
+    ) -> List[Tuple[str, ast.AST]]:
+        positional = list(callee.positional_params)
+        if callee.self_param is not None or callee.is_classmethod:
+            positional = positional[1:]
+        bound: List[Tuple[str, ast.AST]] = []
+        index = 0
+        for arg in call.args:
+            if isinstance(arg, ast.Starred):
+                break
+            if index >= len(positional):
+                break
+            bound.append((positional[index], arg))
+            index += 1
+        names = set(callee.params)
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in names:
+                bound.append((keyword.arg, keyword.value))
+        return bound
+
+
+class _TaintWalker:
+    """Source-ordered walk of one function body under one hypothesis.
+
+    Tracks which locals hold order-dangerous values (sets, or ordered
+    materialisations of sets) and whether any ``return`` exposes one.
+    Produces no findings -- it only feeds summaries.
+    """
+
+    def __init__(
+        self, taint: OrderTaint, fi: FunctionInfo, env: Dict[str, bool]
+    ) -> None:
+        self.taint = taint
+        self.config = taint.config
+        self.fi = fi
+        self.env = env
+        self.self_attrs: Set[str] = set()
+        if fi.owner is not None:
+            self.self_attrs = taint._class_set_attrs(fi.owner)
+        self.returns_dangerous = False
+
+    # -- expression danger ---------------------------------------------
+    def dangerous(self, node: ast.AST) -> bool:
+        config = self.config
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, False)
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in self.self_attrs
+            )
+        if isinstance(node, ast.Call):
+            return self._call_dangerous(node)
+        if isinstance(node, ast.BinOp):
+            # Set operators keep set-ness; ``+`` keeps a tainted
+            # prefix order through list concatenation.
+            if isinstance(node.op, config.set_ops + (ast.Add,)):
+                return self.dangerous(node.left) or self.dangerous(node.right)
+            return False
+        if isinstance(node, ast.IfExp):
+            return self.dangerous(node.body) or self.dangerous(node.orelse)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return any(
+                self.dangerous(gen.iter) for gen in node.generators
+            )
+        if isinstance(node, ast.Starred):
+            return self.dangerous(node.value)
+        return False
+
+    def _call_dangerous(self, node: ast.Call) -> bool:
+        config = self.config
+        func = node.func
+        qual = _qualname(func)
+        if qual in config.factories or qual in config.scan_calls:
+            return True
+        if isinstance(func, ast.Name):
+            if func.id in config.order_safe:
+                return False
+            if func.id in config.iter_sinks:
+                # list()/tuple()/... of a dangerous value materialises
+                # the bad order instead of erasing it.
+                return any(self.dangerous(arg) for arg in node.args)
+        if isinstance(func, ast.Attribute):
+            if func.attr in config.scan_methods:
+                return True
+            if func.attr in config.set_methods:
+                return self.dangerous(func.value)
+            if func.attr == "join":
+                return any(self.dangerous(arg) for arg in node.args)
+        # Project helpers: consult their (current-round) summaries.
+        return self.taint.call_dangerous(
+            self.fi.module_name,
+            self.fi.owner.node if self.fi.owner is not None else None,
+            node,
+            self.dangerous,
+        )
+
+    # -- statements -----------------------------------------------------
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Return):
+            if node.value is not None and self.dangerous(node.value):
+                self.returns_dangerous = True
+            return
+        if isinstance(node, ast.Assign):
+            value_dangerous = self.dangerous(node.value)
+            for target in node.targets:
+                self._bind_target(target, value_dangerous)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._bind_target(node.target, self.dangerous(node.value))
+            return
+        if isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                keeps = isinstance(
+                    node.op, self.config.set_ops + (ast.Add,))
+                self.env[node.target.id] = keeps and (
+                    self.env.get(node.target.id, False)
+                    or self.dangerous(node.value)
+                )
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iter_dangerous = self.dangerous(node.iter)
+            self._bind_target(node.target, False)
+            if iter_dangerous:
+                # Appending inside a loop over a dangerous iterable
+                # materialises its order into the accumulator.
+                for sub in ast.walk(node):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in ("append", "extend", "insert")
+                        and isinstance(sub.func.value, ast.Name)
+                    ):
+                        self.env[sub.func.value.id] = True
+            for stmt in node.body + node.orelse:
+                self.visit(stmt)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            return  # separate scopes; summaries cover the functions
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def _bind_target(self, target: ast.AST, value: bool) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, False)
+
+
+def _qualname(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _qualname(node.value)
+        if base is not None:
+            return f"{base}.{node.attr}"
+    return None
+
+
+def build_taint(
+    modules: Sequence[object],
+    config: TaintConfig,
+    class_set_attrs: Optional[Callable[[ClassInfo], Set[str]]] = None,
+) -> OrderTaint:
+    """Convenience constructor used by RL001's ``check_project``."""
+    return OrderTaint(CallGraph(list(modules)), config, class_set_attrs)

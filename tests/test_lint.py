@@ -106,6 +106,90 @@ class TestRL001:
 
 
 # ----------------------------------------------------------------------
+# RL001 interprocedural: order taint through helper returns
+# ----------------------------------------------------------------------
+class TestRL001Interprocedural:
+    def test_helper_returning_list_of_set_param_trips_caller(
+        self, tmp_path
+    ):
+        report = lint_file(tmp_path, "core/trip.py", (
+            "def order(pool):\n"
+            "    return list(pool)\n"
+            "\n"
+            "def emit(names):\n"
+            "    group = set(names)\n"
+            "    out = []\n"
+            "    for v in order(group):\n"
+            "        out.append(v)\n"
+            "    return out\n"
+        ))
+        assert codes(report) == ["RL001"]
+        # Flagged at the consuming loop in the caller, not in the
+        # helper (whose parameter is only dangerous for set arguments).
+        assert report.new[0].line == 7
+
+    def test_sorting_helper_launders_the_taint(self, tmp_path):
+        report = lint_file(tmp_path, "core/clean.py", (
+            "def order(pool):\n"
+            "    return sorted(pool)\n"
+            "\n"
+            "def emit(names):\n"
+            "    group = set(names)\n"
+            "    out = []\n"
+            "    for v in order(group):\n"
+            "        out.append(v)\n"
+            "    return out\n"
+        ))
+        assert report.new == []
+
+    def test_taint_crosses_module_boundaries(self, tmp_path):
+        for rel, source in {
+            "core/helpers.py": (
+                "def scan(names):\n"
+                "    return set(names)\n"
+            ),
+            "core/consume.py": (
+                "from .helpers import scan\n"
+                "\n"
+                "def emit(names):\n"
+                "    out = []\n"
+                "    for v in scan(names):\n"
+                "        out.append(v)\n"
+                "    return out\n"
+            ),
+        }.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source)
+        report = run_lint([tmp_path])
+        assert codes(report) == ["RL001"]
+        assert report.new[0].path.endswith("consume.py")
+        assert report.new[0].line == 5
+
+    def test_caller_side_sort_of_helper_result_is_clean(self, tmp_path):
+        for rel, source in {
+            "core/helpers.py": (
+                "def scan(names):\n"
+                "    return set(names)\n"
+            ),
+            "core/consume.py": (
+                "from .helpers import scan\n"
+                "\n"
+                "def emit(names):\n"
+                "    out = []\n"
+                "    for v in sorted(scan(names)):\n"
+                "        out.append(v)\n"
+                "    return out\n"
+            ),
+        }.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source)
+        report = run_lint([tmp_path])
+        assert report.new == []
+
+
+# ----------------------------------------------------------------------
 # RL002 determinism: nondeterministic inputs
 # ----------------------------------------------------------------------
 class TestRL002:
@@ -519,11 +603,62 @@ class TestCli:
     def test_explain_and_list_rules(self, capsys):
         assert repro_main(["lint", "--list-rules"]) == 0
         listed = capsys.readouterr().out
-        for code in ("RL000", "RL001", "RL002", "RL003", "RL004", "RL005"):
+        for code in (
+            "RL000", "RL001", "RL002", "RL003",
+            "RL004", "RL005", "RL006", "RL007",
+        ):
             assert code in listed
         assert repro_main(["lint", "--explain", "RL003"]) == 0
         assert "self._lock" in capsys.readouterr().out
         assert repro_main(["lint", "--explain", "RL999"]) == 2
+
+    def test_github_format_emits_error_annotations(self, tmp_path, capsys):
+        target = tmp_path / "core"
+        target.mkdir()
+        (target / "bad.py").write_text(TestBaseline.BAD)
+        assert repro_main([
+            "lint", str(tmp_path), "--no-baseline", "--format", "github",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "line=3" in out
+        assert "title=reprolint RL002" in out
+        assert "-- 1 new," in out
+
+    def test_fail_stale_then_prune_baseline(self, tmp_path, capsys):
+        target = tmp_path / "core"
+        target.mkdir()
+        (target / "bad.py").write_text(TestBaseline.BAD)
+        baseline = tmp_path / "baseline.json"
+        assert repro_main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--write-baseline",
+        ]) == 0
+        # Fix the grandfathered finding: the baseline entry goes stale.
+        (target / "bad.py").write_text("VALUE = 1\n")
+        assert repro_main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+        ]) == 0
+        assert repro_main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--fail-stale",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "stale baseline entry" in captured.err
+        assert "--prune-baseline" in captured.err
+
+        assert repro_main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--prune-baseline",
+        ]) == 0
+        assert "pruned 1 stale baseline entry (0 remain)" in (
+            capsys.readouterr().out
+        )
+        assert load_baseline(baseline) == {}
+        assert repro_main([
+            "lint", str(tmp_path), "--baseline", str(baseline),
+            "--fail-stale",
+        ]) == 0
 
     def test_syntax_error_is_a_finding(self, tmp_path, capsys):
         (tmp_path / "broken.py").write_text("def oops(:\n")

@@ -63,6 +63,14 @@ def main(argv=None) -> int:
     if not any(a.startswith("--baseline") or a == "--no-baseline"
                for a in args):
         args = ["--baseline", "tools/reprolint-baseline.json", *args]
+    # CI default: a stale baseline entry fails the job so the file
+    # shrinks as findings are fixed.  Maintenance commands that edit
+    # state themselves run without the extra failure mode.
+    maintenance = {"--write-baseline", "--prune-baseline",
+                   "--write-effects", "--check-effects",
+                   "--list-rules", "--explain"}
+    if "--fail-stale" not in args and not maintenance.intersection(args):
+        args = ["--fail-stale", *args]
     # No explicit path means the lint CLI's default: src/repro.
     return lint_main(args)
 
