@@ -1,75 +1,242 @@
-"""Micro-benchmarks of the heuristic's building blocks.
+"""Kernel micro-benchmarks: the array-shaped inner loops vs their references.
 
-These track where DPAlloc's polynomial runtime actually goes (the paper
-reports only end-to-end times): resource-set extraction, scheduling-set
-covering, list scheduling under Eqn. 3, Bindselect, and one full
-refinement iteration.
+PR 8 rewrote three inner-loop kernels in array/integer shape while
+keeping their decisions byte-identical to the straightforward reference
+formulations:
+
+* ``max_chain`` -- retire-pointer O(k log k) DP vs the quadratic scan;
+* the Bindselect **cover probe** -- :class:`~repro.core.binding.BindIndex`
+  bitset AND + lowest-set-bit vs per-op set intersection + ``min``;
+* the Eqn. 3 **tracker ops** -- scaled-integer
+  :class:`~repro.core.scheduling.Eqn3Tracker` vs the retained
+  ``Fraction`` reference.
+
+This benchmark times each kernel against its in-process reference on
+the same inputs, asserts the outputs agree (the byte-identity
+contract), and emits ``BENCH_micro.json`` in the same report shape
+``tools/check_bench.py`` consumes -- kernel-level regressions gate in
+CI exactly like the family-level ones.  The headline statistics are
+dimensionless within-host speedups, so they transfer across CI hosts.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_micro.py [--repeats N] [--output PATH]
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
-from repro.core.binding import bindselect
-from repro.core.refinement import refine_once
-from repro.core.scheduling import list_schedule
-from repro.core.wcg import WordlengthCompatibilityGraph
-from repro.experiments import build_case
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import tgff_problems  # noqa: E402  (shared problem grid)
+
+from repro.core.binding import (  # noqa: E402
+    BindIndex,
+    _cheapest_covering_resource,
+    max_chain,
+)
+from repro.core.scheduling import (  # noqa: E402
+    Eqn3Tracker,
+    Eqn3TrackerReference,
+    list_schedule,
+)
+from repro.core.wcg import WordlengthCompatibilityGraph  # noqa: E402
 
 
-@pytest.fixture(scope="module")
-def big_case():
-    return build_case(24, sample=0, relaxation=0.2)
+def reference_max_chain(candidates, schedule, latencies):
+    """The pre-PR-8 quadratic max-chain DP (reference semantics)."""
+    if not candidates:
+        return []
+    ordered = sorted(candidates, key=lambda n: (schedule[n], n))
+    best_len = {}
+    best_pred = {}
+    for i, name in enumerate(ordered):
+        best_len[name] = 1
+        best_pred[name] = None
+        for prev in ordered[:i]:
+            if schedule[prev] + latencies[prev] <= schedule[name]:
+                if best_len[prev] + 1 > best_len[name]:
+                    best_len[name] = best_len[prev] + 1
+                    best_pred[name] = prev
+    tail = max(ordered, key=lambda n: (best_len[n], n))
+    chain = []
+    cursor = tail
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = best_pred[cursor]
+    chain.reverse()
+    return chain
 
 
-@pytest.fixture(scope="module")
-def big_wcg(big_case):
-    problem = big_case.problem
-    return WordlengthCompatibilityGraph(
+def build_inputs(num_ops: int):
+    """A scheduled mid-size TGFF case: the kernels' natural inputs."""
+    (_, problem), = tgff_problems([num_ops], 1, 0.3)
+    wcg = WordlengthCompatibilityGraph(
         problem.graph.operations, problem.resource_set(), problem.latency_model
     )
+    latencies = wcg.upper_bound_latencies()
+    schedule = list_schedule(problem.graph, wcg, latencies)
+    return problem, wcg, schedule, latencies
 
 
-def test_bench_resource_extraction(benchmark, big_case):
-    benchmark(lambda: big_case.problem.resource_set())
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        began = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - began)
+    return best
 
 
-def test_bench_scheduling_set(benchmark, big_wcg):
-    benchmark(big_wcg.scheduling_set)
+def kernel_entry(name, calls, reference_seconds, kernel_seconds, identical):
+    return {
+        "name": name,
+        "calls": calls,
+        "reference_seconds": round(reference_seconds, 6),
+        "kernel_seconds": round(kernel_seconds, 6),
+        "speedup": round(reference_seconds / max(kernel_seconds, 1e-9), 3),
+        "identical": identical,
+    }
 
 
-def test_bench_list_schedule_eqn3(benchmark, big_case, big_wcg):
-    latencies = big_wcg.upper_bound_latencies()
-    benchmark(
-        lambda: list_schedule(
-            big_case.problem.graph, big_wcg, latencies, {"mul": 2, "add": 1}
-        )
+def bench_max_chain(wcg, schedule, latencies, repeats: int) -> dict:
+    """Retire-pointer max_chain vs the quadratic reference DP."""
+    candidate_sets = [
+        wcg.ops_for_resource(r)
+        for r in wcg.resources
+        if wcg.ops_for_resource(r)
+    ]
+    identical = all(
+        max_chain(c, schedule, latencies)
+        == reference_max_chain(c, schedule, latencies)
+        for c in candidate_sets
+    )
+    rounds = 5
+    ref = best_of(
+        lambda: [
+            reference_max_chain(c, schedule, latencies)
+            for _ in range(rounds)
+            for c in candidate_sets
+        ],
+        repeats,
+    )
+    fast = best_of(
+        lambda: [
+            max_chain(c, schedule, latencies)
+            for _ in range(rounds)
+            for c in candidate_sets
+        ],
+        repeats,
+    )
+    return kernel_entry(
+        "max_chain", rounds * len(candidate_sets), ref, fast, identical
     )
 
 
-def test_bench_bindselect(benchmark, big_case, big_wcg):
-    problem = big_case.problem
-    latencies = big_wcg.upper_bound_latencies()
-    schedule = list_schedule(problem.graph, big_wcg, latencies)
-    benchmark(
-        lambda: bindselect(big_wcg, schedule, latencies, problem.area_model)
+def bench_cover_probe(problem, wcg, repeats: int) -> dict:
+    """BindIndex bitset cover probe vs set-intersection + min."""
+    area_model = problem.area_model
+    index = BindIndex(wcg, area_model)
+    index.sync(wcg)
+    names = sorted(op.name for op in wcg.operations)
+    # Sliding windows approximate the op subsets the grow step probes.
+    windows = [
+        names[i:i + width]
+        for width in (2, 3, 5, 8)
+        for i in range(0, max(1, len(names) - width), 2)
+    ]
+    identical = all(
+        index.cheapest_from_mask(index.cover_mask(w))
+        == _cheapest_covering_resource(w, wcg, area_model)
+        for w in windows
+    )
+    rounds = 40
+    ref = best_of(
+        lambda: [
+            _cheapest_covering_resource(w, wcg, area_model)
+            for _ in range(rounds)
+            for w in windows
+        ],
+        repeats,
+    )
+    fast = best_of(
+        lambda: [
+            index.cheapest_from_mask(index.cover_mask(w))
+            for _ in range(rounds)
+            for w in windows
+        ],
+        repeats,
+    )
+    return kernel_entry(
+        "cover_probe", rounds * len(windows), ref, fast, identical
     )
 
 
-def test_bench_one_refinement(benchmark, big_case):
-    problem = big_case.problem
+def bench_tracker_ops(wcg, latencies, repeats: int) -> dict:
+    """Scaled-integer Eqn3Tracker vs the Fraction reference tracker."""
+    kinds = {op.resource_kind for op in wcg.operations}
+    constraints = {kind: 2 for kind in sorted(kinds)}
+    names = sorted(op.name for op in wcg.operations)
+    stream = [
+        (name, (3 * i) % 17, max(1, latencies[name]))
+        for i, name in enumerate(names)
+    ]
 
-    def one_iteration():
-        wcg = WordlengthCompatibilityGraph(
-            problem.graph.operations, problem.resource_set(),
-            problem.latency_model,
-        )
-        latencies = wcg.upper_bound_latencies()
-        schedule = list_schedule(problem.graph, wcg, latencies)
-        binding = bindselect(wcg, schedule, latencies, problem.area_model)
-        refine_once(
-            wcg, problem.graph.names, problem.graph.edges(), schedule,
-            binding, problem.latency_constraint,
-        )
+    def drive(tracker_cls):
+        tracker = tracker_cls(wcg, constraints)
+        decisions = []
+        for name, start, duration in stream:
+            decisions.append(tracker.admits(name, start, duration))
+            tracker.place(name, start, duration)
+        decisions.extend(tracker.lhs(kind) for kind in sorted(kinds))
+        return decisions
 
-    benchmark(one_iteration)
+    identical = drive(Eqn3Tracker) == drive(Eqn3TrackerReference)
+    rounds = 5
+    ref = best_of(
+        lambda: [drive(Eqn3TrackerReference) for _ in range(rounds)], repeats
+    )
+    fast = best_of(lambda: [drive(Eqn3Tracker) for _ in range(rounds)], repeats)
+    return kernel_entry(
+        "tracker_ops", rounds * len(stream), ref, fast, identical
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=64,
+                        help="TGFF case size driving the kernels (default 64)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per kernel (best-of; default 3)")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_micro.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    problem, wcg, schedule, latencies = build_inputs(args.ops)
+    kernels = [
+        bench_max_chain(wcg, schedule, latencies, args.repeats),
+        bench_cover_probe(problem, wcg, args.repeats),
+        bench_tracker_ops(wcg, latencies, args.repeats),
+    ]
+    report = {
+        "kind": "bench-micro",
+        "ops": args.ops,
+        "repeats": args.repeats,
+        "kernels": kernels,
+        "results_identical": all(k.pop("identical") for k in kernels),
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

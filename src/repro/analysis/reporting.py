@@ -64,9 +64,13 @@ def format_trace(events: Sequence, title: str = "") -> str:
     """
     if not events:
         return (title + "\n" if title else "") + "(no trace events)"
+    # Perf telemetry columns appear only when the producing run recorded
+    # them (TraceEvent.pass_ms / cache_* are None otherwise, e.g. for
+    # traces deserialised from canonical JSON).
+    with_perf = any(getattr(e, "pass_ms", None) is not None for e in events)
     rows = []
     for event in events:
-        rows.append([
+        row = [
             event.iteration,
             event.move,
             event.target if event.target is not None else "-",
@@ -74,9 +78,23 @@ def format_trace(events: Sequence, title: str = "") -> str:
             event.makespan,
             event.area,
             event.scheduling_set_size,
-        ])
+        ]
+        if with_perf:
+            pass_ms = getattr(event, "pass_ms", None)
+            row.append(f"{sum(pass_ms.values()):.1f}" if pass_ms else "-")
+            hits = getattr(event, "cache_hits", None)
+            if hits is None:
+                row.append("-")
+            else:
+                row.append(
+                    f"{hits}/{event.cache_misses}/{event.cache_evicted}"
+                )
+        rows.append(row)
+    headers = ["iter", "move", "target", "pool", "makespan", "area", "|S|"]
+    if with_perf:
+        headers += ["ms", "cache h/m/e"]
     return format_table(
-        ["iter", "move", "target", "pool", "makespan", "area", "|S|"],
+        headers,
         rows,
         title=title
         or f"solver trace: {len(events)} iterations, "

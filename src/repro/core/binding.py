@@ -36,6 +36,7 @@ byte-identical by construction.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -43,7 +44,14 @@ from ..resources.area import AreaModel
 from ..resources.types import ResourceType
 from .wcg import WordlengthCompatibilityGraph
 
-__all__ = ["BoundClique", "Binding", "ChainCache", "max_chain", "bindselect"]
+__all__ = [
+    "BindIndex",
+    "BoundClique",
+    "Binding",
+    "ChainCache",
+    "max_chain",
+    "bindselect",
+]
 
 
 @dataclass(frozen=True)
@@ -140,24 +148,136 @@ def max_chain(
     if not candidates:
         return []
     ordered = sorted(candidates, key=lambda n: (schedule[n], n))
-    best_len: Dict[str, int] = {}
-    best_pred: Dict[str, Optional[str]] = {}
+    k = len(ordered)
+    best_len = [1] * k
+    best_pred = [-1] * k
+    # Retire-pointer formulation of the chain DP, O(k log k): process
+    # ops in (start, name) order; an earlier op becomes *retired* once
+    # its finish time is <= the current start, and retired ops are
+    # exactly the DP's eligible predecessors (starts are nondecreasing,
+    # so retirement is monotone).  A running (max length, smallest
+    # ordered index attaining it) over the retired set reproduces the
+    # quadratic scan's first-strictly-greater predecessor choice, so
+    # chains -- and the ChainCache entries built from them -- are
+    # byte-identical to the reference DP.
+    retire: List[Tuple[int, int]] = []  # (finish, ordered index) min-heap
+    run_max = 0
+    run_arg = -1
     for i, name in enumerate(ordered):
-        best_len[name] = 1
-        best_pred[name] = None
-        for prev in ordered[:i]:
-            if schedule[prev] + latencies[prev] <= schedule[name]:
-                if best_len[prev] + 1 > best_len[name]:
-                    best_len[name] = best_len[prev] + 1
-                    best_pred[name] = prev
-    tail = max(ordered, key=lambda n: (best_len[n], n))
+        start = schedule[name]
+        while retire and retire[0][0] <= start:
+            _, j = heapq.heappop(retire)
+            if best_len[j] > run_max or (best_len[j] == run_max and j < run_arg):
+                run_max = best_len[j]
+                run_arg = j
+        if run_max:
+            best_len[i] = run_max + 1
+            best_pred[i] = run_arg
+        heapq.heappush(retire, (start + latencies[name], i))
+    tail = 0
+    for i in range(1, k):
+        if (best_len[i], ordered[i]) > (best_len[tail], ordered[tail]):
+            tail = i
     chain: List[str] = []
-    cursor: Optional[str] = tail
-    while cursor is not None:
-        chain.append(cursor)
+    cursor = tail
+    while cursor >= 0:
+        chain.append(ordered[cursor])
         cursor = best_pred[cursor]
     chain.reverse()
     return chain
+
+
+class BindIndex:
+    """Dense-id interning of ops and resources for array-shaped Bindselect.
+
+    Static per solve: operation names are interned to dense ids in
+    sorted-name order (so a bitset over op ids enumerates names in the
+    same order the reference implementation scanned them), resources
+    keep the ``wcg.resources`` greedy iteration order, and each
+    resource's area is captured both in *cheap order* -- sorted by
+    ``(area, resource)``, so the lowest set bit of a cheap-order
+    resource bitset IS the cheapest covering resource -- and as an
+    exact integer ratio ``(num, den)`` for the greedy ``|clique|/cost``
+    comparison (``float.as_integer_ratio`` is exact for every float, so
+    the comparison is exact whatever the area model returns).
+
+    Dynamic per ``H`` state (:meth:`sync`, keyed on the monotone
+    ``wcg.edge_count()``): per-resource compatible-op bitsets over op
+    ids, and per-op compatible-resource bitsets over cheap-order
+    indices.  Cover probing -- the reference's per-op set rebuilds --
+    becomes bitset AND + lowest-set-bit.
+    """
+
+    def __init__(
+        self, wcg: WordlengthCompatibilityGraph, area_model: AreaModel
+    ) -> None:
+        self.op_names: Tuple[str, ...] = tuple(
+            sorted(op.name for op in wcg.operations)
+        )
+        self.op_id: Dict[str, int] = {n: i for i, n in enumerate(self.op_names)}
+        self.resources: Tuple[ResourceType, ...] = wcg.resources
+        self.cheap_order: Tuple[ResourceType, ...] = tuple(
+            sorted(self.resources, key=lambda r: (area_model.area(r), r))
+        )
+        self.cost_ratio: Dict[ResourceType, Tuple[int, int]] = {
+            r: area_model.area(r).as_integer_ratio() for r in self.resources
+        }
+        self._cheap_bit: Dict[ResourceType, int] = {
+            r: 1 << i for i, r in enumerate(self.cheap_order)
+        }
+        # H-dependent bitsets, rebuilt by sync() when the edge set moves.
+        self.ops_mask: Dict[ResourceType, int] = {}
+        self.res_mask: List[int] = []
+        self._h_version: int = -1
+
+    def sync(self, wcg: WordlengthCompatibilityGraph) -> None:
+        """Rebuild the ``H``-dependent bitsets if the edge set changed.
+
+        Refinement only ever *deletes* ``H`` edges, so along one solve's
+        trajectory the monotone ``edge_count()`` identifies the edge set
+        exactly -- an equal count means nothing moved.
+        """
+        version = wcg.edge_count()
+        if version == self._h_version:
+            return
+        self._h_version = version
+        res_mask = [0] * len(self.op_names)
+        for resource in self.resources:
+            mask = 0
+            rbit = self._cheap_bit[resource]
+            for name in wcg.ops_for_resource(resource):
+                i = self.op_id[name]
+                mask |= 1 << i
+                res_mask[i] |= rbit
+            self.ops_mask[resource] = mask
+        self.res_mask = res_mask
+
+    def names_from_mask(self, mask: int) -> List[str]:
+        """Decode an op-id bitset to names, in sorted-name order."""
+        names = self.op_names
+        out: List[str] = []
+        while mask:
+            low = mask & -mask
+            out.append(names[low.bit_length() - 1])
+            mask ^= low
+        return out
+
+    def cover_mask(self, ops: Sequence[str]) -> int:
+        """Cheap-order bitset of resources covering every op (Eqn. 4)."""
+        res_mask = self.res_mask
+        op_id = self.op_id
+        mask = -1
+        for name in ops:
+            mask &= res_mask[op_id[name]]
+            if not mask:
+                return 0
+        return mask
+
+    def cheapest_from_mask(self, mask: int) -> Optional[ResourceType]:
+        """Cheapest resource in a cheap-order bitset (its lowest set bit)."""
+        if not mask:
+            return None
+        return self.cheap_order[(mask & -mask).bit_length() - 1]
 
 
 class ChainCache:
@@ -187,12 +307,32 @@ class ChainCache:
         self._chains: Dict[
             ResourceType, Dict[Tuple[str, ...], Tuple[str, ...]]
         ] = {}
+        # Mask-keyed fast path (key = uncovered-candidate op-id bitset
+        # from the BindIndex); lives beside the name-keyed store so the
+        # name-based API keeps working without an index.
+        self._mask_chains: Dict[ResourceType, Dict[int, Tuple[str, ...]]] = {}
+        self._index: Optional[BindIndex] = None
         self._starts: Dict[str, int] = {}
         self._latencies: Dict[str, int] = {}
         self._max_entries = max_entries_per_resource
         self.hits = 0
         self.misses = 0
         self.evicted = 0
+
+    def ensure_index(
+        self, wcg: WordlengthCompatibilityGraph, area_model: AreaModel
+    ) -> BindIndex:
+        """The solve-scoped :class:`BindIndex`, built once and synced.
+
+        The op/resource universe and the area model are fixed for the
+        lifetime of one solver state (refinement only deletes ``H``
+        edges), so the interning tables are built on first use and only
+        the ``H``-dependent bitsets are refreshed.
+        """
+        if self._index is None:
+            self._index = BindIndex(wcg, area_model)
+        self._index.sync(wcg)
+        return self._index
 
     def refresh(
         self,
@@ -217,6 +357,16 @@ class ChainCache:
                 for key in stale:
                     del chains[key]
                 dropped += len(stale)
+            if self._index is not None and self._mask_chains:
+                changed_mask = 0
+                # reprolint: disable=RL001(order-insensitive: bitwise OR commutes)
+                for n in changed:
+                    changed_mask |= 1 << self._index.op_id[n]
+                for mask_chains in self._mask_chains.values():
+                    stale_masks = [key for key in mask_chains if key & changed_mask]
+                    for key in stale_masks:
+                        del mask_chains[key]
+                    dropped += len(stale_masks)
         self._starts = {n: schedule[n] for n in names}
         self._latencies = {n: latencies[n] for n in names}
         self.evicted += dropped
@@ -247,13 +397,49 @@ class ChainCache:
         chains[key] = tuple(result)
         return result
 
+    def chain_for_mask(
+        self,
+        resource: ResourceType,
+        cand_mask: int,
+        index: BindIndex,
+        schedule: Mapping[str, int],
+        latencies: Mapping[str, int],
+    ) -> List[str]:
+        """Mask-keyed :meth:`chain`: the key is the candidate op-id bitset.
+
+        A bitset over ids in sorted-name order decodes to exactly the
+        candidate tuple the name-keyed path would use, so the two paths
+        memoise the same pure function; this one skips building the
+        tuple (and hashing all its strings) on a hit.
+        """
+        chains = self._mask_chains.setdefault(resource, {})
+        cached = chains.get(cand_mask)
+        if cached is not None:
+            self.hits += 1
+            chains[cand_mask] = chains.pop(cand_mask)  # LRU re-append
+            return list(cached)
+        self.misses += 1
+        result = max_chain(index.names_from_mask(cand_mask), schedule, latencies)
+        while len(chains) >= self._max_entries:
+            del chains[next(iter(chains))]  # least recently used
+            self.evicted += 1
+        chains[cand_mask] = tuple(result)
+        return result
+
 
 def _cheapest_covering_resource(
     ops: Sequence[str],
     wcg: WordlengthCompatibilityGraph,
     area_model: AreaModel,
 ) -> Optional[ResourceType]:
-    """Cheapest resource with a current H edge to every op (Eqn. 4)."""
+    """Cheapest resource with a current H edge to every op (Eqn. 4).
+
+    Reference formulation, kept for tests and one-off callers; the
+    Bindselect hot path uses :meth:`BindIndex.cover_mask` +
+    :meth:`BindIndex.cheapest_from_mask`, which computes the same
+    ``min`` over the same candidate set (cheap order is exactly
+    ``(area, resource)`` order).
+    """
     candidates: Optional[Set[ResourceType]] = None
     for name in ops:
         compatible = set(wcg.compatible_resources(name))
@@ -262,6 +448,41 @@ def _cheapest_covering_resource(
             return None
     assert candidates is not None
     return min(candidates, key=lambda r: (area_model.area(r), r))
+
+
+def _merge_if_chain(
+    left: Sequence[str],
+    right: Sequence[str],
+    schedule: Mapping[str, int],
+    latencies: Mapping[str, int],
+) -> Optional[List[str]]:
+    """Merge two ``(start, name)``-sorted chains; None if not a chain.
+
+    Equivalent to sorting the concatenation and running the adjacent
+    pairwise-compatibility check (:func:`_is_chain`), but linear in the
+    union size since both inputs are already sorted.
+    """
+    merged: List[str] = []
+    i = j = 0
+    prev: Optional[str] = None
+    while i < len(left) or j < len(right):
+        if j >= len(right):
+            name = left[i]
+            i += 1
+        elif i >= len(left):
+            name = right[j]
+            j += 1
+        elif (schedule[left[i]], left[i]) <= (schedule[right[j]], right[j]):
+            name = left[i]
+            i += 1
+        else:
+            name = right[j]
+            j += 1
+        if prev is not None and schedule[prev] + latencies[prev] > schedule[name]:
+            return None
+        merged.append(name)
+        prev = name
+    return merged
 
 
 def bindselect(
@@ -300,56 +521,86 @@ def bindselect(
     Returns:
         a :class:`Binding` covering every operation exactly once.
     """
-    uncovered: Set[str] = {op.name for op in wcg.operations}
-    selected: List[Tuple[ResourceType, List[str]]] = []
+    if chain_cache is not None:
+        index = chain_cache.ensure_index(wcg, area_model)
+    else:
+        index = BindIndex(wcg, area_model)
+        index.sync(wcg)
+    op_id = index.op_id
+    cost_ratio = index.cost_ratio
+    uncovered = (1 << len(index.op_names)) - 1
+    # Selected cliques carry their covering-resource bitset so the grow
+    # step probes (clique, prev) pairs with one AND instead of
+    # re-deriving compatible_resources per member per pair.
+    selected: List[Tuple[ResourceType, List[str], int]] = []
 
     while uncovered:
-        best: Optional[Tuple[float, float, ResourceType, List[str]]] = None
-        for resource in wcg.resources:
-            candidates = [
-                name for name in wcg.ops_for_resource(resource) if name in uncovered
-            ]
-            if not candidates:
+        # Exact greedy criterion: maximise |chain| / cost, tie-break on
+        # smaller cost, first resource wins.  With cost == num/den the
+        # ratio comparison cross-multiplies to integers, so ties can
+        # never depend on float rounding (satisfying the parity
+        # contract for any area magnitudes).
+        best: Optional[Tuple[int, int, int, ResourceType, List[str]]] = None
+        for resource in index.resources:
+            cand_mask = index.ops_mask[resource] & uncovered
+            if not cand_mask:
                 continue
             if chain_cache is not None:
-                chain = chain_cache.chain(
-                    resource, candidates, schedule, latencies
+                chain = chain_cache.chain_for_mask(
+                    resource, cand_mask, index, schedule, latencies
                 )
             else:
-                chain = max_chain(candidates, schedule, latencies)
-            cost = area_model.area(resource)
-            key = (len(chain) / cost, -cost)
-            if best is None or key > (best[0], best[1]):
-                best = (key[0], key[1], resource, chain)
+                chain = max_chain(
+                    index.names_from_mask(cand_mask), schedule, latencies
+                )
+            num, den = cost_ratio[resource]
+            if best is None:
+                best = (len(chain), num, den, resource, chain)
+                continue
+            b_len, b_num, b_den = best[0], best[1], best[2]
+            lhs = len(chain) * den * b_num  # ratio = len * den / num
+            rhs = b_len * b_den * num
+            if lhs > rhs or (lhs == rhs and num * b_den < b_num * den):
+                best = (len(chain), num, den, resource, chain)
         if best is None:
-            missing = sorted(uncovered)
+            missing = index.names_from_mask(uncovered)
             raise RuntimeError(f"operations without any compatible resource: {missing}")
-        _, _, resource, clique = best
-        uncovered -= set(clique)
+        _, _, _, resource, clique = best
+        clique_rmask = index.cover_mask(clique)
+        for name in clique:
+            uncovered &= ~(1 << op_id[name])
 
         if grow:
-            survivors: List[Tuple[ResourceType, List[str]]] = []
-            for prev_resource, prev_ops in selected:
-                union = clique + prev_ops
-                cover = _cheapest_covering_resource(union, wcg, area_model)
-                if cover is not None and _is_chain(union, schedule, latencies):
-                    clique = sorted(union, key=lambda n: (schedule[n], n))
-                    resource = cover
+            survivors: List[Tuple[ResourceType, List[str], int]] = []
+            for prev_resource, prev_ops, prev_rmask in selected:
+                union_rmask = clique_rmask & prev_rmask
+                merged = (
+                    _merge_if_chain(clique, prev_ops, schedule, latencies)
+                    if union_rmask
+                    else None
+                )
+                if merged is not None:
+                    clique = merged
+                    clique_rmask = union_rmask
+                    resource = index.cheap_order[
+                        (union_rmask & -union_rmask).bit_length() - 1
+                    ]
                 else:
-                    survivors.append((prev_resource, prev_ops))
+                    survivors.append((prev_resource, prev_ops, prev_rmask))
             selected = survivors
-        selected.append((resource, sorted(clique, key=lambda n: (schedule[n], n))))
+        selected.append(
+            (resource, sorted(clique, key=lambda n: (schedule[n], n)), clique_rmask)
+        )
 
     if shrink:
-        shrunk: List[Tuple[ResourceType, List[str]]] = []
-        for resource, ops in selected:
-            cover = _cheapest_covering_resource(ops, wcg, area_model)
-            shrunk.append((cover if cover is not None else resource, ops))
-        selected = shrunk
+        selected = [
+            (index.cheapest_from_mask(rmask) or resource, ops, rmask)
+            for resource, ops, rmask in selected
+        ]
 
     cliques = tuple(
         BoundClique(resource, tuple(ops))
-        for resource, ops in sorted(
+        for resource, ops, _ in sorted(
             selected, key=lambda item: (schedule[item[1][0]], item[1])
         )
     )

@@ -34,6 +34,7 @@ An Eqn. 2 tracker is provided for the ablation benchmarks.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
@@ -46,6 +47,7 @@ from .wcg import WordlengthCompatibilityGraph
 __all__ = [
     "Eqn2Tracker",
     "Eqn3Tracker",
+    "Eqn3TrackerReference",
     "ScheduleOutcome",
     "ScheduleWarmStart",
     "critical_path_priorities",
@@ -68,13 +70,175 @@ def critical_path_priorities(
 
 
 class Eqn3Tracker:
-    """Incremental evaluation of the Eqn. 3 resource bound.
+    """Incremental evaluation of the Eqn. 3 resource bound (scaled integers).
 
     The bound is *time-monotone*: placing an operation at a fresh control
     step (where all current loads are zero) raises each of its members'
     peaks to at least the op's share.  Hence if an op fails the check
     even at a fresh step it can never be scheduled -- the stuck-state
     test used by the list scheduler.
+
+    **Shared-denominator invariant.**  Every quantity in Eqn. 3 is a sum
+    of equal shares ``1/|S(o)|``, so with ``D = lcm(|S(o)|)`` over all
+    operations -- knowable at construction -- every load, peak and LHS is
+    an exact multiple of ``1/D``.  The tracker therefore stores *scaled
+    integers* (value times ``D``): each op's share is ``D // |S(o)|``,
+    per-member load rows are flat integer vectors indexed by control
+    step, per-member peaks and per-kind peak sums are maintained
+    incrementally, and the constraint test compares against ``N_y * D``.
+    All comparisons are exact integer comparisons -- byte-identical to
+    the retained :class:`Eqn3TrackerReference` (``fractions.Fraction``),
+    which the equivalence test suite enforces.  Python integers never
+    overflow, so arbitrarily large denominators stay exact.
+    """
+
+    def __init__(
+        self,
+        wcg: WordlengthCompatibilityGraph,
+        constraints: Mapping[str, int],
+        scheduling_set: Optional[Tuple[ResourceType, ...]] = None,
+    ) -> None:
+        self._constraints = dict(constraints)
+        self._scheduling_set = (
+            scheduling_set if scheduling_set is not None else wcg.scheduling_set()
+        )
+        member_id = {s: i for i, s in enumerate(self._scheduling_set)}
+        # S(o) per op, and the shared denominator D = lcm over |S(o)|.
+        self._members_of: Dict[str, Tuple[ResourceType, ...]] = {}
+        for op in wcg.operations:
+            members = wcg.members_covering(op.name, self._scheduling_set)
+            if not members:
+                raise InfeasibleError(
+                    f"operation {op.name!r} not covered by the scheduling set"
+                )
+            self._members_of[op.name] = members
+        self._denominator = math.lcm(
+            *(len(m) for m in self._members_of.values())
+        ) if self._members_of else 1
+        d = self._denominator
+        # Scaled equal shares (section 2.2): share(o) = D / |S(o)|, exact.
+        self._share_scaled: Dict[str, int] = {
+            name: d // len(members)
+            for name, members in self._members_of.items()
+        }
+        self._member_ids_of: Dict[str, Tuple[int, ...]] = {
+            name: tuple(member_id[s] for s in members)
+            for name, members in self._members_of.items()
+        }
+        # H edges never cross kinds, so an op's kind is its members' kind.
+        self._kind_of_op: Dict[str, str] = {
+            name: members[0].kind
+            for name, members in self._members_of.items()
+        }
+        # Per member: flat scaled-integer load vector (index = control
+        # step, grown on demand) and its running peak; per kind: the
+        # maintained sum of member peaks (the committed LHS of Eqn. 3).
+        self._loads: List[List[int]] = [[] for _ in self._scheduling_set]
+        self._peaks: List[int] = [0] * len(self._scheduling_set)
+        self._kind_peak_sum: Dict[str, int] = {
+            s.kind: 0 for s in self._scheduling_set
+        }
+        self._limit_scaled: Dict[str, int] = {
+            kind: limit * d for kind, limit in self._constraints.items()
+        }
+
+    @property
+    def scheduling_set(self) -> Tuple[ResourceType, ...]:
+        return self._scheduling_set
+
+    @property
+    def denominator(self) -> int:
+        """The shared denominator ``D = lcm(|S(o)|)`` of every share."""
+        return self._denominator
+
+    def members_of(self, name: str) -> Tuple[ResourceType, ...]:
+        return self._members_of[name]
+
+    def share(self, name: str) -> Fraction:
+        """The op's equal share ``1/|S(o)|`` (exact)."""
+        return Fraction(self._share_scaled[name], self._denominator)
+
+    def _limit(self, kind: str) -> Optional[int]:
+        return self._constraints.get(kind)
+
+    def _hypothetical_scaled(self, name: str, start: int, duration: int) -> int:
+        """Scaled LHS of Eqn. 3 for the op's kind if placed at ``start``.
+
+        Starts from the maintained per-kind peak sum and adjusts only the
+        involved members' peaks by their hypothetical increase over the
+        placement window; steps beyond a member's stored load vector
+        carry zero load, so their hypothetical load is just the share.
+        """
+        share = self._share_scaled[name]
+        total = self._kind_peak_sum[self._kind_of_op[name]]
+        end = start + duration
+        for m in self._member_ids_of[name]:
+            peak = self._peaks[m]
+            loads = self._loads[m]
+            new_peak = peak
+            for t in range(start, min(len(loads), end)):
+                v = loads[t] + share
+                if v > new_peak:
+                    new_peak = v
+            if end > len(loads) and share > new_peak:
+                new_peak = share
+            total += new_peak - peak
+        return total
+
+    def admits(self, name: str, start: int, duration: int) -> bool:
+        """Whether placing ``name`` at ``start`` keeps Eqn. 3 satisfied."""
+        limit = self._limit_scaled.get(self._kind_of_op[name])
+        if limit is None:
+            return True
+        return self._hypothetical_scaled(name, start, duration) <= limit
+
+    def ever_admittable(self, name: str, duration: int) -> bool:
+        """Fresh-step feasibility: if this fails, the op can never be placed."""
+        limit = self._limit_scaled.get(self._kind_of_op[name])
+        if limit is None:
+            return True
+        share = self._share_scaled[name]
+        total = self._kind_peak_sum[self._kind_of_op[name]]
+        for m in self._member_ids_of[name]:
+            if share > self._peaks[m]:
+                total += share - self._peaks[m]
+        return total <= limit
+
+    def place(self, name: str, start: int, duration: int) -> None:
+        """Commit the placement of an operation."""
+        share = self._share_scaled[name]
+        end = start + duration
+        gained = 0
+        for m in self._member_ids_of[name]:
+            loads = self._loads[m]
+            if len(loads) < end:
+                loads.extend([0] * (end - len(loads)))
+            peak = self._peaks[m]
+            base = peak
+            for t in range(start, end):
+                v = loads[t] + share
+                loads[t] = v
+                if v > peak:
+                    peak = v
+            if peak != base:
+                self._peaks[m] = peak
+                gained += peak - base
+        if gained:
+            self._kind_peak_sum[self._kind_of_op[name]] += gained
+
+    def lhs(self, kind: str) -> Fraction:
+        """Current LHS of Eqn. 3 for one resource kind (exact)."""
+        return Fraction(self._kind_peak_sum.get(kind, 0), self._denominator)
+
+
+class Eqn3TrackerReference:
+    """Reference ``Fraction`` implementation of the Eqn. 3 tracker.
+
+    The pre-PR-8 implementation, retained verbatim as the oracle for the
+    scaled-integer :class:`Eqn3Tracker`: the randomized equivalence
+    suite drives both trackers through identical placement streams and
+    asserts ``admits``/``ever_admittable``/``lhs`` agree exactly.  Not
+    used on any hot path.
     """
 
     def __init__(
@@ -115,6 +279,10 @@ class Eqn3Tracker:
 
     def members_of(self, name: str) -> Tuple[ResourceType, ...]:
         return self._members_of[name]
+
+    def share(self, name: str) -> Fraction:
+        """The op's equal share ``1/|S(o)|``."""
+        return self._share[name]
 
     def _limit(self, kind: str) -> Optional[int]:
         return self._constraints.get(kind)
@@ -297,26 +465,34 @@ def serial_schedule(
     kind_of = {op.name: op.resource_kind for op in graph.operations}
     horizon: Dict[str, int] = {}
     start: Dict[str, int] = {}
-    remaining = set(graph.names)
-    while remaining:
-        ready = sorted(
-            (n for n in remaining
-             if all(p in start for p in graph.predecessors(n))),
-            key=lambda n: (-priority[n], n),
-        )
-        name = ready[0]
-        release = max(
-            (start[p] + latencies[p] for p in graph.predecessors(name)),
-            default=0,
-        )
+    # Incremental readiness: unplaced-predecessor counts and running
+    # release times, so each pick scans only the ready frontier instead
+    # of re-deriving readiness for every remaining op.
+    preds_left: Dict[str, int] = {}
+    release: Dict[str, int] = {}
+    frontier: Set[str] = set()
+    for n in graph.names:
+        preds_left[n] = len(graph.predecessors(n))
+        release[n] = 0
+        if preds_left[n] == 0:
+            frontier.add(n)
+    while frontier:
+        name = min(frontier, key=lambda n: (-priority[n], n))
         kind = kind_of[name]
         if kind in constrained_kinds:
-            begin = max(release, horizon.get(kind, 0))
+            begin = max(release[name], horizon.get(kind, 0))
             horizon[kind] = begin + latencies[name]
         else:
-            begin = release
+            begin = release[name]
         start[name] = begin
-        remaining.discard(name)
+        frontier.discard(name)
+        finish = begin + latencies[name]
+        for succ in graph.successors(name):
+            preds_left[succ] -= 1
+            if finish > release[succ]:
+                release[succ] = finish
+            if preds_left[succ] == 0:
+                frontier.add(succ)
     return start
 
 
@@ -361,24 +537,55 @@ def _greedy_schedule(
             pending.discard(name)
         now = resume
 
-    def release_time(name: str) -> int:
-        preds = graph.predecessors(name)
-        return max((start_times[p] + latencies[p] for p in preds
-                    if p in start_times), default=0)
+    # Incremental readiness: per-op unplaced-predecessor counts and the
+    # running max finish of placed predecessors.  Placing an op touches
+    # only its successors, so each event scans the released frontier
+    # rather than re-deriving readiness for every pending op.  The
+    # frontier (preds_left == 0) and release values coincide exactly
+    # with the original per-event re-scan, so decision order -- and
+    # hence the schedule bytes -- are unchanged.
+    preds_left: Dict[str, int] = {}
+    release: Dict[str, int] = {}
+    frontier: Set[str] = set()
+    # reprolint: disable=RL001(order-insensitive: per-op init, no cross-op state)
+    for n in pending:
+        left = 0
+        rel = 0
+        for p in graph.predecessors(n):
+            if p in start_times:
+                finish = start_times[p] + latencies[p]
+                if finish > rel:
+                    rel = finish
+            else:
+                left += 1
+        preds_left[n] = left
+        release[n] = rel
+        if left == 0:
+            frontier.add(n)
+
+    def _commit(name: str, start: int) -> None:
+        start_times[name] = start
+        finish = start + latencies[name]
+        for succ in graph.successors(name):
+            if succ in pending:
+                preds_left[succ] -= 1
+                if finish > release[succ]:
+                    release[succ] = finish
+                if preds_left[succ] == 0:
+                    frontier.add(succ)
 
     while pending:
         ready = sorted(
-            (n for n in pending
-             if all(p in start_times for p in graph.predecessors(n))
-             and release_time(n) <= now),
+            (n for n in frontier if release[n] <= now),
             key=lambda n: (-priority[n], n),
         )
         for name in ready:
             if tracker.admits(name, now, latencies[name]):
-                start_times[name] = now
                 tracker.place(name, now, latencies[name])
                 running.append(_Running(name, now + latencies[name]))
                 pending.discard(name)
+                frontier.discard(name)
+                _commit(name, now)
             elif first_rejects is not None and kind_of is not None:
                 first_rejects.setdefault(kind_of[name], now)
         if not pending:
@@ -388,11 +595,9 @@ def _greedy_schedule(
         # dependency releasing a new ready op.
         events = [r.finish for r in running if r.finish > now]
         # reprolint: disable=RL001(order-insensitive: every path feeds min)
-        for n in pending:
-            if all(p in start_times for p in graph.predecessors(n)):
-                rel = release_time(n)
-                if rel > now:
-                    events.append(rel)
+        for n in frontier:
+            if release[n] > now:
+                events.append(release[n])
         if events:
             now = min(events)
             running = [r for r in running if r.finish > now]

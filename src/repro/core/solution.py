@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..resources.area import AreaModel
@@ -32,6 +32,16 @@ class TraceEvent:
         makespan: achieved makespan of this iteration's schedule+binding.
         area: bound area of this iteration (paper Eqn. 5).
         scheduling_set_size: ``|S|`` of the scheduling set in force.
+        pass_ms: per-pass wall time of the iteration, in milliseconds,
+            keyed by pass name.  Telemetry only: ``compare=False`` (so
+            incremental-vs-scratch trace equality ignores it) and never
+            serialized into the canonical JSON envelope -- wall-clock
+            bytes would break the parity contract.
+        cache_hits: :class:`~repro.core.binding.ChainCache` hits this
+            iteration (telemetry, same caveats; ``None`` outside the
+            incremental mode).
+        cache_misses: ChainCache misses this iteration (telemetry).
+        cache_evicted: ChainCache evictions this iteration (telemetry).
     """
 
     iteration: int
@@ -41,6 +51,10 @@ class TraceEvent:
     makespan: int
     area: float
     scheduling_set_size: int
+    pass_ms: Optional[Dict[str, float]] = field(default=None, compare=False)
+    cache_hits: Optional[int] = field(default=None, compare=False)
+    cache_misses: Optional[int] = field(default=None, compare=False)
+    cache_evicted: Optional[int] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)

@@ -44,8 +44,9 @@ envelope, JSON round-trips, and the ``repro trace`` CLI summarizer.
 from __future__ import annotations
 
 import os
+import time
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..resources.types import ResourceType
@@ -682,6 +683,43 @@ PIPELINE: Tuple[Pass, ...] = (BoundsPass(), SchedulePass(), BindPass(), CheckPas
 _REFINE = RefinePass()
 
 
+def _now_ms() -> float:
+    """Wall clock for perf telemetry (non-canonical by construction).
+
+    The readings land only in the ``compare=False`` telemetry fields of
+    :class:`TraceEvent`, which equality ignores and the canonical JSON
+    serializer never emits -- so the parity contract is untouched.
+    """
+    return time.perf_counter() * 1e3  # reprolint: disable=RL002(telemetry only: compare=False TraceEvent fields, never serialized canonically)
+
+
+def _attach_perf(
+    state: SolverState,
+    pass_ms: Dict[str, float],
+    cache_base: Optional[Tuple[int, int, int]],
+) -> None:
+    """Fold the iteration's perf telemetry into its trace event.
+
+    ``run_pipeline`` is not a :class:`Pass`, so decorating the event it
+    just appended keeps the RL006 pass effect contracts unchanged.
+    """
+    if not state.trace:
+        return
+    cache = state.chain_cache
+    hits = misses = evicted = None
+    if cache is not None and cache_base is not None:
+        hits = cache.hits - cache_base[0]
+        misses = cache.misses - cache_base[1]
+        evicted = cache.evicted - cache_base[2]
+    state.trace[-1] = replace(
+        state.trace[-1],
+        pass_ms=dict(pass_ms),
+        cache_hits=hits,
+        cache_misses=misses,
+        cache_evicted=evicted,
+    )
+
+
 def run_pipeline(
     problem: Problem,
     options: Optional[DPAllocOptions] = None,
@@ -723,9 +761,22 @@ def run_pipeline(
 
     while True:
         state.iteration += 1
+        pass_ms: Dict[str, float] = {}
+        cache = state.chain_cache
+        cache_base = (
+            (cache.hits, cache.misses, cache.evicted)
+            if cache is not None
+            else None
+        )
         for stage in PIPELINE:
+            begin = _now_ms()
             stage.run(state)
+            pass_ms[stage.name] = _now_ms() - begin
         if state.feasible:
             state.record_accept()
+            _attach_perf(state, pass_ms, cache_base)
             return state.to_datapath()
+        begin = _now_ms()
         _REFINE.run(state)
+        pass_ms[_REFINE.name] = _now_ms() - begin
+        _attach_perf(state, pass_ms, cache_base)

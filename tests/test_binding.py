@@ -293,3 +293,75 @@ class TestChainCache:
         )
         assert plain == cached == recached
         assert cache.hits > 0
+
+
+class TestExactGreedyRatio:
+    """The greedy |chain|/cost key must be compared exactly (PR 8).
+
+    The constants below are constructed so the float key the reference
+    implementation used -- ``(len(chain) / cost, -cost)`` -- collapses
+    to a tie that its ``-cost`` tie-break would resolve the WRONG way,
+    while exact cross-multiplied integers still see the strict
+    inequality.
+    """
+
+    # 2 / C_CHEAP == 3 / C_WIDE in float arithmetic, but as exact
+    # rationals 3 / C_WIDE is strictly greater (3 * C_CHEAP > 2 * C_WIDE).
+    C_CHEAP = 4503599627370495
+    C_WIDE = 6755399441055742
+
+    def test_constants_collapse_in_float_but_not_exactly(self):
+        from fractions import Fraction
+
+        assert 2 / self.C_CHEAP == 3 / self.C_WIDE
+        assert Fraction(3, self.C_WIDE) > Fraction(2, self.C_CHEAP)
+        assert self.C_CHEAP < self.C_WIDE  # float tie-break picks cheap
+        assert float(self.C_CHEAP) == self.C_CHEAP  # both representable:
+        assert float(self.C_WIDE) == self.C_WIDE  # the areas ARE exact
+
+    def test_near_tie_resolved_by_exact_ratio(self):
+        from repro.resources.area import TableAreaModel
+
+        ops = [
+            Operation("o1", "mul", (8, 8)),
+            Operation("o2", "mul", (8, 8)),
+            Operation("o3", "mul", (16, 16)),
+        ]
+        wcg = make_wcg(ops, [SMALL, BIG])
+        area = TableAreaModel({
+            "mul": lambda widths: (
+                self.C_CHEAP if widths == (8, 8) else self.C_WIDE
+            ),
+        })
+        schedule = {"o1": 0, "o2": 2, "o3": 4}
+        lat = {"o1": 2, "o2": 2, "o3": 2}
+        # SMALL's chain is [o1, o2] (len 2), BIG's is [o1, o2, o3]
+        # (len 3).  Exactly, 3/C_WIDE > 2/C_CHEAP, so the first greedy
+        # round must select BIG and cover everything in one unit; the
+        # float key would tie and pick SMALL, leaving two units.
+        binding = bindselect(wcg, schedule, lat, area, grow=False)
+        assert len(binding.cliques) == 1
+        assert binding.cliques[0].resource == BIG
+        assert binding.cliques[0].ops == ("o1", "o2", "o3")
+
+    def test_near_tie_identical_with_and_without_cache(self):
+        from repro.resources.area import TableAreaModel
+
+        ops = [
+            Operation("o1", "mul", (8, 8)),
+            Operation("o2", "mul", (8, 8)),
+            Operation("o3", "mul", (16, 16)),
+        ]
+        wcg = make_wcg(ops, [SMALL, BIG])
+        area = TableAreaModel({
+            "mul": lambda widths: (
+                self.C_CHEAP if widths == (8, 8) else self.C_WIDE
+            ),
+        })
+        schedule = {"o1": 0, "o2": 2, "o3": 4}
+        lat = {"o1": 2, "o2": 2, "o3": 2}
+        cache = ChainCache()
+        cache.refresh(schedule, lat, list(schedule))
+        cached = bindselect(wcg, schedule, lat, area, chain_cache=cache)
+        plain = bindselect(wcg, schedule, lat, area)
+        assert cached == plain

@@ -57,6 +57,19 @@ def service_report(ratio=2.0, identical=True):
     }
 
 
+def micro_report(chain_speedup=2.5, cover_speedup=30.0,
+                 tracker_speedup=2.2, identical=True):
+    return {
+        "kind": "bench-micro",
+        "results_identical": identical,
+        "kernels": [
+            {"name": "max_chain", "speedup": chain_speedup},
+            {"name": "cover_probe", "speedup": cover_speedup},
+            {"name": "tracker_ops", "speedup": tracker_speedup},
+        ],
+    }
+
+
 @pytest.fixture
 def dirs(tmp_path):
     baseline = tmp_path / "baseline"
@@ -71,13 +84,15 @@ def write(directory, name, report):
 
 
 def write_all(baseline, fresh, fresh_solver=None, fresh_engine=None,
-              fresh_service=None):
+              fresh_service=None, fresh_micro=None):
     write(baseline, "engine", engine_report())
     write(baseline, "solver", solver_report())
     write(baseline, "service", service_report())
+    write(baseline, "micro", micro_report())
     write(fresh, "engine", fresh_engine or engine_report())
     write(fresh, "solver", fresh_solver or solver_report())
     write(fresh, "service", fresh_service or service_report())
+    write(fresh, "micro", fresh_micro or micro_report())
 
 
 def run(baseline, fresh, *extra):
@@ -91,7 +106,7 @@ class TestGatePasses:
         baseline, fresh = dirs
         write_all(baseline, fresh)
         assert run(baseline, fresh) == 0
-        assert "3 reports within the gate" in capsys.readouterr().out
+        assert "4 reports within the gate" in capsys.readouterr().out
 
     def test_faster_than_baseline_passes(self, dirs, capsys):
         baseline, fresh = dirs
@@ -112,9 +127,11 @@ class TestGatePasses:
         write(baseline, "engine", engine_report())
         write(baseline, "solver", big)
         write(baseline, "service", service_report())
+        write(baseline, "micro", micro_report())
         write(fresh, "engine", engine_report())
         write(fresh, "solver", solver_report())  # lacks tgff-96-1
         write(fresh, "service", service_report())
+        write(fresh, "micro", micro_report())
         assert run(*dirs) == 0
 
     def test_new_fresh_case_is_not_a_failure(self, dirs):
@@ -258,12 +275,76 @@ class TestGateFails:
         write(baseline, "engine", engine_report())
         write(baseline, "solver", big)
         write(baseline, "service", service_report())
+        write(baseline, "micro", micro_report())
         write(fresh, "engine", engine_report())
         write(fresh, "solver", solver_report())
         write(fresh, "service", service_report())
+        write(fresh, "micro", micro_report())
         assert run(baseline, fresh) == 0
         out = capsys.readouterr().out
         assert "1 of 3 committed case labels not in the fresh report" in out
+
+
+class TestMicroGate:
+    def test_kernel_slower_than_reference_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_micro=micro_report(chain_speedup=0.9),
+        )
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] micro.max_chain.speedup" in capsys.readouterr().out
+
+    def test_kernel_regressing_past_tolerance_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        # 30x -> 2x is a >90% drop: above the 1.0 hard floor but far
+        # past the default 45% tolerance band.
+        write_all(
+            baseline, fresh,
+            fresh_micro=micro_report(cover_speedup=2.0),
+        )
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] micro.cover_probe.speedup" in capsys.readouterr().out
+
+    def test_kernel_outputs_diverging_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_micro=micro_report(identical=False),
+        )
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] micro.results_identical" in capsys.readouterr().out
+
+    def test_missing_kernel_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        dropped = micro_report()
+        dropped["kernels"] = dropped["kernels"][:2]  # lacks tracker_ops
+        write_all(baseline, fresh, fresh_micro=dropped)
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] micro.tracker_ops" in capsys.readouterr().out
+
+    def test_new_kernel_still_gets_the_hard_floor(self, dirs, capsys):
+        baseline, fresh = dirs
+        extra = micro_report()
+        extra["kernels"].append({"name": "wedge_probe", "speedup": 0.8})
+        write_all(baseline, fresh, fresh_micro=extra)
+        assert run(baseline, fresh) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] micro.wedge_probe.speedup" in out
+        assert "no committed baseline" in out
+        # ... and a healthy new kernel passes with the same note
+        extra["kernels"][-1]["speedup"] = 1.3
+        write(fresh, "micro", extra)
+        assert run(baseline, fresh) == 0
+
+    def test_min_kernel_ratio_flag_raises_the_floor(self, dirs):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_micro=micro_report(tracker_speedup=1.6),
+        )
+        assert run(baseline, fresh, "--min-kernel-ratio", "1.5") == 0
+        assert run(baseline, fresh, "--min-kernel-ratio", "1.7") == 1
 
 
 class TestCliShapes:
@@ -287,4 +368,4 @@ class TestCliShapes:
         assert check_bench.main([
             "--baseline-dir", str(repo), "--fresh-dir", str(repo),
         ]) == 0
-        assert "3 reports within the gate" in capsys.readouterr().out
+        assert "4 reports within the gate" in capsys.readouterr().out

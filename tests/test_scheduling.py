@@ -132,7 +132,7 @@ class TestEqn3Clues:
     def test_shares_are_fractional(self):
         wcg = fig2_wcg(refined=False)
         tracker = Eqn3Tracker(wcg, {"mul": 1})
-        assert tracker._share["o1"] == Fraction(1, 1)  # S(o1) = {BIG}
+        assert tracker.share("o1") == Fraction(1, 1)  # S(o1) = {BIG}
 
     def test_unconstrained_kind_always_admits(self):
         wcg = fig2_wcg(refined=True)
@@ -280,3 +280,137 @@ class TestManyOpsStress:
         intervals = sorted((schedule[n], schedule[n] + 5) for n in schedule)
         for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
             assert f1 <= s2
+
+
+class TestScaledIntegerTrackerEquivalence:
+    """The scaled-integer Eqn3Tracker vs the retained Fraction reference.
+
+    Both trackers are driven through identical query/placement streams;
+    exact agreement on ``admits``/``ever_admittable``/``lhs`` is the
+    shared-denominator invariant the byte-identity contract rests on.
+    """
+
+    def _universe(self, rng, n_ops, n_res):
+        import random  # noqa: F401  (documents the rng parameter's type)
+
+        resources = [
+            ResourceType("mul", (8 + 2 * j, 8 + 2 * j)) for j in range(n_res)
+        ]
+        ops = [Operation(f"o{i}", "mul", (8, 8)) for i in range(n_ops)]
+        h = {
+            op.name: rng.sample(resources, rng.randint(1, n_res))
+            for op in ops
+        }
+        wcg = WordlengthCompatibilityGraph(ops, resources, LAT, h_edges=h)
+        return wcg, tuple(sorted(resources))
+
+    def test_randomized_agreement_with_fraction_reference(self):
+        import random
+
+        from repro.core.scheduling import Eqn3TrackerReference
+
+        rng = random.Random(1234)
+        placements = 0
+        for _trial in range(40):
+            n_res = rng.randint(2, 6)
+            wcg, sched_set = self._universe(rng, rng.randint(3, 12), n_res)
+            limits = {"mul": rng.randint(1, n_res)}
+            fast = Eqn3Tracker(wcg, limits, sched_set)
+            ref = Eqn3TrackerReference(wcg, limits, sched_set)
+            names = [op.name for op in wcg.operations]
+            for _step in range(12):
+                name = rng.choice(names)
+                start = rng.randint(0, 15)
+                duration = rng.randint(1, 5)
+                assert fast.admits(name, start, duration) == ref.admits(
+                    name, start, duration
+                ), (name, start, duration)
+                assert fast.ever_admittable(name, duration) == ref.ever_admittable(
+                    name, duration
+                )
+                if rng.random() < 0.7:
+                    fast.place(name, start, duration)
+                    ref.place(name, start, duration)
+                    placements += 1
+                assert fast.lhs("mul") == ref.lhs("mul")
+                assert fast.share(name) == ref.share(name)
+        assert placements > 300  # "hundreds of placements"
+
+    def test_large_lcm_denominator_stays_exact(self):
+        """|S(o)| spanning the first 14 primes: D > 2**53.
+
+        Beyond 2**53 consecutive integers stop being representable as
+        floats, so any float shortcut would go wrong here; integer
+        arithmetic must agree with the Fraction reference exactly.
+        """
+        import math
+        import random
+
+        from repro.core.scheduling import Eqn3TrackerReference
+
+        primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43]
+        resources = [
+            ResourceType("mul", (8 + 2 * j, 8 + 2 * j)) for j in range(max(primes))
+        ]
+        ops = [Operation(f"o{i}", "mul", (8, 8)) for i in range(len(primes))]
+        h = {f"o{i}": resources[:p] for i, p in enumerate(primes)}
+        wcg = WordlengthCompatibilityGraph(ops, resources, LAT, h_edges=h)
+        sched_set = tuple(sorted(resources))
+        limits = {"mul": 3}
+        fast = Eqn3Tracker(wcg, limits, sched_set)
+        ref = Eqn3TrackerReference(wcg, limits, sched_set)
+        assert fast.denominator == math.lcm(*primes)
+        assert fast.denominator > 2**53
+        rng = random.Random(99)
+        names = [op.name for op in wcg.operations]
+        for _step in range(60):
+            name = rng.choice(names)
+            start = rng.randint(0, 10)
+            duration = rng.randint(1, 4)
+            assert fast.admits(name, start, duration) == ref.admits(
+                name, start, duration
+            )
+            if rng.random() < 0.8:
+                fast.place(name, start, duration)
+                ref.place(name, start, duration)
+            assert fast.lhs("mul") == ref.lhs("mul")
+
+    def test_admission_boundary_is_exact(self):
+        """admits() at lhs == N exactly: <= must pass, one share over fails."""
+        from repro.core.scheduling import Eqn3TrackerReference
+
+        r1 = ResourceType("mul", (8, 8))
+        r2 = ResourceType("mul", (10, 10))
+        r3 = ResourceType("mul", (12, 12))
+        ops = [
+            Operation("a", "mul", (8, 8)),
+            Operation("b", "mul", (8, 8)),
+            Operation("c", "mul", (8, 8)),
+        ]
+        h = {"a": [r1, r2], "b": [r1, r2, r3], "c": [r1, r2, r3]}
+        wcg = WordlengthCompatibilityGraph(ops, [r1, r2, r3], LAT, h_edges=h)
+        sched_set = (r1, r2, r3)
+        for limits in ({"mul": 1}, {"mul": 2}):
+            fast = Eqn3Tracker(wcg, limits, sched_set)
+            ref = Eqn3TrackerReference(wcg, limits, sched_set)
+            # a (share 1/2) and b (share 1/3) overlapping at step 0:
+            # peaks 5/6 on r1 and r2, 1/3 on r3 -> lhs = 2.
+            fast.place("a", 0, 3)
+            ref.place("a", 0, 3)
+            assert fast.admits("b", 0, 3) == ref.admits("b", 0, 3)
+            fast.place("b", 0, 3)
+            ref.place("b", 0, 3)
+            assert fast.lhs("mul") == ref.lhs("mul") == Fraction(2)
+            # c at the same window adds exactly 1/3 per member: the
+            # hypothetical lhs is exactly 3 -- admitted iff N >= 3.
+            assert fast.admits("c", 0, 3) == ref.admits("c", 0, 3)
+            assert fast.admits("c", 0, 3) is False
+        limits = {"mul": 3}
+        fast = Eqn3Tracker(wcg, limits, sched_set)
+        ref = Eqn3TrackerReference(wcg, limits, sched_set)
+        for name in ("a", "b"):
+            fast.place(name, 0, 3)
+            ref.place(name, 0, 3)
+        # Boundary: hypothetical lhs == 3 == N exactly, so <= admits.
+        assert fast.admits("c", 0, 3) is True
+        assert ref.admits("c", 0, 3) is True

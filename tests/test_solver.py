@@ -352,3 +352,60 @@ class TestIncrementalReuseState:
                 break
             _REFINE.run(state)
         assert state.bound_path is None
+
+
+class TestTraceTelemetry:
+    """Per-pass wall time and ChainCache counters ride on TraceEvent.
+
+    Telemetry fields are ``compare=False`` and never serialized: the
+    parity contract (incremental.trace == scratch.trace, byte-identical
+    canonical JSON) must not see wall-clock noise.
+    """
+
+    def _traced(self, mode):
+        problem = make_problem(fir_filter(5))
+        return run_pipeline(problem, DPAllocOptions(trace=True), mode=mode)
+
+    def test_incremental_trace_carries_perf_and_cache_counters(self):
+        datapath = self._traced("incremental")
+        assert datapath.trace
+        last = datapath.trace[-1]
+        assert last.pass_ms is not None
+        assert {"bounds", "schedule", "bind", "check"} <= set(last.pass_ms)
+        assert all(ms >= 0.0 for ms in last.pass_ms.values())
+        assert last.cache_hits is not None and last.cache_hits >= 0
+        assert last.cache_misses is not None and last.cache_misses >= 0
+        assert last.cache_evicted is not None and last.cache_evicted >= 0
+
+    def test_scratch_trace_has_timings_but_no_cache_counters(self):
+        datapath = self._traced("scratch")
+        last = datapath.trace[-1]
+        assert last.pass_ms is not None
+        assert last.cache_hits is None  # no ChainCache in scratch mode
+
+    def test_telemetry_is_excluded_from_equality_and_canonical_json(self):
+        from dataclasses import replace
+
+        from repro.io.json_io import trace_event_to_dict
+
+        datapath = self._traced("incremental")
+        last = datapath.trace[-1]
+        stripped = replace(
+            last,
+            pass_ms=None,
+            cache_hits=None,
+            cache_misses=None,
+            cache_evicted=None,
+        )
+        assert stripped == last  # compare=False: equality ignores telemetry
+        payload = trace_event_to_dict(last)
+        assert "pass_ms" not in payload
+        assert "cache_hits" not in payload
+
+    def test_trace_report_renders_telemetry_columns(self):
+        from repro.analysis.reporting import format_trace
+
+        datapath = self._traced("incremental")
+        rendered = format_trace(datapath.trace)
+        assert "cache h/m/e" in rendered
+        assert "ms" in rendered

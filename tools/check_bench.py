@@ -2,13 +2,15 @@
 """CI regression gate over the benchmark reports (the perf trajectory).
 
 Compares freshly-generated ``BENCH_engine.json`` / ``BENCH_solver.json``
-/ ``BENCH_service.json`` against the committed baselines and fails when
-the trajectory regresses:
+/ ``BENCH_service.json`` / ``BENCH_micro.json`` against the committed
+baselines and fails when the trajectory regresses:
 
 * **solver families** (``refinement-heavy``, ``binding-heavy``): the
   incremental/scratch speedup must stay >= ``--min-family-ratio``
-  (default 1.0 -- incremental may never be slower than scratch) *and*
-  must not fall below ``baseline * (1 - tolerance)``;
+  (default 1.2 -- incremental must actively beat scratch, not merely
+  tie it; raised from 1.0 when the PR-8 kernel rewrites lifted both
+  committed families well above 2.6x) *and* must not fall below
+  ``baseline * (1 - tolerance)``;
 * **iteration parity**: for every workload-family case label present in
   both reports, the solver's iteration count must match the baseline
   exactly (the solver is deterministic -- any drift means the search
@@ -21,7 +23,12 @@ the trajectory regresses:
   degrades to "merely" ``--min-hit-speedup``x before the gate trips);
 * **service throughput**: the served ``/batch`` stream must sustain at
   least ``--min-service-ratio`` (default 1.0) of the serial
-  ``Engine.run_batch`` throughput.
+  ``Engine.run_batch`` throughput;
+* **kernel speedups**: every ``bench_micro.py`` kernel (``max_chain``,
+  ``cover_probe``, ``tracker_ops``) must beat its in-process reference
+  implementation by at least ``--min-kernel-ratio`` (default 1.0 -- the
+  optimised kernel may never lose to the formulation it replaced) *and*
+  must not fall below ``baseline * (1 - tolerance)``.
 
 Relative *wall-clock* comparisons between the committed baseline (dev
 container) and the CI host are intentionally avoided everywhere except
@@ -43,7 +50,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-REPORTS = ("engine", "solver", "service")
+REPORTS = ("engine", "solver", "service", "micro")
 FILENAMES = {name: f"BENCH_{name}.json" for name in REPORTS}
 
 
@@ -199,10 +206,51 @@ def check_service(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
     )
 
 
+def check_micro(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
+    gate.check(
+        fresh.get("results_identical") is True,
+        "micro.results_identical",
+        "every kernel's outputs match its reference implementation",
+    )
+    baseline_kernels = {
+        k["name"]: k for k in baseline.get("kernels", [])
+    }
+    fresh_kernels = {k["name"]: k for k in fresh.get("kernels", [])}
+    for name in sorted(baseline_kernels.keys() | fresh_kernels.keys()):
+        fresh_kernel = fresh_kernels.get(name)
+        if fresh_kernel is None:
+            gate.check(
+                False, f"micro.{name}", "kernel missing from fresh report"
+            )
+            continue
+        ratio = float(fresh_kernel.get("speedup", 0.0))
+        committed = baseline_kernels.get(name)
+        if committed is None:
+            floor = args.min_kernel_ratio
+            detail = (
+                f"kernel/reference {ratio:g}x (floor "
+                f"{floor:g}x; new kernel, no committed baseline -- "
+                f"regenerate BENCH_micro.json)"
+            )
+        else:
+            floor = max(
+                args.min_kernel_ratio,
+                float(committed.get("speedup", 0.0)) * (1.0 - args.tolerance),
+            )
+            detail = (
+                f"kernel/reference {ratio:g}x "
+                f"(floor {floor:g}x = max({args.min_kernel_ratio:g}, "
+                f"baseline {committed.get('speedup')}x - "
+                f"{args.tolerance:.0%}))"
+            )
+        gate.check(ratio >= floor, f"micro.{name}.speedup", detail)
+
+
 CHECKERS = {
     "engine": ("bench-engine", check_engine),
     "solver": ("bench-solver", check_solver),
     "service": ("bench-service", check_service),
+    "micro": ("bench-micro", check_micro),
 }
 
 
@@ -235,9 +283,10 @@ def main(argv=None) -> int:
              "speedup vs its committed baseline (default 0.45)",
     )
     parser.add_argument(
-        "--min-family-ratio", type=float, default=1.0,
+        "--min-family-ratio", type=float, default=1.2,
         help="hard floor for every family's incremental/scratch speedup "
-             "(default 1.0: incremental may never lose to scratch)",
+             "(default 1.2: incremental must actively beat scratch; "
+             "committed baselines sit above 2.6x)",
     )
     parser.add_argument(
         "--min-hit-speedup", type=float, default=25.0,
@@ -248,6 +297,12 @@ def main(argv=None) -> int:
         "--min-service-ratio", type=float, default=1.0,
         help="hard floor for served /batch throughput over serial "
              "run_batch (default 1.0)",
+    )
+    parser.add_argument(
+        "--min-kernel-ratio", type=float, default=1.0,
+        help="hard floor for every micro-bench kernel's speedup over "
+             "its reference implementation (default 1.0: the optimised "
+             "kernel may never lose to the formulation it replaced)",
     )
     args = parser.parse_args(argv)
 
