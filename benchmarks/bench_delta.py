@@ -1,0 +1,199 @@
+"""Delta-solve benchmark: warm single-edit re-solves vs cold solves.
+
+Primes a replay artifact for every problem of the ``refinement-heavy``
+family (``lambda = lambda_min``: many refinement iterations, the
+workload warm starts help most), then times a single-deadline-edit
+re-solve (``lambda -> lambda + 1``) both ways:
+
+* **warm** -- ``Engine.run_delta`` replaying the recorded base solve,
+  re-solving only past the verified prefix;
+* **cold** -- a from-scratch ``execute_request`` of the edited problem.
+
+Every warm envelope is checked canonical-byte identical to its cold
+counterpart (the delta parity contract).  A violation does not abort
+the run: it is shrunk into a replayable ``delta-fuzz-repro`` file (see
+``tools/fuzz_delta.py``) whose path lands in the report, and
+``tools/check_bench.py`` fails the gate pointing at it.
+
+Emits ``BENCH_delta.json`` with per-case iteration counts (cold
+iterations vs warm verified/re-solved split) -- the perf trajectory of
+warm starts across PRs, companion to ``BENCH_solver.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_delta.py [--repeats N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from common import tgff_problems  # noqa: E402  (shared problem grid)
+from conftest import samples  # noqa: E402  (shared REPRO_SAMPLES helper)
+
+from repro.core.delta import DeadlineEdit  # noqa: E402
+from repro.engine import (  # noqa: E402
+    AllocationRequest,
+    DeltaRequest,
+    Engine,
+    execute_request,
+)
+
+# name -> (sizes, default samples per size, relaxation over lambda_min)
+# One family on purpose: warm starts target the refinement loop; the
+# gate in tools/check_bench.py keys on this family's speedup.
+WORKLOADS = {
+    "refinement-heavy": ((48, 64), 2, 0.0),
+}
+
+
+def _write_parity_repro(label, problem, edits, warm, cold_canonical):
+    """Persist a parity break as a replayable delta-fuzz-repro file."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+    from fuzz_delta import write_repro_file  # noqa: E402
+
+    path = write_repro_file(
+        Path.cwd(),
+        f"delta-parity-repro-{label}.json",
+        mode="delta",
+        seed=0,
+        problem=problem,
+        edits=edits,
+        warm=json.loads(warm.canonical_json()),
+        cold=json.loads(cold_canonical),
+    )
+    return str(path)
+
+
+def run_workload(name: str, problems, repeats: int) -> dict:
+    """Warm-vs-cold timing and parity for one workload family."""
+    engine = Engine()
+    cases = []
+    parity_failures = []
+    warm_total = 0.0
+    cold_total = 0.0
+    for label, problem in problems:
+        edits = (DeadlineEdit(problem.latency_constraint + 1),)
+        edited = problem.with_latency_constraint(
+            problem.latency_constraint + 1
+        )
+        # Prime the replay artifact (untimed: the base solve is the
+        # sunk cost the warm start amortises).
+        engine.run_delta(DeltaRequest(edits=(), base_problem=problem))
+
+        warm_best, warm = float("inf"), None
+        for _ in range(repeats):
+            began = time.perf_counter()
+            produced = engine.run_delta(DeltaRequest(
+                edits=edits, base_fingerprint=problem.fingerprint()
+            ))
+            elapsed = time.perf_counter() - began
+            if elapsed < warm_best:
+                warm_best, warm = elapsed, produced
+
+        cold_best, cold = float("inf"), None
+        for _ in range(repeats):
+            began = time.perf_counter()
+            produced = execute_request(
+                AllocationRequest(edited, "dpalloc")
+            )
+            elapsed = time.perf_counter() - began
+            if elapsed < cold_best:
+                cold_best, cold = elapsed, produced
+
+        cold_canonical = cold.canonical_json()
+        if warm.canonical_json() != cold_canonical:
+            parity_failures.append({
+                "label": label,
+                "repro": _write_parity_repro(
+                    label, problem, edits, warm, cold_canonical
+                ),
+            })
+
+        meta = warm.delta or {}
+        cases.append({
+            "label": label,
+            "ops": len(problem.graph),
+            "iterations": cold.iterations,
+            "strategy": meta.get("strategy"),
+            "verified_iterations": meta.get("verified_iterations", 0),
+            "resumed_iterations": meta.get("resumed_iterations", 0),
+            "warm_seconds": round(warm_best, 4),
+            "cold_seconds": round(cold_best, 4),
+        })
+        warm_total += warm_best
+        cold_total += cold_best
+
+    return {
+        "name": name,
+        "cases": cases,
+        "total_iterations": sum(c["iterations"] for c in cases),
+        "resumed_iterations": sum(c["resumed_iterations"] for c in cases),
+        "warm_seconds": round(warm_total, 4),
+        "cold_seconds": round(cold_total, 4),
+        "speedup": round(cold_total / max(warm_total, 1e-9), 3),
+        "parity_failures": parity_failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=None,
+                        help="graphs per size (default REPRO_SAMPLES or the "
+                             "per-workload default)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per side (best-of; default 3)")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_delta.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    reports = []
+    for name, (sizes, default_samples, relaxation) in WORKLOADS.items():
+        per_size = (
+            args.samples if args.samples is not None else samples(default_samples)
+        )
+        problems = tgff_problems(sizes, per_size, relaxation)
+        entry = run_workload(name, problems, args.repeats)
+        entry.update(
+            sizes=list(sizes), relaxation=relaxation, samples_per_size=per_size
+        )
+        reports.append(entry)
+
+    warm_total = sum(w["warm_seconds"] for w in reports)
+    cold_total = sum(w["cold_seconds"] for w in reports)
+    failures = [f for w in reports for f in w["parity_failures"]]
+    report = {
+        "kind": "bench-delta",
+        "repeats": args.repeats,
+        "edit": "deadline+1",
+        "workloads": reports,
+        "total_iterations": sum(w["total_iterations"] for w in reports),
+        "resumed_iterations": sum(w["resumed_iterations"] for w in reports),
+        "warm_seconds": round(warm_total, 4),
+        "cold_seconds": round(cold_total, 4),
+        "speedup": round(cold_total / max(warm_total, 1e-9), 3),
+        "results_identical": not failures,
+        "parity_failures": failures,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {args.output}")
+    if failures:
+        print(
+            f"PARITY BROKEN on {len(failures)} case(s); "
+            f"repro files: {[f['repro'] for f in failures]}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,12 @@ Subcommands:
   trace, which also rides into the ``--json`` export);
 * ``trace`` -- summarise the solver iteration trace stored in a
   datapath / allocation-result / allocation-batch JSON file;
+* ``delta`` -- warm-start re-solve of an *edited* problem
+  (``--edit latency=40``, ``--edit width:op3=8,10``, ``--edit
+  limit:mul=2``): the engine replays the recorded base solve as far as
+  the edits allow and re-solves only the divergent tail, with canonical
+  output byte-identical to a cold solve (``--url`` sends the request to
+  a running service's ``POST /delta`` instead);
 * ``compare`` -- run every registered allocator on one problem and
   tabulate areas (infeasible methods are reported per-row; the exit code
   is nonzero only when *every* method fails);
@@ -42,6 +48,8 @@ Examples::
     python -m repro allocate fir --trace --json fir.json
     python -m repro trace fir.json
     python -m repro allocate biquad --method ilp --json out.json
+    python -m repro delta fir --cache-dir .cache --edit latency=40
+    python -m repro delta fir --edit width:mul2=8,10 --edit limit:mul=2
     python -m repro allocate fir --relax 1.0 --verilog fir.v
     python -m repro compare motivational --relax 1.0 --workers 4
     python -m repro batch fir biquad dct4 --workers 4 --cache-dir .cache
@@ -219,6 +227,77 @@ def _cmd_allocate(args) -> int:
         design = generate_verilog(netlist_factory(), datapath)
         Path(args.verilog).write_text(design.source)
         print(f"wrote {args.verilog} ({design.unit_count} units)")
+    return 0
+
+
+def _parse_edit(spec: str):
+    """One ``--edit`` specification -> a :data:`repro.core.delta.Edit`.
+
+    Forms: ``latency=N``, ``width:OP=W1[,W2,...]``, ``limit:KIND=N`` or
+    ``limit:KIND=none`` (clear the kind's resource ceiling).
+    """
+    from .core.delta import ConstraintEdit, DeadlineEdit, WordlengthEdit
+
+    head, sep, value = spec.partition("=")
+    kind, colon, target = head.partition(":")
+    try:
+        if sep:
+            if kind == "latency" and not colon:
+                return DeadlineEdit(int(value))
+            if kind == "width" and target:
+                widths = tuple(int(w) for w in value.split(",") if w)
+                if widths:
+                    return WordlengthEdit(target, widths)
+            if kind == "limit" and target:
+                limit = None if value.lower() == "none" else int(value)
+                return ConstraintEdit(target, limit)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"edit {spec!r}: bad value {value!r}"
+        ) from None
+    raise argparse.ArgumentTypeError(
+        f"edit {spec!r} is not one of: latency=N, width:OP=W1[,W2,...], "
+        f"limit:KIND=N|none"
+    )
+
+
+def _cmd_delta(args) -> int:
+    from .core.delta import apply_edits
+    from .engine import DeltaRequest
+
+    problem = _build_problem(args.workload, args.relax, args.latency)
+    request = DeltaRequest(edits=tuple(args.edit), base_problem=problem)
+    if args.url:
+        from .service import ServiceClient
+
+        client = ServiceClient(args.url, timeout=args.http_timeout)
+        result = client.delta(request)
+    else:
+        result = _engine(args).run_delta(request)
+    meta = dict(result.delta or {})
+    strategy = meta.get("strategy", "?")
+    if not result.ok:
+        print(f"delta ({strategy}): {result.error}", file=sys.stderr)
+        return 1
+    edited = apply_edits(problem, request.edits)
+    print(
+        f"workload {args.workload}: |O|={len(problem.graph)}, "
+        f"lambda={problem.latency_constraint} -> {edited.latency_constraint} "
+        f"({len(request.edits)} edit(s))"
+    )
+    print(result.datapath.summary())
+    detail = f"delta strategy: {strategy}"
+    if "verified_iterations" in meta:
+        detail += (
+            f" (replayed {meta['verified_iterations']}, "
+            f"re-solved {meta['resumed_iterations']} iterations)"
+        )
+    print(detail)
+    if args.json:
+        from .io import allocation_result_to_dict
+
+        save_json(allocation_result_to_dict(result), args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -653,6 +732,28 @@ def main(argv=None) -> int:
     cmd.add_argument("--verilog", help="write structural Verilog")
 
     cmd = sub.add_parser(
+        "delta",
+        help="warm-start re-solve of an edited problem (replays the "
+             "recorded base solve; see docs/architecture.md)",
+    )
+    add_problem_args(cmd)
+    cmd.add_argument(
+        "--edit", action="append", default=[], metavar="SPEC",
+        type=_parse_edit,
+        help="edit to apply, in order (repeatable): latency=N, "
+             "width:OP=W1[,W2,...], or limit:KIND=N|none",
+    )
+    cmd.add_argument("--url", default=None,
+                     help="POST the delta request to a running service "
+                          "instead of solving locally")
+    cmd.add_argument("--http-timeout", type=float, default=600.0,
+                     help="HTTP socket timeout in seconds (default 600)")
+    cmd.add_argument("--cache-max-mb", type=float, default=None,
+                     help="LRU-evict the cache beyond this size "
+                          "(needs --cache-dir)")
+    cmd.add_argument("--json", help="write the result envelope as JSON")
+
+    cmd = sub.add_parser(
         "trace",
         help="summarise the solver iteration trace in a JSON artefact "
              "(datapath, allocation-result, or allocation-batch)",
@@ -757,6 +858,7 @@ def main(argv=None) -> int:
     handlers = {
         "list-workloads": _cmd_list_workloads,
         "allocate": _cmd_allocate,
+        "delta": _cmd_delta,
         "compare": _cmd_compare,
         "batch": _cmd_batch,
         "shard": _cmd_shard,

@@ -33,11 +33,21 @@ Scaling surfaces on top of the engine:
   merge the envelope files back deterministically;
 * ``Engine(cache_dir=..., cache_max_mb=...)`` -- result-cache lifecycle
   (manifest, ``cache_stats()``, LRU eviction;
-  :mod:`repro.engine.cache`).
+  :mod:`repro.engine.cache`);
+* ``Engine.run_delta(DeltaRequest(...))`` -- warm-start re-solves of
+  edited problems by verified replay of a recorded base solve
+  (:mod:`repro.engine.replay`, :mod:`repro.core.delta`), canonical-byte
+  identical to a cold solve.
 """
 
 from .cache import ResultCache
-from .engine import EXECUTORS, Engine, execute_request, request_content_key
+from .engine import (
+    EXECUTORS,
+    Engine,
+    content_key_from_fingerprint,
+    execute_request,
+    request_content_key,
+)
 from .executor import ProcessPerRunExecutor
 from .registry import (
     Allocator,
@@ -47,7 +57,7 @@ from .registry import (
     register_allocator,
     unregister_allocator,
 )
-from .results import AllocationRequest, AllocationResult
+from .results import AllocationRequest, AllocationResult, DeltaRequest
 from .sharding import (
     ShardManifest,
     load_shard_manifest,
@@ -62,6 +72,7 @@ __all__ = [
     "Allocator",
     "AllocationRequest",
     "AllocationResult",
+    "DeltaRequest",
     "EXECUTORS",
     "Engine",
     "ProcessPerRunExecutor",
@@ -69,6 +80,7 @@ __all__ = [
     "ShardManifest",
     "UnknownAllocatorError",
     "allocator_names",
+    "content_key_from_fingerprint",
     "execute_request",
     "get_allocator",
     "load_shard_manifest",

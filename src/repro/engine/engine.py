@@ -35,9 +35,14 @@ from ..analysis.validate import ValidationError, validate_datapath
 from ..core.problem import InfeasibleError
 from ..core.solution import Datapath
 from .registry import get_allocator
-from .results import AllocationRequest, AllocationResult
+from .results import AllocationRequest, AllocationResult, DeltaRequest
 
-__all__ = ["Engine", "execute_request", "request_content_key"]
+__all__ = [
+    "Engine",
+    "content_key_from_fingerprint",
+    "execute_request",
+    "request_content_key",
+]
 
 PathLike = Union[str, Path]
 
@@ -141,6 +146,31 @@ def _error_result(request: AllocationRequest, exc: BaseException) -> AllocationR
 EXECUTORS = ("pool", "process")
 
 
+def content_key_from_fingerprint(
+    fingerprint: str, allocator: str, options: Any
+) -> Optional[str]:
+    """Content hash of ``(problem fingerprint, allocator, options)``.
+
+    The fingerprint-keyed half of :func:`request_content_key`, split
+    out so delta solves -- which name their base by fingerprint alone
+    -- can compute the identical key without holding the
+    :class:`Problem`.  ``None`` when the options are not
+    JSON-serialisable.
+    """
+    try:
+        payload = json.dumps(
+            {
+                "problem": fingerprint,
+                "allocator": allocator,
+                "options": sorted(dict(options).items()),
+            },
+            sort_keys=True,
+        )
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def request_content_key(request: AllocationRequest) -> Optional[str]:
     """Stable content hash of a request's (problem, allocator, options).
 
@@ -152,17 +182,12 @@ def request_content_key(request: AllocationRequest) -> Optional[str]:
     never deduplicated.
     """
     try:
-        payload = json.dumps(
-            {
-                "problem": request.problem.fingerprint(),
-                "allocator": request.allocator,
-                "options": sorted(dict(request.options).items()),
-            },
-            sort_keys=True,
-        )
+        fingerprint = request.problem.fingerprint()
     except (TypeError, ValueError):
         return None
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return content_key_from_fingerprint(
+        fingerprint, request.allocator, request.options
+    )
 
 
 class Engine:
@@ -222,6 +247,12 @@ class Engine:
         # from many worker threads against one shared engine.
         self.executor_stats: Dict[str, int] = {}
         self._stats_lock = threading.Lock()
+        # Replay artifacts for run_delta when no cache_dir is
+        # configured: a small bounded in-memory store (see
+        # repro.engine.replay).  With a cache_dir, artifacts live in
+        # the ResultCache alongside the envelopes they warm-start.
+        self._replay_memory: Dict[str, Dict[str, Any]] = {}
+        self._replay_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # cache lifecycle
@@ -334,6 +365,31 @@ class Engine:
         if self._cache is not None:
             self._cache.flush()
         return result
+
+    def run_delta(self, request: DeltaRequest) -> AllocationResult:
+        """Warm-start re-solve of an edited problem.
+
+        Applies ``request.edits`` to the base problem (named by
+        fingerprint or carried inline) and solves the edited problem by
+        replaying the base solve's recorded iteration stream as far as
+        the edits allow -- full replay for edits the recorded accept
+        still satisfies, resumption from the verified prefix when the
+        new deadline flips a feasibility check or shifts a refinement
+        choice, and a scratch solve for edits whose footprint dirties
+        the solver's reuse channels (wordlength/constraint edits) or on
+        any detected divergence.
+
+        The returned envelope is canonical-byte identical to what a
+        cold :meth:`run` of the edited problem would produce; the
+        strategy taken and the verified/resumed iteration counts ride
+        in its non-canonical ``delta`` field.  Errors (unknown base
+        fingerprint, invalid edits) come back as error envelopes, never
+        exceptions.  Always executed in-process: a delta solve is
+        expected to be far cheaper than a cold one.
+        """
+        from .replay import run_delta as _run_delta
+
+        return _run_delta(self, request)
 
     def _run_preemptive(
         self, requests: Sequence[AllocationRequest], workers: int

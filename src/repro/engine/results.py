@@ -13,10 +13,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..core.delta import Edit
 from ..core.problem import Problem
 from ..core.solution import Datapath, TraceEvent
 
-__all__ = ["AllocationRequest", "AllocationResult"]
+__all__ = ["AllocationRequest", "AllocationResult", "DeltaRequest"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,50 @@ class AllocationRequest:
 
 
 @dataclass(frozen=True)
+class DeltaRequest:
+    """One warm-start re-solve: a base problem plus an edit sequence.
+
+    Consumed by :meth:`repro.engine.Engine.run_delta` (and served as
+    ``POST /delta``).  The base is named either by its
+    ``Problem.fingerprint()`` -- enough when the engine already holds a
+    replay artifact for it -- or by the full :class:`Problem`, which
+    additionally lets the engine *prime* the artifact with one recorded
+    cold solve on first contact.
+
+    Attributes:
+        edits: the :data:`repro.core.delta.Edit` sequence, applied in
+            order to the base problem.  An empty sequence is a valid
+            no-op request (used to prime an artifact).
+        base_problem: the base problem instance, when the caller has it.
+        base_fingerprint: ``Problem.fingerprint()`` of the base; derived
+            from ``base_problem`` when omitted.
+        options: DPAlloc options, exactly as an
+            :class:`AllocationRequest` for allocator ``"dpalloc"`` would
+            carry them.
+        label: free-form tag echoed into the result envelope.
+    """
+
+    edits: Tuple[Edit, ...] = ()
+    base_problem: Optional[Problem] = None
+    base_fingerprint: Optional[str] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.base_problem is None and self.base_fingerprint is None:
+            raise ValueError(
+                "DeltaRequest needs base_problem or base_fingerprint"
+            )
+
+    def fingerprint(self) -> str:
+        """The base problem's fingerprint, however the base was named."""
+        if self.base_fingerprint is not None:
+            return self.base_fingerprint
+        assert self.base_problem is not None
+        return self.base_problem.fingerprint()
+
+
+@dataclass(frozen=True)
 class AllocationResult:
     """Uniform envelope for the outcome of one allocation run.
 
@@ -70,6 +115,11 @@ class AllocationResult:
             optimality flags, ...), JSON-compatible.
         label: echo of the request label.
         cached: the envelope was served from the engine's result cache.
+        delta: warm-start provenance of a ``run_delta`` envelope
+            (strategy taken, verified/resumed iteration counts); ``None``
+            for ordinary runs.  Non-canonical, like ``seconds`` and
+            ``cached``: a delta solve's canonical bytes are required
+            identical to a cold solve's, which never carries this field.
     """
 
     allocator: str
@@ -81,6 +131,7 @@ class AllocationResult:
     extras: Mapping[str, Any] = field(default_factory=dict)
     label: Optional[str] = None
     cached: bool = False
+    delta: Optional[Mapping[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -109,9 +160,19 @@ class AllocationResult:
         payload = allocation_result_to_dict(self)
         payload.pop("seconds", None)
         payload.pop("cached", None)
+        payload.pop("delta", None)
         extras = payload.get("extras")
         if isinstance(extras, dict):
             extras.pop("solve_seconds", None)
+        datapath = payload.get("datapath")
+        if isinstance(datapath, dict):
+            # Trace telemetry (pass timings, chain-cache counters) rides
+            # the wire for observability but is wall-clock- and
+            # mode-dependent; canonical bytes must not see it.
+            for event in datapath.get("trace", ()):
+                for key in ("pass_ms", "cache_hits", "cache_misses",
+                            "cache_evicted"):
+                    event.pop(key, None)
         return payload
 
     def canonical_json(self) -> str:

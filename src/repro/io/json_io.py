@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Union
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid import cycles
+    from ..core.delta import Edit
     from ..core.problem import Problem
     from ..engine.results import AllocationRequest, AllocationResult
 
@@ -24,12 +25,15 @@ from ..resources.types import ResourceType
 from ..sim.netlist import Netlist
 
 __all__ = [
+    "EDIT_KIND",
     "graph_to_dict",
     "graph_from_dict",
     "netlist_to_dict",
     "netlist_from_dict",
     "datapath_to_dict",
     "datapath_from_dict",
+    "edit_to_dict",
+    "edit_from_dict",
     "trace_event_to_dict",
     "trace_event_from_dict",
     "problem_to_dict",
@@ -113,8 +117,16 @@ def netlist_from_dict(data: Dict) -> Netlist:
 # ----------------------------------------------------------------------
 
 def trace_event_to_dict(event: TraceEvent) -> Dict:
-    """Serialise one solver iteration trace event."""
-    return {
+    """Serialise one solver iteration trace event.
+
+    The telemetry fields (``pass_ms``, chain-cache counters) are
+    emitted only when populated, so they survive wire round-trips
+    (service responses, batch files, the result cache) -- but they are
+    *non-canonical*: ``AllocationResult.canonical_dict()`` strips them,
+    exactly as it strips ``seconds``, because wall-clock and
+    mode-dependent bytes would break the parity contract.
+    """
+    payload = {
         "iteration": event.iteration,
         "move": event.move,
         "target": event.target,
@@ -123,10 +135,20 @@ def trace_event_to_dict(event: TraceEvent) -> Dict:
         "area": event.area,
         "scheduling_set_size": event.scheduling_set_size,
     }
+    if event.pass_ms is not None:
+        payload["pass_ms"] = dict(event.pass_ms)
+    if event.cache_hits is not None:
+        payload["cache_hits"] = event.cache_hits
+    if event.cache_misses is not None:
+        payload["cache_misses"] = event.cache_misses
+    if event.cache_evicted is not None:
+        payload["cache_evicted"] = event.cache_evicted
+    return payload
 
 
 def trace_event_from_dict(data: Dict) -> TraceEvent:
     """Deserialise one solver iteration trace event."""
+    pass_ms = data.get("pass_ms")
     return TraceEvent(
         iteration=int(data["iteration"]),
         move=data["move"],
@@ -135,6 +157,14 @@ def trace_event_from_dict(data: Dict) -> TraceEvent:
         makespan=int(data["makespan"]),
         area=float(data["area"]),
         scheduling_set_size=int(data["scheduling_set_size"]),
+        pass_ms=(
+            {k: float(v) for k, v in pass_ms.items()}
+            if pass_ms is not None
+            else None
+        ),
+        cache_hits=data.get("cache_hits"),
+        cache_misses=data.get("cache_misses"),
+        cache_evicted=data.get("cache_evicted"),
     )
 
 
@@ -304,12 +334,65 @@ def allocation_request_from_dict(data: Dict) -> "AllocationRequest":
 
 
 # ----------------------------------------------------------------------
+# delta edits
+# ----------------------------------------------------------------------
+
+EDIT_KIND = "delta-edit"
+
+
+def edit_to_dict(edit: "Edit") -> Dict:
+    """Serialise one :data:`repro.core.delta.Edit`."""
+    from ..core.delta import ConstraintEdit, DeadlineEdit, WordlengthEdit
+
+    if isinstance(edit, DeadlineEdit):
+        return {"kind": EDIT_KIND, "edit": "deadline", "latency": edit.latency}
+    if isinstance(edit, WordlengthEdit):
+        return {
+            "kind": EDIT_KIND,
+            "edit": "wordlength",
+            "operation": edit.operation,
+            "widths": list(edit.widths),
+        }
+    if isinstance(edit, ConstraintEdit):
+        return {
+            "kind": EDIT_KIND,
+            "edit": "constraint",
+            "resource_kind": edit.kind,
+            "limit": edit.limit,
+        }
+    raise ValueError(f"not an edit: {edit!r}")
+
+
+def edit_from_dict(data: Dict) -> "Edit":
+    """Deserialise one :data:`repro.core.delta.Edit`."""
+    from ..core.delta import ConstraintEdit, DeadlineEdit, WordlengthEdit
+
+    if not isinstance(data, dict) or data.get("kind") != EDIT_KIND:
+        kind = data.get("kind") if isinstance(data, dict) else type(data).__name__
+        raise ValueError(f"not a {EDIT_KIND} payload: {kind!r}")
+    which = data.get("edit")
+    if which == "deadline":
+        return DeadlineEdit(latency=int(data["latency"]))
+    if which == "wordlength":
+        return WordlengthEdit(
+            operation=data["operation"], widths=tuple(data["widths"])
+        )
+    if which == "constraint":
+        limit = data.get("limit")
+        return ConstraintEdit(
+            kind=data["resource_kind"],
+            limit=int(limit) if limit is not None else None,
+        )
+    raise ValueError(f"unknown edit type: {which!r}")
+
+
+# ----------------------------------------------------------------------
 # allocation-result envelopes
 # ----------------------------------------------------------------------
 
 def allocation_result_to_dict(result: "AllocationResult") -> Dict:
     """Serialise an :class:`~repro.engine.results.AllocationResult`."""
-    return {
+    payload = {
         "kind": "allocation-result",
         "allocator": result.allocator,
         "datapath": (
@@ -325,6 +408,9 @@ def allocation_result_to_dict(result: "AllocationResult") -> Dict:
         "label": result.label,
         "cached": result.cached,
     }
+    if result.delta is not None:
+        payload["delta"] = dict(result.delta)
+    return payload
 
 
 def allocation_result_from_dict(data: Dict) -> "AllocationResult":
@@ -336,6 +422,7 @@ def allocation_result_from_dict(data: Dict) -> "AllocationResult":
     from ..engine.results import AllocationResult
 
     datapath = data.get("datapath")
+    delta = data.get("delta")
     return AllocationResult(
         allocator=data["allocator"],
         datapath=datapath_from_dict(datapath) if datapath is not None else None,
@@ -346,6 +433,7 @@ def allocation_result_from_dict(data: Dict) -> "AllocationResult":
         extras=dict(data.get("extras") or {}),
         label=data.get("label"),
         cached=bool(data.get("cached", False)),
+        delta=dict(delta) if delta is not None else None,
     )
 
 

@@ -29,21 +29,29 @@ from .json_io import (
     allocation_request_to_dict,
     allocation_result_from_dict,
     allocation_result_to_dict,
+    edit_from_dict,
+    edit_to_dict,
+    problem_from_dict,
+    problem_to_dict,
 )
 
 __all__ = [
     "BATCH_REQUEST_KIND",
     "BATCH_RESULTS_KIND",
+    "DELTA_REQUEST_KIND",
     "ERROR_KIND",
     "batch_request_to_dict",
     "batch_request_from_dict",
     "batch_results_to_dict",
     "batch_results_from_dict",
+    "delta_request_to_dict",
+    "delta_request_from_dict",
     "error_to_dict",
 ]
 
 BATCH_REQUEST_KIND = "allocation-batch-request"
 BATCH_RESULTS_KIND = "allocation-batch"
+DELTA_REQUEST_KIND = "delta-request"
 ERROR_KIND = "service-error"
 
 
@@ -87,6 +95,44 @@ def batch_results_from_dict(data: Any) -> List[Any]:
     if not isinstance(entries, list):
         raise ValueError(f"{BATCH_RESULTS_KIND}: 'results' must be a list")
     return [allocation_result_from_dict(entry) for entry in entries]
+
+
+def delta_request_to_dict(request: Any) -> Dict[str, Any]:
+    """Serialise a ``POST /delta`` body from a
+    :class:`~repro.engine.results.DeltaRequest`."""
+    return {
+        "kind": DELTA_REQUEST_KIND,
+        "base_fingerprint": request.base_fingerprint,
+        "base_problem": (
+            problem_to_dict(request.base_problem)
+            if request.base_problem is not None
+            else None
+        ),
+        "edits": [edit_to_dict(edit) for edit in request.edits],
+        "options": dict(request.options),
+        "label": request.label,
+    }
+
+
+def delta_request_from_dict(data: Any) -> Any:
+    """Deserialise a ``POST /delta`` body into a
+    :class:`~repro.engine.results.DeltaRequest`."""
+    if not isinstance(data, dict) or data.get("kind") != DELTA_REQUEST_KIND:
+        kind = data.get("kind") if isinstance(data, dict) else type(data).__name__
+        raise ValueError(f"not a {DELTA_REQUEST_KIND} payload: {kind!r}")
+    from ..engine.results import DeltaRequest
+
+    entries = data.get("edits")
+    if not isinstance(entries, list):
+        raise ValueError(f"{DELTA_REQUEST_KIND}: 'edits' must be a list")
+    base = data.get("base_problem")
+    return DeltaRequest(
+        edits=tuple(edit_from_dict(entry) for entry in entries),
+        base_problem=problem_from_dict(base) if base is not None else None,
+        base_fingerprint=data.get("base_fingerprint"),
+        options=dict(data.get("options") or {}),
+        label=data.get("label"),
+    )
 
 
 def error_to_dict(status: int, message: str) -> Dict[str, Any]:

@@ -9,8 +9,8 @@ Three layers, each usable on its own:
   concurrent requests against one shared result cache.
 * :class:`AllocationServer` / :class:`ServerThread` -- a stdlib-only
   asyncio HTTP/JSON server (``repro serve``) exposing
-  ``POST /allocate``, ``POST /batch``, ``GET /healthz`` and
-  ``GET /stats``.
+  ``POST /allocate``, ``POST /batch``, ``POST /delta`` (warm-start
+  re-solves of edited problems), ``GET /healthz`` and ``GET /stats``.
 * :class:`ServiceClient` -- a thin synchronous client (``repro
   submit``) whose envelopes are canonical-byte-identical to the offline
   ``Engine.run_batch`` path.

@@ -37,7 +37,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Any, Deque, Dict, List, Optional, Sequence
 
-from ..engine import AllocationRequest, AllocationResult, Engine
+from ..engine import AllocationRequest, AllocationResult, DeltaRequest, Engine
 from ..engine.engine import request_content_key
 
 __all__ = ["AsyncEngine"]
@@ -133,7 +133,24 @@ class AsyncEngine:
         """Execute a batch concurrently; results align with requests."""
         return list(await asyncio.gather(*(self.run(r) for r in requests)))
 
+    async def run_delta(self, request: DeltaRequest) -> AllocationResult:
+        """Execute one warm-start delta solve without blocking the loop.
+
+        Shares the concurrency bound, worker pool and latency window
+        with ordinary runs, but is *not* single-flighted: delta solves
+        are expected to be cheap (that is their point), and the
+        replay-artifact store they read and write is already shared
+        through the engine, so collapsing identical requests would buy
+        little and complicate the flight keying.
+        """
+        self._requests_total += 1
+        return await self._submit(self.engine.run_delta, request)
+
     async def _execute(self, request: AllocationRequest) -> AllocationResult:
+        return await self._submit(self.engine.run, request)
+
+    async def _submit(self, fn: Any, request: Any) -> AllocationResult:
+        """Run ``fn(request)`` on the bounded worker pool, stats-tracked."""
         loop = asyncio.get_running_loop()
         began = time.perf_counter()
         self._queued += 1
@@ -143,7 +160,7 @@ class AsyncEngine:
                 self._running += 1
                 try:
                     result = await loop.run_in_executor(
-                        self._pool, self.engine.run, request
+                        self._pool, fn, request
                     )
                 finally:
                     self._running -= 1

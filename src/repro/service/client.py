@@ -27,12 +27,16 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..engine import AllocationRequest, AllocationResult
+from ..engine import AllocationRequest, AllocationResult, DeltaRequest
 from ..io.json_io import (
     allocation_request_to_dict,
     allocation_result_from_dict,
 )
-from ..io.service import batch_request_to_dict, batch_results_from_dict
+from ..io.service import (
+    batch_request_to_dict,
+    batch_results_from_dict,
+    delta_request_to_dict,
+)
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -111,6 +115,19 @@ class ServiceClient:
         """``POST /allocate``: run one request, return its envelope."""
         payload = self._request(
             "POST", "/allocate", allocation_request_to_dict(request)
+        )
+        return allocation_result_from_dict(payload)
+
+    def delta(self, request: DeltaRequest) -> AllocationResult:
+        """``POST /delta``: warm-start re-solve of an edited problem.
+
+        The returned envelope is canonical-byte identical to a cold
+        :meth:`allocate` of the edited problem; the strategy the server
+        took (``replay``/``resumed``/``diverged``/``scratch``/...) rides
+        in its non-canonical ``delta`` field.
+        """
+        payload = self._request(
+            "POST", "/delta", delta_request_to_dict(request)
         )
         return allocation_result_from_dict(payload)
 

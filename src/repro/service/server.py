@@ -1,13 +1,18 @@
 """Stdlib-only asyncio HTTP/JSON allocation server (``repro serve``).
 
 :class:`AllocationServer` exposes an :class:`~repro.service.AsyncEngine`
-over four endpoints:
+over five endpoints:
 
 * ``POST /allocate`` -- body: one ``allocation-request`` payload;
   response: one ``allocation-result`` envelope;
 * ``POST /batch`` -- body: ``allocation-batch-request``; response: an
   ``allocation-batch`` payload with results ordered like the requests
   (the exact shape ``repro batch --json`` writes);
+* ``POST /delta`` -- body: one ``delta-request`` payload (base problem
+  or fingerprint plus an edit sequence); response: one
+  ``allocation-result`` envelope, canonical-byte identical to a cold
+  ``/allocate`` of the edited problem, with the warm-start strategy in
+  its non-canonical ``delta`` field;
 * ``GET /healthz`` -- liveness + version;
 * ``GET /stats`` -- cache hit rate, in-flight/queued counts, p50/p95
   latency, executor counters (see ``AsyncEngine.stats``).
@@ -41,6 +46,7 @@ from ..io.json_io import (
 from ..io.service import (
     batch_request_from_dict,
     batch_results_to_dict,
+    delta_request_from_dict,
     error_to_dict,
 )
 from .async_engine import AsyncEngine
@@ -215,6 +221,7 @@ class AllocationServer:
             "/stats": ("GET", self._handle_stats),
             "/allocate": ("POST", self._handle_allocate),
             "/batch": ("POST", self._handle_batch),
+            "/delta": ("POST", self._handle_delta),
         }
         route = routes.get(path)
         if route is None:
@@ -267,6 +274,15 @@ class AllocationServer:
             ) from None
         results = await self.async_engine.run_many(requests)
         return 200, batch_results_to_dict(results)
+
+    async def _handle_delta(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        data = self._parse_json(body)
+        try:
+            request = delta_request_from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad delta-request: {exc}") from None
+        result = await self.async_engine.run_delta(request)
+        return 200, allocation_result_to_dict(result)
 
 
 class ServerThread:

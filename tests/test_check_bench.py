@@ -70,6 +70,25 @@ def micro_report(chain_speedup=2.5, cover_speedup=30.0,
     }
 
 
+def delta_report(speedup=3.5, iterations=(40, 50), identical=True,
+                 parity_failures=()):
+    return {
+        "kind": "bench-delta",
+        "results_identical": identical,
+        "parity_failures": list(parity_failures),
+        "workloads": [
+            {
+                "name": "refinement-heavy",
+                "speedup": speedup,
+                "cases": [
+                    {"label": "tgff-48-0", "iterations": iterations[0]},
+                    {"label": "tgff-64-0", "iterations": iterations[1]},
+                ],
+            },
+        ],
+    }
+
+
 @pytest.fixture
 def dirs(tmp_path):
     baseline = tmp_path / "baseline"
@@ -84,15 +103,17 @@ def write(directory, name, report):
 
 
 def write_all(baseline, fresh, fresh_solver=None, fresh_engine=None,
-              fresh_service=None, fresh_micro=None):
+              fresh_service=None, fresh_micro=None, fresh_delta=None):
     write(baseline, "engine", engine_report())
     write(baseline, "solver", solver_report())
     write(baseline, "service", service_report())
     write(baseline, "micro", micro_report())
+    write(baseline, "delta", delta_report())
     write(fresh, "engine", fresh_engine or engine_report())
     write(fresh, "solver", fresh_solver or solver_report())
     write(fresh, "service", fresh_service or service_report())
     write(fresh, "micro", fresh_micro or micro_report())
+    write(fresh, "delta", fresh_delta or delta_report())
 
 
 def run(baseline, fresh, *extra):
@@ -106,7 +127,7 @@ class TestGatePasses:
         baseline, fresh = dirs
         write_all(baseline, fresh)
         assert run(baseline, fresh) == 0
-        assert "4 reports within the gate" in capsys.readouterr().out
+        assert "5 reports within the gate" in capsys.readouterr().out
 
     def test_faster_than_baseline_passes(self, dirs, capsys):
         baseline, fresh = dirs
@@ -128,10 +149,12 @@ class TestGatePasses:
         write(baseline, "solver", big)
         write(baseline, "service", service_report())
         write(baseline, "micro", micro_report())
+        write(baseline, "delta", delta_report())
         write(fresh, "engine", engine_report())
         write(fresh, "solver", solver_report())  # lacks tgff-96-1
         write(fresh, "service", service_report())
         write(fresh, "micro", micro_report())
+        write(fresh, "delta", delta_report())
         assert run(*dirs) == 0
 
     def test_new_fresh_case_is_not_a_failure(self, dirs):
@@ -276,10 +299,12 @@ class TestGateFails:
         write(baseline, "solver", big)
         write(baseline, "service", service_report())
         write(baseline, "micro", micro_report())
+        write(baseline, "delta", delta_report())
         write(fresh, "engine", engine_report())
         write(fresh, "solver", solver_report())
         write(fresh, "service", service_report())
         write(fresh, "micro", micro_report())
+        write(fresh, "delta", delta_report())
         assert run(baseline, fresh) == 0
         out = capsys.readouterr().out
         assert "1 of 3 committed case labels not in the fresh report" in out
@@ -347,6 +372,71 @@ class TestMicroGate:
         assert run(baseline, fresh, "--min-kernel-ratio", "1.7") == 1
 
 
+class TestDeltaGate:
+    def test_parity_break_fails_with_repro_path(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_delta=delta_report(
+                identical=False,
+                parity_failures=[
+                    {"label": "tgff-48-0",
+                     "repro": "delta-parity-repro-tgff-48-0.json"},
+                ],
+            ),
+        )
+        assert run(baseline, fresh) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] delta.results_identical" in out
+        assert "delta-parity-repro-tgff-48-0.json" in out
+
+    def test_warm_speedup_below_hard_floor_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh, fresh_delta=delta_report(speedup=1.5)
+        )
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] delta.refinement-heavy.speedup" in \
+            capsys.readouterr().out
+
+    def test_regression_past_tolerance_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write(baseline, "delta", delta_report(speedup=20.0))
+        write(fresh, "delta", delta_report(speedup=5.0))
+        assert check_bench.main([
+            "--baseline-delta", str(baseline / "BENCH_delta.json"),
+            "--fresh-delta", str(fresh / "BENCH_delta.json"),
+        ]) == 1
+        assert "[FAIL] delta.refinement-heavy.speedup" in \
+            capsys.readouterr().out
+
+    def test_iteration_drift_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(
+            baseline, fresh,
+            fresh_delta=delta_report(iterations=(40, 51)),
+        )
+        assert run(baseline, fresh) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] delta.iteration_parity" in out
+        assert "tgff-64-0: 50 -> 51" in out
+
+    def test_min_delta_ratio_flag_raises_the_floor(self, dirs, capsys):
+        baseline, fresh = dirs
+        write_all(baseline, fresh)  # 3.5x on both sides
+        assert run(baseline, fresh, "--min-delta-ratio", "4.0") == 1
+        assert "[FAIL] delta.refinement-heavy.speedup" in \
+            capsys.readouterr().out
+
+    def test_missing_family_fails(self, dirs, capsys):
+        baseline, fresh = dirs
+        empty = delta_report()
+        empty["workloads"] = []
+        write_all(baseline, fresh, fresh_delta=empty)
+        assert run(baseline, fresh) == 1
+        assert "[FAIL] delta.refinement-heavy" in capsys.readouterr().out
+
+
 class TestCliShapes:
     def test_no_paths_is_usage_error(self, capsys):
         assert check_bench.main([]) == 2
@@ -368,4 +458,4 @@ class TestCliShapes:
         assert check_bench.main([
             "--baseline-dir", str(repo), "--fresh-dir", str(repo),
         ]) == 0
-        assert "4 reports within the gate" in capsys.readouterr().out
+        assert "5 reports within the gate" in capsys.readouterr().out

@@ -517,3 +517,116 @@ class TestConcurrentAccess:
         assert result.error == "timeout: no result within 1s"
         assert result.datapath is None
         assert elapsed < 15.0
+
+
+class TestDeltaEndpoint:
+    def test_served_delta_matches_offline_cold_solve(self):
+        from repro.core.delta import DeadlineEdit
+        from repro.engine import DeltaRequest
+
+        problem = make_problem(relax=0.5)
+        lam = problem.latency_constraint
+        edited = problem.with_latency_constraint(lam + 1)
+        offline = Engine().run(AllocationRequest(edited, "dpalloc"))
+        with ServerThread(engine=Engine(), max_concurrency=2) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            primed = client.delta(DeltaRequest(
+                edits=(), base_problem=problem, label="prime"
+            ))
+            warm = client.delta(DeltaRequest(
+                edits=(DeadlineEdit(lam + 1),),
+                base_fingerprint=problem.fingerprint(),
+            ))
+        assert (primed.delta or {}).get("strategy") == "noop"
+        assert primed.label == "prime"
+        meta = warm.delta or {}
+        assert meta.get("strategy") in ("replay", "resumed", "diverged")
+        assert warm.canonical_json() == offline.canonical_json()
+
+    def test_served_delta_error_envelope_is_http_200(self):
+        from repro.engine import DeltaRequest
+
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            result = client.delta(DeltaRequest(
+                edits=(), base_fingerprint="deadbeef"
+            ))
+        assert (result.delta or {}).get("strategy") == "error"
+        assert "no replay artifact" in result.error
+
+    def test_malformed_delta_body_is_http_400(self):
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("POST", "/delta", {
+                    "kind": "delta-request", "edits": "latency=9",
+                })
+            assert excinfo.value.status == 400
+            assert "bad delta-request" in str(excinfo.value)
+
+
+class TestServedTraceTelemetry:
+    """Trace telemetry must ride the wire but never the canonical bytes."""
+
+    TELEMETRY = ("pass_ms", "cache_hits", "cache_misses", "cache_evicted")
+
+    def test_telemetry_survives_the_served_round_trip(self):
+        request = AllocationRequest(
+            make_problem(), "dpalloc", options={"trace": True}
+        )
+        offline = Engine().run(request)
+        with ServerThread(engine=Engine(), max_concurrency=2) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            served = client.allocate(request)
+        assert served.trace, "traced request lost its trace on the wire"
+        passes = {"bind", "bounds", "check", "refine", "schedule"}
+        for event in served.trace:
+            # Iterations time the passes they actually ran (the first
+            # iteration has no refine step).
+            assert {"bind", "bounds", "check", "schedule"} <= set(event.pass_ms)
+            assert set(event.pass_ms) <= passes
+            assert all(ms >= 0.0 for ms in event.pass_ms.values())
+        # The default incremental mode also reports chain-cache counters.
+        assert any(event.cache_hits is not None for event in served.trace)
+        # Telemetry is wall-clock noise; canonical parity still holds.
+        assert served.canonical_json() == offline.canonical_json()
+
+    def test_telemetry_never_leaks_into_canonical_bytes(self):
+        request = AllocationRequest(
+            make_problem(), "dpalloc", options={"trace": True}
+        )
+        with ServerThread(engine=Engine(), max_concurrency=2) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            served = client.allocate(request)
+        canonical = json.loads(served.canonical_json())
+        events = canonical["datapath"]["trace"]
+        assert events, "canonical payload must keep the trace itself"
+        for event in events:
+            for key in self.TELEMETRY:
+                assert key not in event
+        for key in self.TELEMETRY:
+            assert key not in served.canonical_json()
+
+    def test_wire_payload_carries_telemetry_fields(self):
+        # The raw served JSON (not the client object) must include the
+        # telemetry keys, so non-Python consumers can read them too.
+        from repro.io import allocation_request_to_dict
+
+        request = AllocationRequest(
+            make_problem(), "dpalloc", options={"trace": True}
+        )
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            payload = client._request(
+                "POST", "/allocate", allocation_request_to_dict(request)
+            )
+        events = payload["datapath"]["trace"]
+        assert events
+        assert all("pass_ms" in event for event in events)
+        assert any("cache_hits" in event for event in events)

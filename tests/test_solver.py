@@ -31,8 +31,18 @@ from repro.io.json_io import datapath_to_dict
 from tests.conftest import make_problem
 
 
+TELEMETRY_KEYS = ("pass_ms", "cache_hits", "cache_misses", "cache_evicted")
+
+
 def canonical(datapath) -> str:
-    return json.dumps(datapath_to_dict(datapath), sort_keys=True)
+    payload = datapath_to_dict(datapath)
+    # Telemetry rides the JSON payload (it must survive the service
+    # wire) but is wall-clock noise: canonical comparisons drop it,
+    # exactly like AllocationResult.canonical_json().
+    for event in payload.get("trace") or ():
+        for key in TELEMETRY_KEYS:
+            event.pop(key, None)
+    return json.dumps(payload, sort_keys=True)
 
 
 class TestSolverModeResolution:
@@ -357,9 +367,11 @@ class TestIncrementalReuseState:
 class TestTraceTelemetry:
     """Per-pass wall time and ChainCache counters ride on TraceEvent.
 
-    Telemetry fields are ``compare=False`` and never serialized: the
-    parity contract (incremental.trace == scratch.trace, byte-identical
-    canonical JSON) must not see wall-clock noise.
+    Telemetry fields are ``compare=False`` and serialized only as
+    payload extras: the parity contract (incremental.trace ==
+    scratch.trace, byte-identical canonical JSON) must not see
+    wall-clock noise, while the service wire must still carry it
+    (``AllocationResult.canonical_dict()`` strips it envelope-side).
     """
 
     def _traced(self, mode):
@@ -398,9 +410,23 @@ class TestTraceTelemetry:
             cache_evicted=None,
         )
         assert stripped == last  # compare=False: equality ignores telemetry
+        # Serialisation keeps the telemetry (it must survive the service
+        # wire) -- the canonical paths strip it instead.
         payload = trace_event_to_dict(last)
-        assert "pass_ms" not in payload
-        assert "cache_hits" not in payload
+        assert "pass_ms" in payload
+        assert "cache_hits" in payload
+        assert canonical(datapath) == canonical(
+            replace(datapath, trace=tuple(
+                replace(
+                    event,
+                    pass_ms=None,
+                    cache_hits=None,
+                    cache_misses=None,
+                    cache_evicted=None,
+                )
+                for event in datapath.trace
+            ))
+        )
 
     def test_trace_report_renders_telemetry_columns(self):
         from repro.analysis.reporting import format_trace

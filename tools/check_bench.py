@@ -28,7 +28,14 @@ baselines and fails when the trajectory regresses:
   ``cover_probe``, ``tracker_ops``) must beat its in-process reference
   implementation by at least ``--min-kernel-ratio`` (default 1.0 -- the
   optimised kernel may never lose to the formulation it replaced) *and*
-  must not fall below ``baseline * (1 - tolerance)``.
+  must not fall below ``baseline * (1 - tolerance)``;
+* **delta warm starts** (``BENCH_delta.json``): every warm single-edit
+  re-solve must be canonical-byte identical to its cold counterpart
+  (a break fails the gate with the path of the replayable repro file
+  ``bench_delta.py`` wrote), the warm/cold speedup must stay >=
+  ``--min-delta-ratio`` (default 2.0) and >= ``baseline * (1 -
+  tolerance)``, and per-case cold iteration counts must match the
+  committed baseline exactly.
 
 Relative *wall-clock* comparisons between the committed baseline (dev
 container) and the CI host are intentionally avoided everywhere except
@@ -50,7 +57,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-REPORTS = ("engine", "solver", "service", "micro")
+REPORTS = ("engine", "solver", "service", "micro", "delta")
 FILENAMES = {name: f"BENCH_{name}.json" for name in REPORTS}
 
 
@@ -246,11 +253,98 @@ def check_micro(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
         gate.check(ratio >= floor, f"micro.{name}.speedup", detail)
 
 
+def check_delta(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
+    failures = fresh.get("parity_failures") or []
+    gate.check(
+        fresh.get("results_identical") is True and not failures,
+        "delta.results_identical",
+        (
+            "warm re-solves byte-identical to cold solves"
+            if not failures
+            else "PARITY BROKEN -- replayable repro file(s): "
+            + ", ".join(f["repro"] for f in failures)
+        ),
+    )
+    baseline_families = {w["name"]: w for w in baseline.get("workloads", [])}
+    fresh_families = {w["name"]: w for w in fresh.get("workloads", [])}
+    for name in sorted(baseline_families.keys() | fresh_families.keys()):
+        fresh_family = fresh_families.get(name)
+        if fresh_family is None:
+            gate.check(
+                False, f"delta.{name}", "family missing from fresh report"
+            )
+            continue
+        ratio = float(fresh_family.get("speedup", 0.0))
+        committed = baseline_families.get(name)
+        if committed is None:
+            floor = args.min_delta_ratio
+            detail = (
+                f"warm/cold {ratio:g}x (floor {floor:g}x; new family, no "
+                f"committed baseline -- regenerate BENCH_delta.json)"
+            )
+        else:
+            floor = max(
+                args.min_delta_ratio,
+                float(committed.get("speedup", 0.0)) * (1.0 - args.tolerance),
+            )
+            detail = (
+                f"warm/cold {ratio:g}x "
+                f"(floor {floor:g}x = max({args.min_delta_ratio:g}, "
+                f"baseline {committed.get('speedup')}x - "
+                f"{args.tolerance:.0%}))"
+            )
+        gate.check(ratio >= floor, f"delta.{name}.speedup", detail)
+
+    # Cold iteration counts are deterministic: any drift vs the
+    # committed baseline means the solver's search path changed.
+    baseline_iterations = {
+        f"{w['name']}/{c['label']}": c["iterations"]
+        for w in baseline.get("workloads", [])
+        for c in w.get("cases", [])
+    }
+    drifted: List[str] = []
+    seen: set = set()
+    for name, fresh_family in fresh_families.items():
+        for case in fresh_family.get("cases", []):
+            key = f"{name}/{case['label']}"
+            expected = baseline_iterations.get(key)
+            if expected is None:
+                continue
+            seen.add(key)
+            if case["iterations"] != expected:
+                drifted.append(f"{key}: {expected} -> {case['iterations']}")
+    uncovered = len(baseline_iterations) - len(seen)
+    if uncovered and baseline_iterations:
+        gate.note(
+            f"delta.iteration_parity: {uncovered} of "
+            f"{len(baseline_iterations)} committed case labels not in "
+            f"the fresh report (smaller smoke grid)"
+        )
+    if baseline_iterations and not seen:
+        gate.check(
+            False, "delta.iteration_parity",
+            "no case labels in common with the committed baselines -- "
+            "grid renamed? regenerate and commit BENCH_delta.json",
+        )
+    else:
+        gate.check(
+            not drifted,
+            "delta.iteration_parity",
+            (
+                f"{len(seen)} case labels match the committed "
+                f"iteration counts"
+                if not drifted
+                else f"iteration counts drifted: {', '.join(drifted)}"
+            ),
+        )
+
+
 CHECKERS = {
     "engine": ("bench-engine", check_engine),
     "solver": ("bench-solver", check_solver),
     "service": ("bench-service", check_service),
     "micro": ("bench-micro", check_micro),
+    "delta": ("bench-delta", check_delta),
 }
 
 
@@ -297,6 +391,12 @@ def main(argv=None) -> int:
         "--min-service-ratio", type=float, default=1.0,
         help="hard floor for served /batch throughput over serial "
              "run_batch (default 1.0)",
+    )
+    parser.add_argument(
+        "--min-delta-ratio", type=float, default=2.0,
+        help="hard floor for the warm/cold delta re-solve speedup on "
+             "every family (default 2.0: a warm single-edit re-solve "
+             "must at least halve the cold solve time)",
     )
     parser.add_argument(
         "--min-kernel-ratio", type=float, default=1.0,
