@@ -27,12 +27,17 @@ Subcommands:
 * ``merge`` -- merge per-shard result files back into one
   index-ordered batch result;
 * ``cache`` -- inspect / prune / clear an engine result cache;
-* ``serve`` -- run the asyncio HTTP/JSON allocation service
-  (``POST /allocate``, ``POST /batch``, ``GET /healthz``,
-  ``GET /stats``; see ``docs/service.md``);
-* ``submit`` -- send a workloads x methods sweep to a running service
-  and print the standard batch table (envelopes are
-  canonical-byte-identical to a local ``batch`` run);
+* ``serve`` -- run one asyncio HTTP/JSON allocation worker
+  (``POST /v1/allocate``, ``/v1/batch``, ``/v1/delta``,
+  ``GET /v1/healthz``, ``/v1/stats`` plus the deprecated unversioned
+  paths; see ``docs/service.md``);
+* ``fleet`` -- run the fleet coordinator: spawn ``--workers N`` local
+  ``serve`` processes (or front externally launched ones with
+  ``--worker-url``), route by ``Problem.fingerprint()``, dedup
+  fleet-wide, requeue work from dead workers, and shed over-limit
+  priority classes with typed 429s (see ``docs/service.md``);
+* ``submit`` -- deprecated alias of ``batch --url`` (prints a warning
+  and maps through);
 * ``lint`` -- run **reprolint**, the AST-based checker for the repo's
   parity and concurrency contracts (rules RL001..RL005, inline
   suppressions, CI baseline; see ``docs/static-analysis.md``).
@@ -69,10 +74,20 @@ Cache lifecycle::
     python -m repro cache prune .cache --max-mb 64
     python -m repro cache clear .cache
 
-Allocation service (server and client)::
+Allocation service (worker, fleet, client)::
 
     python -m repro serve --port 8035 --workers 4 --cache-dir .cache
-    python -m repro submit fir biquad --url http://127.0.0.1:8035
+    python -m repro fleet --port 8040 --workers 4 --shared-cache-dir .store
+    python -m repro batch fir biquad --url http://127.0.0.1:8040
+    python -m repro allocate fir --url http://127.0.0.1:8040
+    python -m repro delta fir --url http://127.0.0.1:8040 --edit latency=40
+
+``allocate``/``batch``/``compare``/``delta`` share one service surface
+(``--url``/``--http-timeout``/``--priority``), one engine surface
+(``--workers``/``--timeout``/``--executor``) and one cache surface
+(``--cache-dir``/``--cache-max-mb``/``--shared-cache-dir``); with
+``--url`` the work runs on the remote backend, without it locally,
+with byte-identical canonical envelopes either way.
 
 Static analysis (part of the pre-PR checklist)::
 
@@ -89,7 +104,13 @@ from typing import Callable, Dict, Optional, Tuple
 
 from . import Problem
 from .analysis.reporting import format_table, format_trace
-from .engine import EXECUTORS, AllocationRequest, Engine, allocator_names
+from .engine import (
+    EXECUTORS,
+    PRIORITY_CLASSES,
+    AllocationRequest,
+    Engine,
+    allocator_names,
+)
 from .gen import workloads
 from .io import (
     datapath_to_dict,
@@ -146,14 +167,61 @@ def _build_problem(
 def _engine(args) -> Engine:
     cache_dir = getattr(args, "cache_dir", None)
     cache_max_mb = getattr(args, "cache_max_mb", None)
+    shared_dir = getattr(args, "shared_cache_dir", None)
     if cache_max_mb is not None and cache_dir is None:
         print("--cache-max-mb requires --cache-dir", file=sys.stderr)
+        raise SystemExit(2)
+    if shared_dir is not None and cache_dir is None:
+        print("--shared-cache-dir requires --cache-dir", file=sys.stderr)
         raise SystemExit(2)
     return Engine(
         cache_dir=cache_dir,
         cache_max_mb=cache_max_mb,
+        cache_shared_dir=shared_dir,
         executor=getattr(args, "executor", None) or "pool",
     )
+
+
+def _backend(args):
+    """The one :class:`repro.engine.Backend` the command runs against.
+
+    ``--url`` selects a :class:`~repro.service.ServiceClient` (worker
+    or fleet coordinator -- same wire surface); otherwise the local
+    :class:`Engine`.  Both satisfy ``run``/``run_delta``/``run_batch``
+    with identical envelope semantics, so command handlers do not
+    branch beyond this point.
+    """
+    url = getattr(args, "url", None)
+    if url:
+        from .service import ServiceClient
+
+        return ServiceClient(
+            url, timeout=getattr(args, "http_timeout", 600.0)
+        )
+    return _engine(args)
+
+
+# Deprecated spellings warn once per process, then map through.
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    if old in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(old)
+    print(f"warning: {old} is deprecated; use {new}", file=sys.stderr)
+
+
+class _DeprecatedAlias(argparse.Action):
+    """An option kept for compatibility: warn once, store normally."""
+
+    def __init__(self, *args, new_name: str = "", **kwargs):
+        self.new_name = new_name
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        _warn_deprecated(option_string or self.dest, self.new_name)
+        setattr(namespace, self.dest, values)
 
 
 def _positive_int(text: str) -> int:
@@ -161,6 +229,27 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _parse_queue_limit(spec: str):
+    """One ``--queue-limit CLASS=N`` specification -> ``(class, n)``."""
+    name, sep, value = spec.partition("=")
+    if not sep or name not in PRIORITY_CLASSES:
+        raise argparse.ArgumentTypeError(
+            f"queue limit {spec!r}: expected CLASS=N with CLASS one of "
+            f"{', '.join(PRIORITY_CLASSES)}"
+        )
+    try:
+        limit = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"queue limit {spec!r}: bad count {value!r}"
+        ) from None
+    if limit < 1:
+        raise argparse.ArgumentTypeError(
+            f"queue limit {spec!r}: count must be >= 1"
+        )
+    return name, limit
 
 
 def _cmd_list_workloads(_args) -> int:
@@ -190,8 +279,11 @@ def _cmd_allocate(args) -> int:
                 f"solver only; running {args.method} untraced",
                 file=sys.stderr,
             )
-    result = _engine(args).run(
-        AllocationRequest(problem, args.method, options=options)
+    result = _backend(args).run(
+        AllocationRequest(
+            problem, args.method, options=options,
+            priority=getattr(args, "priority", None),
+        )
     )
     if not result.ok:
         print(f"{args.method}: {result.error}", file=sys.stderr)
@@ -267,13 +359,7 @@ def _cmd_delta(args) -> int:
 
     problem = _build_problem(args.workload, args.relax, args.latency)
     request = DeltaRequest(edits=tuple(args.edit), base_problem=problem)
-    if args.url:
-        from .service import ServiceClient
-
-        client = ServiceClient(args.url, timeout=args.http_timeout)
-        result = client.delta(request)
-    else:
-        result = _engine(args).run_delta(request)
+    result = _backend(args).run_delta(request)
     meta = dict(result.delta or {})
     strategy = meta.get("strategy", "?")
     if not result.ok:
@@ -312,9 +398,12 @@ def _result_row(name: str, result) -> list:
 def _cmd_compare(args) -> int:
     problem = _build_problem(args.workload, args.relax, args.latency)
     methods = allocator_names()
-    results = _engine(args).run_batch(
+    results = _backend(args).run_batch(
         [
-            AllocationRequest(problem, name, timeout=args.timeout)
+            AllocationRequest(
+                problem, name, timeout=args.timeout,
+                priority=getattr(args, "priority", None),
+            )
             for name in methods
         ],
         workers=args.workers,
@@ -355,6 +444,7 @@ def _sweep_requests(args):
         for method in methods:
             requests.append(AllocationRequest(
                 problem, method, label=workload, timeout=args.timeout,
+                priority=getattr(args, "priority", None),
             ))
     return requests
 
@@ -381,6 +471,10 @@ def _report_failures(results) -> int:
 
 def _cmd_batch(args) -> int:
     if args.from_shard:
+        if getattr(args, "url", None):
+            print("--from-shard executes locally; it cannot be combined "
+                  "with --url", file=sys.stderr)
+            return 2
         if args.workloads:
             print("--from-shard replaces the workloads arguments; "
                   "give one or the other", file=sys.stderr)
@@ -415,12 +509,24 @@ def _cmd_batch(args) -> int:
     requests = _sweep_requests(args)
     if requests is None:
         return 2
-    results = _engine(args).run_batch(requests, workers=args.workers)
+    backend = _backend(args)
+    if getattr(args, "url", None):
+        from .service import ServiceError
+
+        try:
+            results = backend.run_batch(requests, workers=args.workers)
+        except ServiceError as exc:
+            print(f"batch --url failed: {exc}", file=sys.stderr)
+            return 2
+        title_suffix = f", served by {args.url}"
+    else:
+        results = backend.run_batch(requests, workers=args.workers)
+        title_suffix = f", {args.workers} workers" if args.workers else ""
 
     methods = sorted({r.allocator for r in results})
     _print_results_table(results, title=(
         f"batch: {len(args.workloads)} workloads x {len(methods)} methods"
-        + (f", {args.workers} workers" if args.workers else "")
+        + title_suffix
     ))
     if args.json:
         from .io import batch_results_to_dict
@@ -600,28 +706,71 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_submit(args) -> int:
-    """Send a workloads x methods sweep to a running service."""
-    from .io import batch_results_to_dict
-    from .service import ServiceClient, ServiceError
+    """Deprecated alias: ``submit ...`` == ``batch ... --url URL``."""
+    _warn_deprecated("submit", "batch --url")
+    args.from_shard = None
+    return _cmd_batch(args)
 
-    requests = _sweep_requests(args)
-    if requests is None:
-        return 2
-    client = ServiceClient(args.url, timeout=args.http_timeout)
+
+def _cmd_fleet(args) -> int:
+    """Run the fleet coordinator (spawning workers unless given URLs)."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from .service import FleetCoordinator
+    from .service.fleet import WorkerPool
+
+    queue_limits = dict(args.queue_limit or [])
+
+    def _sigterm(signum: int, frame: object) -> None:
+        # Supervisors (systemd/k8s) send SIGTERM; without this the
+        # process dies before the ExitStack reaps spawned workers.
+        raise KeyboardInterrupt
+
+    async def _run(urls) -> None:
+        coordinator = FleetCoordinator(
+            urls,
+            host=args.host,
+            port=args.port,
+            shared_dir=args.shared_cache_dir,
+            queue_limits=queue_limits,
+            max_attempts=args.max_attempts,
+            worker_timeout=args.worker_timeout,
+        )
+        await coordinator.start()
+        print(
+            f"repro fleet listening on {coordinator.url} "
+            f"fronting {len(urls)} worker(s) "
+            f"(store={args.shared_cache_dir or 'off'})",
+            flush=True,
+        )
+        try:
+            await coordinator.serve_forever()
+        finally:
+            await coordinator.stop()
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
-        results = client.batch(requests)
-    except ServiceError as exc:
-        print(f"submit failed: {exc}", file=sys.stderr)
-        return 2
-    methods = sorted({r.allocator for r in results})
-    _print_results_table(results, title=(
-        f"served by {args.url}: {len(args.workloads)} workloads x "
-        f"{len(methods)} methods"
-    ))
-    if args.json:
-        save_json(batch_results_to_dict(results), args.json)
-        print(f"wrote {args.json}")
-    return _report_failures(results)
+        with contextlib.ExitStack() as stack:
+            if args.worker_url:
+                urls = list(args.worker_url)
+            else:
+                pool = stack.enter_context(WorkerPool(
+                    args.workers,
+                    shared_dir=args.shared_cache_dir,
+                    executor=args.executor,
+                    max_concurrency=args.worker_concurrency,
+                    default_timeout=args.default_timeout,
+                ))
+                urls = pool.urls
+            try:
+                asyncio.run(_run(urls))
+            except KeyboardInterrupt:
+                print("repro fleet stopped", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -681,7 +830,56 @@ def main(argv=None) -> int:
 
     methods = allocator_names()
 
-    def add_problem_args(cmd, workload_nargs=None, cache=True):
+    # ------------------------------------------------------------------
+    # shared flag surfaces (argparse parents): every command that can
+    # execute allocation work advertises the same service, cache and
+    # engine flags, defined exactly once.
+    # ------------------------------------------------------------------
+    service_parent = argparse.ArgumentParser(add_help=False)
+    group = service_parent.add_argument_group("service")
+    group.add_argument(
+        "--url", default=None,
+        help="run against a repro service at this base URL -- a single "
+             "worker ('serve') or a fleet coordinator ('fleet') -- "
+             "instead of solving locally",
+    )
+    group.add_argument("--http-timeout", type=float, default=600.0,
+                       help="HTTP socket timeout in seconds (default 600)")
+    group.add_argument(
+        "--priority", choices=PRIORITY_CLASSES, default=None,
+        help="admission class for fleet coordinators "
+             "(default 'normal'; ignored by local runs)",
+    )
+
+    cache_parent = argparse.ArgumentParser(add_help=False)
+    group = cache_parent.add_argument_group("result cache")
+    group.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk result cache")
+    group.add_argument("--cache-max-mb", type=float, default=None,
+                       help="LRU-evict the cache beyond this size "
+                            "(needs --cache-dir)")
+    group.add_argument(
+        "--shared-cache-dir", default=None,
+        help="shared backing store the cache spills to and reads "
+             "through on local misses (fleet topology; needs "
+             "--cache-dir)",
+    )
+
+    engine_parent = argparse.ArgumentParser(add_help=False)
+    group = engine_parent.add_argument_group("engine")
+    group.add_argument("--workers", type=_positive_int, default=None,
+                       help="parallel width (default: serial)")
+    group.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock budget in seconds")
+    group.add_argument(
+        "--executor", choices=EXECUTORS, default="pool",
+        help="fresh-run execution mode: 'pool' (process pool; a "
+             "timeout abandons the worker) or 'process' (one "
+             "killable process per run; timeout is a hard "
+             "per-solve deadline)",
+    )
+
+    def add_problem_args(cmd, workload_nargs=None):
         if workload_nargs:
             cmd.add_argument(
                 "workloads", nargs=workload_nargs,
@@ -700,28 +898,11 @@ def main(argv=None) -> int:
         )
         cmd.add_argument("--latency", type=int, default=None,
                          help="absolute latency constraint (overrides --relax)")
-        if cache:
-            cmd.add_argument("--cache-dir", default=None,
-                             help="directory for the on-disk result cache")
 
-    def add_engine_args(cmd):
-        """Engine execution flags, identical on every batch-shaped command."""
-        cmd.add_argument("--workers", type=_positive_int, default=None,
-                         help="parallel width (default: serial)")
-        cmd.add_argument("--timeout", type=float, default=None,
-                         help="per-run wall-clock budget in seconds")
-        cmd.add_argument(
-            "--executor", choices=EXECUTORS, default="pool",
-            help="fresh-run execution mode: 'pool' (process pool; a "
-                 "timeout abandons the worker) or 'process' (one "
-                 "killable process per run; timeout is a hard "
-                 "per-solve deadline)",
-        )
-        cmd.add_argument("--cache-max-mb", type=float, default=None,
-                         help="LRU-evict the cache beyond this size "
-                              "(needs --cache-dir)")
-
-    cmd = sub.add_parser("allocate", help="allocate one workload with one method")
+    cmd = sub.add_parser(
+        "allocate", help="allocate one workload with one method",
+        parents=[cache_parent, service_parent],
+    )
     add_problem_args(cmd)
     cmd.add_argument("--method", choices=methods, default="dpalloc")
     cmd.add_argument("--trace", action="store_true",
@@ -735,6 +916,7 @@ def main(argv=None) -> int:
         "delta",
         help="warm-start re-solve of an edited problem (replays the "
              "recorded base solve; see docs/architecture.md)",
+        parents=[cache_parent, service_parent],
     )
     add_problem_args(cmd)
     cmd.add_argument(
@@ -743,14 +925,6 @@ def main(argv=None) -> int:
         help="edit to apply, in order (repeatable): latency=N, "
              "width:OP=W1[,W2,...], or limit:KIND=N|none",
     )
-    cmd.add_argument("--url", default=None,
-                     help="POST the delta request to a running service "
-                          "instead of solving locally")
-    cmd.add_argument("--http-timeout", type=float, default=600.0,
-                     help="HTTP socket timeout in seconds (default 600)")
-    cmd.add_argument("--cache-max-mb", type=float, default=None,
-                     help="LRU-evict the cache beyond this size "
-                          "(needs --cache-dir)")
     cmd.add_argument("--json", help="write the result envelope as JSON")
 
     cmd = sub.add_parser(
@@ -760,15 +934,18 @@ def main(argv=None) -> int:
     )
     cmd.add_argument("file", help="JSON file written by allocate/batch/merge")
 
-    cmd = sub.add_parser("compare", help="run every registered allocator")
+    cmd = sub.add_parser(
+        "compare", help="run every registered allocator",
+        parents=[cache_parent, engine_parent, service_parent],
+    )
     add_problem_args(cmd)
-    add_engine_args(cmd)
 
     cmd = sub.add_parser(
-        "batch", help="run workloads x methods through the engine"
+        "batch", help="run workloads x methods through the engine "
+                      "(or a service/fleet with --url)",
+        parents=[cache_parent, engine_parent, service_parent],
     )
     add_problem_args(cmd, workload_nargs="*")
-    add_engine_args(cmd)
     cmd.add_argument("--methods", default=None,
                      help=f"comma-separated subset of: {', '.join(methods)}")
     cmd.add_argument("--from-shard", default=None, metavar="MANIFEST",
@@ -781,6 +958,7 @@ def main(argv=None) -> int:
         "shard",
         help="partition a workloads x methods sweep into N shard manifests "
              "(deterministic on Problem.fingerprint())",
+        parents=[cache_parent],
     )
     add_problem_args(cmd, workload_nargs="+")
     cmd.add_argument("--methods", default=None,
@@ -817,8 +995,9 @@ def main(argv=None) -> int:
 
     cmd = sub.add_parser(
         "serve",
-        help="run the async HTTP/JSON allocation service "
+        help="run one async HTTP/JSON allocation worker "
              "(see docs/service.md)",
+        parents=[cache_parent],
     )
     cmd.add_argument("--host", default="127.0.0.1",
                      help="bind address (default 127.0.0.1)")
@@ -826,33 +1005,82 @@ def main(argv=None) -> int:
                      help="TCP port (default 8035; 0 picks a free port)")
     cmd.add_argument("--workers", type=_positive_int, default=4,
                      help="max concurrent solves (default 4)")
-    cmd.add_argument("--cache-dir", default=None,
-                     help="shared on-disk result cache for all requests")
-    cmd.add_argument("--cache-max-mb", type=float, default=None,
-                     help="LRU-evict the cache beyond this size "
-                          "(needs --cache-dir)")
     cmd.add_argument(
         "--executor", choices=EXECUTORS, default="process",
         help="fresh-run execution mode (default 'process': one killable "
              "worker process per solve, so hung solves cannot pile up)",
     )
-    cmd.add_argument("--default-timeout", type=float, default=None,
+    cmd.add_argument("--timeout", dest="default_timeout", type=float,
+                     default=None,
                      help="per-solve budget for requests without their own")
+    cmd.add_argument("--default-timeout", dest="default_timeout",
+                     type=float, action=_DeprecatedAlias,
+                     new_name="--timeout",
+                     help="deprecated alias of --timeout")
+
+    cmd = sub.add_parser(
+        "fleet",
+        help="run the fleet coordinator over N workers: fingerprint "
+             "routing, fleet-wide dedup, requeue, admission control "
+             "(see docs/service.md)",
+    )
+    cmd.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    cmd.add_argument("--port", type=int, default=8040,
+                     help="TCP port (default 8040; 0 picks a free port)")
+    cmd.add_argument("--workers", type=_positive_int, default=4,
+                     help="local 'serve' worker processes to spawn "
+                          "(default 4; ignored with --worker-url)")
+    cmd.add_argument("--worker-url", action="append", default=[],
+                     metavar="URL",
+                     help="front an externally launched worker at URL "
+                          "(repeatable; suppresses spawning)")
+    cmd.add_argument("--shared-cache-dir", default=None,
+                     help="shared result store every spawned worker "
+                          "spills to and the coordinator reads through")
+    cmd.add_argument("--queue-limit", action="append", default=[],
+                     metavar="CLASS=N", type=_parse_queue_limit,
+                     help="admission bound for a priority class "
+                          f"({', '.join(PRIORITY_CLASSES)}; repeatable)")
+    cmd.add_argument("--max-attempts", type=_positive_int, default=3,
+                     help="forward attempts per request before a typed "
+                          "503 (default 3)")
+    cmd.add_argument("--worker-timeout", type=float, default=600.0,
+                     help="per-forward socket budget in seconds "
+                          "(default 600); a hung worker is cut off "
+                          "here and the request requeued")
+    cmd.add_argument("--worker-concurrency", type=_positive_int, default=4,
+                     help="max concurrent solves per spawned worker "
+                          "(default 4)")
+    cmd.add_argument(
+        "--executor", choices=EXECUTORS, default="process",
+        help="execution mode for spawned workers (default 'process')",
+    )
+    cmd.add_argument("--timeout", dest="default_timeout", type=float,
+                     default=None,
+                     help="per-solve budget for spawned workers' "
+                          "requests without their own")
 
     cmd = sub.add_parser(
         "submit",
-        help="send a workloads x methods sweep to a running service",
+        help="deprecated alias of 'batch --url'",
+        parents=[engine_parent],
     )
-    add_problem_args(cmd, workload_nargs="+", cache=False)
+    add_problem_args(cmd, workload_nargs="+")
     cmd.add_argument("--methods", default=None,
                      help=f"comma-separated subset of: {', '.join(methods)}")
-    cmd.add_argument("--timeout", type=float, default=None,
-                     help="per-run wall-clock budget in seconds")
+    # Not service_parent: submit predates it and keeps its historical
+    # non-None --url default (set_defaults on a shared parent action
+    # would leak the default into every other subcommand).
     cmd.add_argument("--url", default="http://127.0.0.1:8035",
                      help="service base URL (default http://127.0.0.1:8035)")
     cmd.add_argument("--http-timeout", type=float, default=600.0,
                      help="HTTP socket timeout in seconds (default 600)")
+    cmd.add_argument("--priority", choices=PRIORITY_CLASSES, default=None,
+                     help="admission-control class a fleet coordinator "
+                          "should queue these runs under")
     cmd.add_argument("--json", help="write the full result envelopes as JSON")
+    cmd.set_defaults(cache_dir=None, cache_max_mb=None, shared_cache_dir=None)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -867,6 +1095,7 @@ def main(argv=None) -> int:
         "lint": _cmd_lint,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
         "submit": _cmd_submit,
     }
     return handlers[args.command](args)

@@ -40,6 +40,7 @@ Scaling surfaces on top of the engine:
   identical to a cold solve.
 """
 
+from .backend import Backend
 from .cache import ResultCache
 from .engine import (
     EXECUTORS,
@@ -47,6 +48,7 @@ from .engine import (
     content_key_from_fingerprint,
     execute_request,
     request_content_key,
+    versioned_content_key,
 )
 from .executor import ProcessPerRunExecutor
 from .registry import (
@@ -57,7 +59,12 @@ from .registry import (
     register_allocator,
     unregister_allocator,
 )
-from .results import AllocationRequest, AllocationResult, DeltaRequest
+from .results import (
+    PRIORITY_CLASSES,
+    AllocationRequest,
+    AllocationResult,
+    DeltaRequest,
+)
 from .sharding import (
     ShardManifest,
     load_shard_manifest,
@@ -72,9 +79,11 @@ __all__ = [
     "Allocator",
     "AllocationRequest",
     "AllocationResult",
+    "Backend",
     "DeltaRequest",
     "EXECUTORS",
     "Engine",
+    "PRIORITY_CLASSES",
     "ProcessPerRunExecutor",
     "ResultCache",
     "ShardManifest",
@@ -91,5 +100,6 @@ __all__ = [
     "run_shard",
     "shard_of",
     "unregister_allocator",
+    "versioned_content_key",
     "write_shard_manifests",
 ]

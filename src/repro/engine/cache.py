@@ -15,6 +15,20 @@ entries:
   enforced automatically after every write;
 * :meth:`clear` empties the cache.
 
+**Shared-store spill** (the fleet backing store): construct with
+``shared_dir`` and every write is additionally *spilled* to a second
+directory-based store -- itself a :class:`ResultCache`, so it reuses
+the same manifest machinery and atomic-write discipline -- and every
+local miss falls through to a shared read.  A shared hit is *adopted*
+into the local directory, so a worker that inherits another worker's
+solve serves the next lookup locally.  Several worker processes (the
+``repro fleet`` topology) point at one shared directory: entry keys
+already incorporate the package version (see ``Engine.cache_key``), so
+a store shared across rolling versions never serves an envelope written
+by other code -- version-aware invalidation for free -- and manifest
+update races between workers reconcile exactly like the single-cache
+multi-engine case documented below.
+
 The manifest is advisory, never a correctness dependency: a missing,
 corrupt or stale manifest is rebuilt from a directory scan (file sizes
 and mtimes), and every manifest write is atomic (per-process tmp name +
@@ -62,15 +76,33 @@ class ResultCache:
             write is followed by an LRU eviction pass that keeps the
             total payload size under the budget.  ``None`` means
             unbounded (PR-1 behaviour).
+        shared_dir: optional second directory acting as a shared
+            backing store (unbounded): writes spill to it, local misses
+            fall through to it, shared hits are adopted locally.  Must
+            differ from ``directory``.
     """
 
-    def __init__(self, directory: PathLike, max_mb: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        directory: PathLike,
+        max_mb: Optional[float] = None,
+        shared_dir: Optional[PathLike] = None,
+    ) -> None:
         if max_mb is not None and max_mb <= 0:
             raise ValueError(f"max_mb must be positive, got {max_mb}")
         self.directory = Path(directory)
         self.max_mb = max_mb
+        self.shared: Optional["ResultCache"] = None
+        if shared_dir is not None:
+            if Path(shared_dir).resolve() == self.directory.resolve():
+                raise ValueError(
+                    "shared_dir must differ from the local cache directory"
+                )
+            self.shared = ResultCache(shared_dir)
         self.hits = 0
         self.misses = 0
+        # Lookups served by the shared backing store (a subset of hits).
+        self.shared_hits = 0
         # Cumulative count of manifest entries dropped because their
         # entry files had been deleted behind the cache's back.
         self.stale_dropped = 0
@@ -107,8 +139,18 @@ class ResultCache:
             try:
                 text = path.read_text()
             except OSError:
-                self.misses += 1
-                return None
+                spilled = (
+                    self.shared.read(key) if self.shared is not None else None
+                )
+                if spilled is None:
+                    self.misses += 1
+                    return None
+                # Adopt the shared entry locally: the next lookup for
+                # this key is a local disk read, not a shared round-trip.
+                self.hits += 1
+                self.shared_hits += 1
+                self._adopt(key, spilled)
+                return spilled
             self.hits += 1
             now = _utcnow()
             try:
@@ -128,6 +170,16 @@ class ResultCache:
             if self.hits > 0:
                 self.hits -= 1
             self.misses += 1
+            self._drop(key)
+            if self.shared is not None:
+                # An unusable entry adopted from the shared store is
+                # just as unusable there; drop both copies (without
+                # reclassifying a shared lookup that never happened).
+                self.shared._drop(key)
+
+    def _drop(self, key: str) -> None:
+        """Remove one entry and its manifest record; counters untouched."""
+        with self._lock:
             try:
                 self.entry_path(key).unlink(missing_ok=True)
             except OSError:
@@ -143,8 +195,20 @@ class ResultCache:
         cache *key* already incorporates the package version, so stale
         code never serves an entry it did not write).  When a size
         budget is configured, least-recently-used entries are evicted
-        until the cache fits.
+        until the cache fits.  With a shared backing store configured,
+        the entry is additionally spilled there (best-effort: a
+        read-only shared volume degrades to a local-only cache).
         """
+        with self._lock:
+            self._write_local(key, text, version)
+            if self.shared is not None:
+                self.shared.write(key, text, version)
+
+    def _adopt(self, key: str, text: str) -> None:
+        """Store a shared hit locally without spilling it back."""
+        self._write_local(key, text, version="shared")
+
+    def _write_local(self, key: str, text: str, version: str) -> None:
         with self._lock:
             self.directory.mkdir(parents=True, exist_ok=True)
             path = self.entry_path(key)
@@ -182,6 +246,8 @@ class ResultCache:
             if self._dirty and self._manifest is not None:
                 self._store_manifest(self._manifest)
                 self._dirty = False
+            if self.shared is not None:
+                self.shared.flush()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -208,7 +274,7 @@ class ResultCache:
             # do not rediscover (and recount) the same stale entries.
             self.flush()
             total = sum(e["size"] for e in manifest["entries"].values())
-            return {
+            report: Dict[str, Any] = {
                 "directory": str(self.directory),
                 "entries": len(manifest["entries"]),
                 "total_bytes": total,
@@ -221,6 +287,10 @@ class ResultCache:
                 "misses": self.misses,
                 "stale_dropped": self.stale_dropped,
             }
+            if self.shared is not None:
+                report["shared_hits"] = self.shared_hits
+                report["shared"] = self.shared.stats(reconcile=reconcile)
+            return report
 
     def prune(self, max_mb: Optional[float] = None) -> Dict[str, int]:
         """Evict least-recently-used entries until under ``max_mb``.

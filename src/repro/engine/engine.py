@@ -42,6 +42,7 @@ __all__ = [
     "content_key_from_fingerprint",
     "execute_request",
     "request_content_key",
+    "versioned_content_key",
 ]
 
 PathLike = Union[str, Path]
@@ -171,6 +172,25 @@ def content_key_from_fingerprint(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def versioned_content_key(content: Optional[str]) -> Optional[str]:
+    """Mix the package version into a content key.
+
+    This is the on-disk cache entry key: stale code never serves an
+    entry it did not write.  The single definition is shared by
+    ``Engine.cache_key``, the service's authoritative ``content_key``
+    response field, and the fleet coordinator's shared-store lookups,
+    so all three can never drift apart.  ``None`` passes through
+    (uncacheable stays uncacheable).
+    """
+    if content is None:
+        return None
+    from .. import __version__
+
+    return hashlib.sha256(
+        f"{content}:{__version__}".encode("utf-8")
+    ).hexdigest()
+
+
 def request_content_key(request: AllocationRequest) -> Optional[str]:
     """Stable content hash of a request's (problem, allocator, options).
 
@@ -206,6 +226,11 @@ class Engine:
             least-recently-used entries are evicted after each store to
             keep the total under the budget (see
             :class:`repro.engine.cache.ResultCache`).
+        cache_shared_dir: optional shared backing store the cache
+            spills to and reads through on local misses -- the fleet
+            topology, where every worker's local cache shares one
+            store (see :class:`repro.engine.cache.ResultCache`).
+            Requires ``cache_dir``.
         executor: fresh-run execution mode.  ``"pool"`` (default)
             preserves the PR-1 behaviour: serial in-process runs, or a
             ``ProcessPoolExecutor`` fan-out whose timeout abandons (but
@@ -224,6 +249,7 @@ class Engine:
         cache_dir: Optional[PathLike] = None,
         cache_max_mb: Optional[float] = None,
         executor: str = "pool",
+        cache_shared_dir: Optional[PathLike] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -238,9 +264,15 @@ class Engine:
         if self.cache_dir is not None:
             from .cache import ResultCache
 
-            self._cache = ResultCache(self.cache_dir, max_mb=cache_max_mb)
+            self._cache = ResultCache(
+                self.cache_dir,
+                max_mb=cache_max_mb,
+                shared_dir=cache_shared_dir,
+            )
         elif cache_max_mb is not None:
             raise ValueError("cache_max_mb requires cache_dir")
+        elif cache_shared_dir is not None:
+            raise ValueError("cache_shared_dir requires cache_dir")
         # Cumulative ProcessPerRunExecutor counters across this engine's
         # process-mode runs (started/completed/timeouts/killed/crashed).
         # Accumulation is locked: the async service layer calls run()
@@ -294,16 +326,9 @@ class Engine:
         """Stable cache key for ``request``; ``None`` if uncacheable."""
         if self.cache_dir is None:
             return None
-        content = request_content_key(request)
-        if content is None:
-            return None  # no JSON identity: run uncached
-        from .. import __version__
-
-        # Mix in the package version so a persistent cache never
-        # serves envelopes computed by older code.
-        return hashlib.sha256(
-            f"{content}:{__version__}".encode("utf-8")
-        ).hexdigest()
+        # The version mix-in means a persistent cache never serves
+        # envelopes computed by older code.
+        return versioned_content_key(request_content_key(request))
 
     def _cache_load(
         self, key: Optional[str], request: AllocationRequest

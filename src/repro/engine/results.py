@@ -17,7 +17,20 @@ from ..core.delta import Edit
 from ..core.problem import Problem
 from ..core.solution import Datapath, TraceEvent
 
-__all__ = ["AllocationRequest", "AllocationResult", "DeltaRequest"]
+__all__ = [
+    "AllocationRequest",
+    "AllocationResult",
+    "DeltaRequest",
+    "PRIORITY_CLASSES",
+]
+
+# Admission-control priority classes, best to worst service level.
+# ``interactive`` is for a designer waiting at a prompt, ``normal``
+# (the default) for ordinary tool traffic, ``bulk`` for sweeps that
+# would rather be shed than delay the other two.  The fleet coordinator
+# bounds a separate queue per class (see repro.service.fleet).
+PRIORITY_CLASSES = ("interactive", "normal", "bulk")
+DEFAULT_PRIORITY = "normal"
 
 
 @dataclass(frozen=True)
@@ -32,6 +45,12 @@ class AllocationRequest:
             the ILP's ``time_limit``); must be JSON-compatible for the
             result cache to key on them.
         label: free-form tag echoed into the result (batch bookkeeping).
+        priority: admission-control class (one of
+            :data:`PRIORITY_CLASSES`; ``None`` means the default class,
+            ``"normal"``).  Ignored by the offline engine; the fleet
+            coordinator uses it to pick the bounded queue the request
+            is admitted to.  Never part of the content identity: two
+            requests differing only in priority are the same work.
         timeout: optional wall-clock budget in seconds.  A hard
             per-solve deadline under the process-per-run executor
             (``Engine(executor="process")`` -- the worker is killed);
@@ -47,6 +66,18 @@ class AllocationRequest:
     options: Mapping[str, Any] = field(default_factory=dict)
     label: Optional[str] = None
     timeout: Optional[float] = None
+    priority: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.priority is not None and self.priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"priority must be one of {PRIORITY_CLASSES}, "
+                f"got {self.priority!r}"
+            )
+
+    def priority_class(self) -> str:
+        """The effective admission class (``None`` -> the default)."""
+        return self.priority if self.priority is not None else DEFAULT_PRIORITY
 
 
 @dataclass(frozen=True)

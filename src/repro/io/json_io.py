@@ -306,7 +306,7 @@ def problem_from_dict(data: Dict) -> "Problem":
 
 def allocation_request_to_dict(request: "AllocationRequest") -> Dict:
     """Serialise an :class:`~repro.engine.results.AllocationRequest`."""
-    return {
+    payload = {
         "kind": "allocation-request",
         "problem": problem_to_dict(request.problem),
         "allocator": request.allocator,
@@ -314,6 +314,12 @@ def allocation_request_to_dict(request: "AllocationRequest") -> Dict:
         "label": request.label,
         "timeout": request.timeout,
     }
+    if request.priority is not None:
+        # Emitted only when set, so artifacts written before the field
+        # existed (shard manifests, committed fixtures) stay
+        # byte-stable under a round-trip.
+        payload["priority"] = request.priority
+    return payload
 
 
 def allocation_request_from_dict(data: Dict) -> "AllocationRequest":
@@ -330,6 +336,7 @@ def allocation_request_from_dict(data: Dict) -> "AllocationRequest":
         options=dict(data.get("options") or {}),
         label=data.get("label"),
         timeout=data.get("timeout"),
+        priority=data.get("priority"),
     )
 
 

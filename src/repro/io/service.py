@@ -18,11 +18,25 @@ over the wire is byte-compatible with the offline artefacts
 Every helper validates the ``kind`` discriminator and raises
 ``ValueError`` on a malformed payload; the server maps those to HTTP
 400 responses instead of tracebacks.
+
+Versioning (v1)
+---------------
+
+The ``/v1/*`` routes speak the same payloads plus an explicit
+``schema_version`` field (currently ``1``).  Request bodies *may* carry
+it (clients pin the version they negotiated via ``/healthz``'s
+``schema_versions`` list); servers reject versions they do not support
+with HTTP 400.  v1 request payloads may additionally carry routing
+hints -- a top-level ``fingerprint`` (``Problem.fingerprint()`` computed
+client-side, used by the fleet coordinator to route without parsing the
+problem) -- and v1 responses carry a worker-computed ``content_key``.
+Both are advisory extras: deserialisers ignore them, canonical bytes
+never see them, and the coordinator trusts only worker-reported keys.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .json_io import (
     allocation_request_from_dict,
@@ -40,10 +54,14 @@ __all__ = [
     "BATCH_RESULTS_KIND",
     "DELTA_REQUEST_KIND",
     "ERROR_KIND",
+    "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "allocate_request_payload",
     "batch_request_to_dict",
     "batch_request_from_dict",
     "batch_results_to_dict",
     "batch_results_from_dict",
+    "check_schema_version",
     "delta_request_to_dict",
     "delta_request_from_dict",
     "error_to_dict",
@@ -54,13 +72,74 @@ BATCH_RESULTS_KIND = "allocation-batch"
 DELTA_REQUEST_KIND = "delta-request"
 ERROR_KIND = "service-error"
 
+#: Wire schema version spoken by the ``/v1/*`` routes.
+SCHEMA_VERSION = 1
+#: Versions this package can parse; servers advertise the list in
+#: ``/healthz`` (``schema_versions``) and clients pin the highest match.
+SUPPORTED_SCHEMA_VERSIONS = (1,)
 
-def batch_request_to_dict(requests: Sequence[Any]) -> Dict[str, Any]:
+
+def check_schema_version(data: Any) -> Optional[int]:
+    """Validate an optional ``schema_version`` field on a payload.
+
+    Returns the declared version (or ``None`` when the payload does not
+    declare one -- every pre-v1 payload); raises ``ValueError`` when the
+    declared version is not one this package supports, which the server
+    maps to HTTP 400.
+    """
+    if not isinstance(data, dict):
+        return None
+    version = data.get("schema_version")
+    if version is None:
+        return None
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"unsupported schema_version {version!r}; "
+            f"supported: {list(SUPPORTED_SCHEMA_VERSIONS)}"
+        )
+    return int(version)
+
+
+def _fingerprint_hint(request: Any) -> Optional[str]:
+    """Client-side ``Problem.fingerprint()``, or None if uncomputable."""
+    try:
+        return str(request.problem.fingerprint())
+    except Exception:
+        return None
+
+
+def allocate_request_payload(
+    request: Any, schema_version: Optional[int] = None
+) -> Dict[str, Any]:
+    """Serialise a ``POST /allocate`` body, optionally v1-annotated.
+
+    With ``schema_version`` set the payload carries the version field
+    plus a ``fingerprint`` routing hint.  Hints are advisory: a wrong
+    fingerprint only mis-routes (and so slows) the request that carried
+    it -- correctness and cache keys rest on worker-computed keys.
+    """
+    payload = allocation_request_to_dict(request)
+    if schema_version is not None:
+        payload["schema_version"] = schema_version
+        fingerprint = _fingerprint_hint(request)
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+    return payload
+
+
+def batch_request_to_dict(
+    requests: Sequence[Any], schema_version: Optional[int] = None
+) -> Dict[str, Any]:
     """Serialise a ``POST /batch`` body from allocation requests."""
-    return {
+    payload: Dict[str, Any] = {
         "kind": BATCH_REQUEST_KIND,
-        "requests": [allocation_request_to_dict(r) for r in requests],
+        "requests": [
+            allocate_request_payload(r, schema_version) for r in requests
+        ],
     }
+    if schema_version is not None:
+        payload["schema_version"] = schema_version
+    return payload
 
 
 def batch_request_from_dict(data: Any) -> List[Any]:
@@ -135,6 +214,21 @@ def delta_request_from_dict(data: Any) -> Any:
     )
 
 
-def error_to_dict(status: int, message: str) -> Dict[str, Any]:
-    """Serialise a service error response body."""
-    return {"kind": ERROR_KIND, "status": int(status), "error": str(message)}
+def error_to_dict(
+    status: int, message: str, error_code: Optional[str] = None
+) -> Dict[str, Any]:
+    """Serialise a service error response body.
+
+    ``error_code`` is a machine-matchable discriminator for typed
+    failures the fleet coordinator emits -- ``"shed"`` (admission queue
+    full, HTTP 429) and ``"worker_exhausted"`` (every requeue attempt
+    died, HTTP 503) -- so clients can branch without parsing prose.
+    """
+    payload: Dict[str, Any] = {
+        "kind": ERROR_KIND,
+        "status": int(status),
+        "error": str(message),
+    }
+    if error_code is not None:
+        payload["error_code"] = error_code
+    return payload

@@ -1,6 +1,6 @@
 """repro.service -- the allocation engine as an async network service.
 
-Three layers, each usable on its own:
+Four layers, each usable on its own:
 
 * :class:`AsyncEngine` -- ``await``-able front-end over
   :class:`repro.engine.Engine`: semaphore-bounded concurrency, worker
@@ -8,24 +8,37 @@ Three layers, each usable on its own:
   ``executor="process"``), and single-flight dedup of identical
   concurrent requests against one shared result cache.
 * :class:`AllocationServer` / :class:`ServerThread` -- a stdlib-only
-  asyncio HTTP/JSON server (``repro serve``) exposing
-  ``POST /allocate``, ``POST /batch``, ``POST /delta`` (warm-start
-  re-solves of edited problems), ``GET /healthz`` and ``GET /stats``.
-* :class:`ServiceClient` -- a thin synchronous client (``repro
-  submit``) whose envelopes are canonical-byte-identical to the offline
-  ``Engine.run_batch`` path.
+  asyncio HTTP/JSON worker (``repro serve``) exposing the versioned v1
+  surface (``POST /v1/allocate``, ``/v1/batch``, ``/v1/delta``,
+  ``GET /v1/healthz``, ``/v1/stats``) plus the unversioned paths
+  behind a ``Deprecation`` shim.
+* :class:`FleetCoordinator` / :class:`FleetThread` /
+  :class:`WorkerPool` -- the fleet tier (``repro fleet``): fingerprint
+  rendezvous routing over health-checked workers, fleet-wide dedup
+  (response memo + shared result store + single flight), bounded
+  requeue of work from dead or hung workers, and per-priority-class
+  admission control with typed 429 shedding.
+* :class:`ServiceClient` -- a thin synchronous client satisfying the
+  :class:`repro.engine.Backend` protocol (``run`` / ``run_delta`` /
+  ``run_batch``), schema-negotiating, with envelopes
+  canonical-byte-identical to the offline ``Engine.run_batch`` path --
+  against a single worker and a coordinator alike.
 
 See ``docs/service.md`` for the wire schema and deployment notes.
 """
 
 from .async_engine import AsyncEngine
 from .client import ServiceClient, ServiceError
+from .fleet import FleetCoordinator, FleetThread, WorkerPool
 from .server import AllocationServer, ServerThread
 
 __all__ = [
     "AllocationServer",
     "AsyncEngine",
+    "FleetCoordinator",
+    "FleetThread",
     "ServerThread",
     "ServiceClient",
     "ServiceError",
+    "WorkerPool",
 ]

@@ -133,6 +133,19 @@ class AsyncEngine:
         """Execute a batch concurrently; results align with requests."""
         return list(await asyncio.gather(*(self.run(r) for r in requests)))
 
+    async def run_batch(
+        self,
+        requests: Sequence[AllocationRequest],
+        workers: Optional[int] = None,
+    ) -> List[AllocationResult]:
+        """Backend-protocol spelling of :meth:`run_many`.
+
+        ``workers`` is advisory: this engine's ``max_concurrency``
+        bound decides the fan-out, exactly as for every other request.
+        """
+        del workers  # advisory; max_concurrency decides
+        return await self.run_many(requests)
+
     async def run_delta(self, request: DeltaRequest) -> AllocationResult:
         """Execute one warm-start delta solve without blocking the loop.
 

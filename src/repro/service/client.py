@@ -1,17 +1,27 @@
-"""Thin stdlib HTTP client for the allocation service (``repro submit``).
+"""Thin stdlib HTTP client for the allocation service.
 
 :class:`ServiceClient` round-trips problems and envelopes through the
 same :mod:`repro.io` serialisation the server uses, so a served result
 deserialises into exactly the :class:`~repro.engine.AllocationResult`
 the offline engine would have returned (canonical JSON byte-identical).
+It satisfies the :class:`repro.engine.Backend` protocol -- the same
+``run`` / ``run_delta`` / ``run_batch`` surface as ``Engine`` -- so
+callers accept local-or-remote interchangeably::
 
     from repro.service import ServiceClient
 
     client = ServiceClient("http://127.0.0.1:8035")
     client.wait_healthy()
-    result = client.allocate(AllocationRequest(problem, "dpalloc"))
-    results = client.batch(requests)          # ordered like requests
+    result = client.run(AllocationRequest(problem, "dpalloc"))
+    results = client.run_batch(requests)      # ordered like requests
     print(client.stats()["cache_hit_rate"])
+
+Schema negotiation: on first contact the client reads the server's
+advertised ``schema_versions`` from ``/healthz`` and pins the highest
+version both sides speak -- ``/v1`` routes with ``schema_version`` and
+``fingerprint`` routing hints against current servers, the pre-v1
+unversioned routes against older ones.  Pass ``schema_version=0`` or
+``=1`` to skip negotiation and force a dialect.
 
 HTTP-level failures raise :class:`ServiceError` (with the server's
 ``service-error`` payload when one was sent); *solver*-level failures
@@ -28,11 +38,10 @@ import urllib.request
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..engine import AllocationRequest, AllocationResult, DeltaRequest
-from ..io.json_io import (
-    allocation_request_to_dict,
-    allocation_result_from_dict,
-)
+from ..io.json_io import allocation_result_from_dict
 from ..io.service import (
+    SUPPORTED_SCHEMA_VERSIONS,
+    allocate_request_payload,
     batch_request_to_dict,
     batch_results_from_dict,
     delta_request_to_dict,
@@ -47,7 +56,13 @@ DEFAULT_HTTP_TIMEOUT = 600.0
 
 
 class ServiceError(RuntimeError):
-    """The service refused or failed a request at the HTTP level."""
+    """The service refused or failed a request at the HTTP level.
+
+    ``error_code`` carries the typed discriminator from the
+    ``service-error`` payload when the server sent one -- ``"shed"``
+    for an admission-control 429, ``"worker_exhausted"`` for a request
+    whose every requeue attempt died.
+    """
 
     def __init__(
         self, status: int, message: str, payload: Optional[Dict] = None
@@ -56,15 +71,42 @@ class ServiceError(RuntimeError):
         self.status = status
         self.payload = payload or {}
 
+    @property
+    def error_code(self) -> Optional[str]:
+        code = self.payload.get("error_code")
+        return str(code) if code is not None else None
+
 
 class ServiceClient:
-    """Synchronous client for one allocation-service base URL."""
+    """Synchronous client for one allocation-service base URL.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8035`` -- a single worker
+            (``repro serve``) or a fleet coordinator (``repro fleet``);
+            the wire contract is identical.
+        timeout: per-request socket timeout in seconds.
+        schema_version: pin the wire dialect (``0`` = pre-v1
+            unversioned paths, ``1`` = ``/v1``).  Default: negotiate
+            from the server's advertised ``schema_versions`` on first
+            contact.
+    """
 
     def __init__(
-        self, base_url: str, timeout: float = DEFAULT_HTTP_TIMEOUT
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_HTTP_TIMEOUT,
+        schema_version: Optional[int] = None,
     ) -> None:
+        if schema_version is not None and schema_version != 0 and (
+            schema_version not in SUPPORTED_SCHEMA_VERSIONS
+        ):
+            raise ValueError(
+                f"unsupported schema_version {schema_version!r}; "
+                f"supported: 0 (legacy) or {list(SUPPORTED_SCHEMA_VERSIONS)}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self._schema_version = schema_version
 
     # ------------------------------------------------------------------
     # transport
@@ -101,42 +143,91 @@ class ServiceClient:
             ) from None
 
     # ------------------------------------------------------------------
-    # endpoints
+    # schema negotiation
+    # ------------------------------------------------------------------
+    @property
+    def schema_version(self) -> int:
+        """The pinned wire dialect (``0`` = pre-v1), negotiating once.
+
+        Negotiation is one ``GET /healthz`` on the always-available
+        unversioned path: the highest version in the intersection of
+        the server's advertised ``schema_versions`` and this package's
+        :data:`~repro.io.service.SUPPORTED_SCHEMA_VERSIONS` wins; a
+        server advertising nothing (pre-v1) pins ``0``.
+        """
+        if self._schema_version is None:
+            payload = self._request("GET", "/healthz")
+            advertised = payload.get("schema_versions") or []
+            usable = [
+                v for v in advertised if v in SUPPORTED_SCHEMA_VERSIONS
+            ]
+            self._schema_version = max(usable) if usable else 0
+        return self._schema_version
+
+    def _path(self, suffix: str) -> str:
+        return f"/v1{suffix}" if self.schema_version >= 1 else suffix
+
+    def _wire_version(self) -> Optional[int]:
+        """The version to stamp into request payloads (None = pre-v1)."""
+        return self.schema_version if self.schema_version >= 1 else None
+
+    # ------------------------------------------------------------------
+    # endpoints (Backend protocol: run / run_delta / run_batch)
     # ------------------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
         """``GET /healthz``: liveness + server version."""
-        return self._request("GET", "/healthz")
+        return self._request("GET", self._path("/healthz"))
 
     def stats(self) -> Dict[str, Any]:
-        """``GET /stats``: the server's ``AsyncEngine.stats()`` view."""
-        return self._request("GET", "/stats")
+        """``GET /stats``: the server's statistics payload.
 
-    def allocate(self, request: AllocationRequest) -> AllocationResult:
+        A worker answers with its ``AsyncEngine.stats()`` view; a fleet
+        coordinator with fleet-wide counters (per-class latency/shed,
+        per-worker health).
+        """
+        return self._request("GET", self._path("/stats"))
+
+    def run(self, request: AllocationRequest) -> AllocationResult:
         """``POST /allocate``: run one request, return its envelope."""
         payload = self._request(
-            "POST", "/allocate", allocation_request_to_dict(request)
+            "POST",
+            self._path("/allocate"),
+            allocate_request_payload(request, self._wire_version()),
         )
         return allocation_result_from_dict(payload)
 
-    def delta(self, request: DeltaRequest) -> AllocationResult:
+    def run_delta(self, request: DeltaRequest) -> AllocationResult:
         """``POST /delta``: warm-start re-solve of an edited problem.
 
         The returned envelope is canonical-byte identical to a cold
-        :meth:`allocate` of the edited problem; the strategy the server
+        :meth:`run` of the edited problem; the strategy the server
         took (``replay``/``resumed``/``diverged``/``scratch``/...) rides
         in its non-canonical ``delta`` field.
         """
-        payload = self._request(
-            "POST", "/delta", delta_request_to_dict(request)
-        )
+        body = delta_request_to_dict(request)
+        version = self._wire_version()
+        if version is not None:
+            body["schema_version"] = version
+            body["fingerprint"] = request.fingerprint()
+        payload = self._request("POST", self._path("/delta"), body)
         return allocation_result_from_dict(payload)
 
-    def batch(
-        self, requests: Sequence[AllocationRequest]
+    def run_batch(
+        self,
+        requests: Sequence[AllocationRequest],
+        workers: Optional[int] = None,
     ) -> List[AllocationResult]:
-        """``POST /batch``: run a batch, envelopes ordered like requests."""
+        """``POST /batch``: run a batch, envelopes ordered like requests.
+
+        ``workers`` is advisory (Backend-protocol compatibility): the
+        server's own concurrency bound decides the fan-out, not the
+        client.
+        """
+        del workers  # advisory; the server's concurrency bound decides
         payload = self._request(
-            "POST", "/batch", batch_request_to_dict(requests)
+            "POST",
+            self._path("/batch"),
+            batch_request_to_dict(requests, self._wire_version()),
         )
         results = batch_results_from_dict(payload)
         if len(results) != len(requests):
@@ -146,6 +237,22 @@ class ServiceClient:
                 f"for {len(requests)} requests",
             )
         return results
+
+    # Pre-Backend spellings, kept as aliases so existing callers and
+    # docs keep working; new code should use run/run_delta/run_batch.
+    def allocate(self, request: AllocationRequest) -> AllocationResult:
+        """Alias of :meth:`run`."""
+        return self.run(request)
+
+    def delta(self, request: DeltaRequest) -> AllocationResult:
+        """Alias of :meth:`run_delta`."""
+        return self.run_delta(request)
+
+    def batch(
+        self, requests: Sequence[AllocationRequest]
+    ) -> List[AllocationResult]:
+        """Alias of :meth:`run_batch`."""
+        return self.run_batch(requests)
 
     def wait_healthy(self, deadline_seconds: float = 10.0) -> Dict[str, Any]:
         """Poll ``/healthz`` until it answers; raise after the deadline."""

@@ -1,21 +1,32 @@
-"""Stdlib-only asyncio HTTP/JSON allocation server (``repro serve``).
+"""Stdlib-only asyncio HTTP/JSON allocation worker (``repro serve``).
 
 :class:`AllocationServer` exposes an :class:`~repro.service.AsyncEngine`
-over five endpoints:
+over five endpoints, versioned under ``/v1``:
 
-* ``POST /allocate`` -- body: one ``allocation-request`` payload;
-  response: one ``allocation-result`` envelope;
-* ``POST /batch`` -- body: ``allocation-batch-request``; response: an
-  ``allocation-batch`` payload with results ordered like the requests
-  (the exact shape ``repro batch --json`` writes);
-* ``POST /delta`` -- body: one ``delta-request`` payload (base problem
-  or fingerprint plus an edit sequence); response: one
+* ``POST /v1/allocate`` -- body: one ``allocation-request`` payload;
+  response: one ``allocation-result`` envelope plus the
+  worker-computed ``content_key`` (what the fleet coordinator keys its
+  fleet-wide memo on) and ``schema_version``;
+* ``POST /v1/batch`` -- body: ``allocation-batch-request``; response:
+  an ``allocation-batch`` payload with results ordered like the
+  requests (the exact shape ``repro batch --json`` writes), each entry
+  carrying its ``content_key``;
+* ``POST /v1/delta`` -- body: one ``delta-request`` payload (base
+  problem or fingerprint plus an edit sequence); response: one
   ``allocation-result`` envelope, canonical-byte identical to a cold
-  ``/allocate`` of the edited problem, with the warm-start strategy in
-  its non-canonical ``delta`` field;
-* ``GET /healthz`` -- liveness + version;
-* ``GET /stats`` -- cache hit rate, in-flight/queued counts, p50/p95
-  latency, executor counters (see ``AsyncEngine.stats``).
+  ``/v1/allocate`` of the edited problem, with the warm-start strategy
+  in its non-canonical ``delta`` field;
+* ``GET /v1/healthz`` -- liveness + version + supported
+  ``schema_versions`` (what :class:`~repro.service.ServiceClient`
+  negotiates against);
+* ``GET /v1/stats`` -- cache hit rate, in-flight/queued counts,
+  p50/p95 latency, executor counters (see ``AsyncEngine.stats``).
+
+The original unversioned paths (``/allocate``, ``/batch``, ``/delta``,
+``/healthz``, ``/stats``) keep working through a deprecation shim: same
+handlers, pre-v1 response bodies (no ``schema_version``/``content_key``
+extras), plus a ``Deprecation: true`` response header pointing clients
+at ``/v1``.
 
 Failed solves are *successful HTTP responses*: infeasibility, timeouts,
 validation failures and crashed workers all come back as ``error``
@@ -23,59 +34,55 @@ fields of a 200 envelope, exactly like the offline engine.  HTTP error
 statuses (400/404/405/413/500) are reserved for requests the service
 could not interpret, and carry a ``service-error`` JSON body.
 
-The HTTP surface is deliberately tiny (HTTP/1.1, one request per
-connection, ``Connection: close``) -- enough for the thin client in
-:mod:`repro.service.client`, ``curl``, and any load balancer's health
-checks, with zero dependencies.  :class:`ServerThread` runs the whole
-server on a background thread for tests, benchmarks and notebooks.
+The HTTP surface (shared with the fleet coordinator via
+:mod:`repro.service.http`) is deliberately tiny -- HTTP/1.1, one
+request per connection, ``Connection: close`` -- enough for the thin
+client in :mod:`repro.service.client`, ``curl``, and any load
+balancer's health checks, with zero dependencies.
+:class:`ServerThread` runs the whole server on a background thread for
+tests, benchmarks and notebooks.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
-import threading
+import functools
 from typing import Any, Dict, Optional, Tuple
 
 from .. import __version__
 from ..engine import Engine
+from ..engine.engine import request_content_key, versioned_content_key
 from ..io.json_io import (
     allocation_request_from_dict,
     allocation_result_to_dict,
 )
 from ..io.service import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     batch_request_from_dict,
     batch_results_to_dict,
+    check_schema_version,
     delta_request_from_dict,
-    error_to_dict,
 )
 from .async_engine import AsyncEngine
+from .http import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpError,
+    HttpServerBase,
+    Route,
+    ServerThreadBase,
+)
 
 __all__ = ["AllocationServer", "ServerThread"]
 
-_STATUS_TEXT = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
+#: Fixed response headers the unversioned shim attaches.
+DEPRECATION_HEADERS = {
+    "Deprecation": "true",
+    "Link": '</v1/>; rel="successor-version"',
 }
-# Generous but bounded: a batch of large TGFF graphs is ~MBs; anything
-# beyond this is a client bug, not a workload.
-DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
-class _HttpError(Exception):
-    """A request the service refuses; becomes a JSON error response."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.message = message
-
-
-class AllocationServer:
+class AllocationServer(HttpServerBase):
     """Asyncio HTTP server wrapping one engine + async front-end.
 
     Args:
@@ -98,6 +105,7 @@ class AllocationServer:
         default_timeout: Optional[float] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
+        super().__init__(host=host, port=port, max_body_bytes=max_body_bytes)
         if engine is None:
             engine = Engine(executor="process")
         self.async_engine = AsyncEngine(
@@ -105,187 +113,128 @@ class AllocationServer:
             max_concurrency=max_concurrency,
             default_timeout=default_timeout,
         )
-        self.host = host
-        self.port = port
-        self.max_body_bytes = max_body_bytes
-        self._server: Optional[asyncio.AbstractServer] = None
 
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    async def start(self) -> None:
-        """Bind and start accepting connections (non-blocking)."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        sockets = self._server.sockets or []
-        if sockets:
-            self.port = sockets[0].getsockname()[1]
-
-    async def serve_forever(self) -> None:
-        assert self._server is not None, "call start() first"
-        await self._server.serve_forever()
-
-    async def stop(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+    async def _on_stop(self) -> None:
         self.async_engine.close()
 
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
     # ------------------------------------------------------------------
-    # HTTP plumbing
+    # routing
     # ------------------------------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            try:
-                method, path, body = await self._read_request(reader)
-                status, payload = await self._dispatch(method, path, body)
-            except _HttpError as exc:
-                status, payload = exc.status, error_to_dict(
-                    exc.status, exc.message
-                )
-            except Exception as exc:  # noqa: BLE001 -- never a hung socket
-                status, payload = 500, error_to_dict(
-                    500, f"{type(exc).__name__}: {exc}"
-                )
-            await self._write_response(writer, status, payload)
-        except (ConnectionError, asyncio.IncompleteReadError):
-            pass  # client went away; nothing to answer
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
-        request_line = await reader.readline()
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise _HttpError(400, f"malformed request line: {request_line!r}")
-        method, target = parts[0].upper(), parts[1]
-        path = target.split("?", 1)[0]
-        content_length = 0
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _HttpError(400, "bad Content-Length") from None
-        if content_length < 0 or content_length > self.max_body_bytes:
-            raise _HttpError(
-                413, f"body of {content_length} bytes exceeds the "
-                     f"{self.max_body_bytes}-byte limit"
-            )
-        body = (
-            await reader.readexactly(content_length)
-            if content_length
-            else b""
-        )
-        return method, path, body
-
-    async def _write_response(
-        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
-    ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
-
-    # ------------------------------------------------------------------
-    # endpoints
-    # ------------------------------------------------------------------
-    async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
-        routes = {
+    def routes(self) -> Dict[str, Route]:
+        endpoints = {
             "/healthz": ("GET", self._handle_healthz),
             "/stats": ("GET", self._handle_stats),
             "/allocate": ("POST", self._handle_allocate),
             "/batch": ("POST", self._handle_batch),
             "/delta": ("POST", self._handle_delta),
         }
-        route = routes.get(path)
-        if route is None:
-            raise _HttpError(
-                404, f"unknown path {path!r}; endpoints: {sorted(routes)}"
+        table: Dict[str, Route] = {}
+        for path, (method, handler) in endpoints.items():
+            table[f"/v1{path}"] = (
+                method, functools.partial(handler, v1=True), None,
             )
-        expected, handler = route
-        if method != expected:
-            raise _HttpError(405, f"{path} expects {expected}, got {method}")
-        return await handler(body)
+            # Deprecation shim: the pre-v1 paths answer with the pre-v1
+            # body shape and a Deprecation header.
+            table[path] = (method, handler, DEPRECATION_HEADERS)
+        return table
 
-    def _parse_json(self, body: bytes) -> Any:
+    def _check_version(self, data: Any) -> None:
         try:
-            return json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, ValueError) as exc:
-            raise _HttpError(400, f"request body is not JSON: {exc}") from None
+            check_schema_version(data)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
 
-    async def _handle_healthz(self, _body: bytes) -> Tuple[int, Dict[str, Any]]:
-        return 200, {
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    async def _handle_healthz(
+        self, _body: bytes, v1: bool = False
+    ) -> Tuple[int, Dict[str, Any]]:
+        payload: Dict[str, Any] = {
             "kind": "service-health",
             "status": "ok",
             "version": __version__,
+            "role": "worker",
+            # Advertised on the legacy path too: negotiation must work
+            # before the client knows the server speaks v1.
+            "schema_versions": list(SUPPORTED_SCHEMA_VERSIONS),
         }
+        if v1:
+            payload["schema_version"] = SCHEMA_VERSION
+        return 200, payload
 
-    async def _handle_stats(self, _body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _handle_stats(
+        self, _body: bytes, v1: bool = False
+    ) -> Tuple[int, Dict[str, Any]]:
         # stats() takes the cache lock (first use may still scan the
         # directory to build the manifest view): run it on the default
         # thread pool -- not the bounded solve pool, which may be
         # saturated by long solves -- so a /stats poller never stalls
         # the event loop.
         loop = asyncio.get_running_loop()
-        return 200, await loop.run_in_executor(None, self.async_engine.stats)
+        payload = await loop.run_in_executor(None, self.async_engine.stats)
+        if v1:
+            payload["schema_version"] = SCHEMA_VERSION
+        return 200, payload
 
-    async def _handle_allocate(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _handle_allocate(
+        self, body: bytes, v1: bool = False
+    ) -> Tuple[int, Dict[str, Any]]:
         data = self._parse_json(body)
+        self._check_version(data)
         try:
             request = allocation_request_from_dict(data)
         except (KeyError, TypeError, ValueError) as exc:
-            raise _HttpError(400, f"bad allocation-request: {exc}") from None
+            raise HttpError(400, f"bad allocation-request: {exc}") from None
         result = await self.async_engine.run(request)
-        return 200, allocation_result_to_dict(result)
+        payload = allocation_result_to_dict(result)
+        if v1:
+            payload["schema_version"] = SCHEMA_VERSION
+            # The authoritative cache/memo key, computed server-side
+            # from the parsed problem -- never trusted from the client.
+            key = versioned_content_key(request_content_key(request))
+            if key is not None:
+                payload["content_key"] = key
+        return 200, payload
 
-    async def _handle_batch(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _handle_batch(
+        self, body: bytes, v1: bool = False
+    ) -> Tuple[int, Dict[str, Any]]:
         data = self._parse_json(body)
+        self._check_version(data)
         try:
             requests = batch_request_from_dict(data)
         except (KeyError, TypeError, ValueError) as exc:
-            raise _HttpError(
+            raise HttpError(
                 400, f"bad allocation-batch-request: {exc}"
             ) from None
         results = await self.async_engine.run_many(requests)
-        return 200, batch_results_to_dict(results)
+        payload = batch_results_to_dict(results)
+        if v1:
+            payload["schema_version"] = SCHEMA_VERSION
+            for request, entry in zip(requests, payload["results"]):
+                key = versioned_content_key(request_content_key(request))
+                if key is not None:
+                    entry["content_key"] = key
+        return 200, payload
 
-    async def _handle_delta(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    async def _handle_delta(
+        self, body: bytes, v1: bool = False
+    ) -> Tuple[int, Dict[str, Any]]:
         data = self._parse_json(body)
+        self._check_version(data)
         try:
             request = delta_request_from_dict(data)
         except (KeyError, TypeError, ValueError) as exc:
-            raise _HttpError(400, f"bad delta-request: {exc}") from None
+            raise HttpError(400, f"bad delta-request: {exc}") from None
         result = await self.async_engine.run_delta(request)
-        return 200, allocation_result_to_dict(result)
+        payload = allocation_result_to_dict(result)
+        if v1:
+            payload["schema_version"] = SCHEMA_VERSION
+        return 200, payload
 
 
-class ServerThread:
+class ServerThread(ServerThreadBase):
     """Run an :class:`AllocationServer` on a daemon thread.
 
     Context manager used by the tests, ``benchmarks/bench_service.py``
@@ -294,53 +243,11 @@ class ServerThread:
     arguments are forwarded to :class:`AllocationServer`.
     """
 
+    thread_name = "repro-serve"
+
     def __init__(self, **server_kwargs: Any) -> None:
+        super().__init__()
         self._kwargs = server_kwargs
-        self.server: Optional[AllocationServer] = None
-        self._thread: Optional[threading.Thread] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._stop: Optional[asyncio.Event] = None
-        self._ready = threading.Event()
-        self._startup_error: Optional[BaseException] = None
 
-    @property
-    def url(self) -> str:
-        assert self.server is not None, "server not started"
-        return self.server.url
-
-    def __enter__(self) -> "ServerThread":
-        self._thread = threading.Thread(
-            target=self._main, name="repro-serve", daemon=True
-        )
-        self._thread.start()
-        self._ready.wait(timeout=30.0)
-        if self._startup_error is not None:
-            raise RuntimeError("server failed to start") from self._startup_error
-        if self.server is None:
-            raise RuntimeError("server did not start within 30s")
-        return self
-
-    def __exit__(self, *_exc_info: Any) -> None:
-        if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
-        if self._thread is not None:
-            self._thread.join(timeout=30.0)
-
-    def _main(self) -> None:
-        try:
-            asyncio.run(self._run())
-        except BaseException as exc:  # noqa: BLE001 -- surface to __enter__
-            self._startup_error = exc
-            self._ready.set()
-
-    async def _run(self) -> None:
-        server = AllocationServer(**self._kwargs)
-        await server.start()
-        self._loop = asyncio.get_running_loop()
-        self._stop = asyncio.Event()
-        self.server = server
-        self._ready.set()
-        try:
-            await self._stop.wait()
-        finally:
-            await server.stop()
+    def _create(self) -> AllocationServer:
+        return AllocationServer(**self._kwargs)

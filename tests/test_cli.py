@@ -267,3 +267,114 @@ class TestParser:
     def test_unknown_method_rejected(self):
         with pytest.raises(SystemExit):
             main(["allocate", "fir", "--method", "quantum"])
+
+
+class TestServiceFlagConsolidation:
+    """Satellite 3: one --url/--http-timeout/--priority surface across
+    allocate/compare/batch/delta, with deprecated aliases mapping
+    through (warning once)."""
+
+    def make_server(self):
+        from repro.engine import Engine
+        from repro.service import ServerThread
+
+        return ServerThread(engine=Engine(), max_concurrency=2)
+
+    def test_allocate_url_round_trip(self, capsys):
+        with self.make_server() as st:
+            assert main([
+                "allocate", "fir", "--relax", "0.5", "--url", st.url,
+            ]) == 0
+        out = capsys.readouterr().out
+        assert "method         : dpalloc" in out
+
+    def test_compare_url_round_trip(self, capsys):
+        with self.make_server() as st:
+            assert main([
+                "compare", "motivational", "--relax", "1.0", "--url", st.url,
+            ]) == 0
+        out = capsys.readouterr().out
+        for method in allocator_names():
+            assert method in out
+
+    def test_batch_url_matches_local_batch(self, tmp_path, capsys):
+        local = tmp_path / "local.json"
+        served = tmp_path / "served.json"
+        argv = ["batch", "fir", "--methods", "dpalloc,uniform",
+                "--relax", "0.5"]
+        assert main([*argv, "--json", str(local)]) == 0
+        with self.make_server() as st:
+            assert main([
+                *argv, "--url", st.url, "--json", str(served),
+            ]) == 0
+        out = capsys.readouterr().out
+        assert "served by" in out
+        local_results = [allocation_result_from_dict(r)
+                         for r in load_json(local)["results"]]
+        served_results = [allocation_result_from_dict(r)
+                          for r in load_json(served)["results"]]
+        assert [r.canonical_json() for r in served_results] == \
+               [r.canonical_json() for r in local_results]
+
+    def test_batch_from_shard_refuses_url(self, tmp_path, capsys):
+        assert main([
+            "batch", "--from-shard", str(tmp_path / "shard.json"),
+            "--url", "http://127.0.0.1:1",
+        ]) == 2
+        assert "--from-shard" in capsys.readouterr().err
+
+    def test_allocate_priority_needs_no_service(self, capsys):
+        # --priority is advisory for the local engine: accepted, unused.
+        assert main([
+            "allocate", "fir", "--relax", "0.5", "--priority", "bulk",
+        ]) == 0
+        assert "unit 0:" in capsys.readouterr().out
+
+    def test_priority_rejects_unknown_class(self):
+        with pytest.raises(SystemExit):
+            main(["allocate", "fir", "--priority", "vip"])
+
+    def test_submit_alias_warns_exactly_once(self, tmp_path, capsys):
+        from repro import cli as cli_module
+
+        cli_module._DEPRECATION_WARNED.clear()
+        with self.make_server() as st:
+            assert main([
+                "submit", "fir", "--methods", "dpalloc", "--relax", "0.5",
+                "--url", st.url,
+            ]) == 0
+            first = capsys.readouterr().err
+            assert main([
+                "submit", "fir", "--methods", "dpalloc", "--relax", "0.5",
+                "--url", st.url,
+            ]) == 0
+            second = capsys.readouterr().err
+        assert "submit is deprecated" in first
+        assert "batch --url" in first
+        assert "deprecated" not in second  # warned once per process
+
+    def test_shared_cache_dir_requires_cache_dir(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "batch", "fir", "--methods", "dpalloc",
+                "--shared-cache-dir", str(tmp_path / "store"),
+            ])
+        assert excinfo.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_batch_shared_cache_dir_spills_to_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        first_cache = tmp_path / "cache-a"
+        second_cache = tmp_path / "cache-b"
+        argv = ["batch", "fir", "--methods", "dpalloc", "--relax", "0.5"]
+        assert main([
+            *argv, "--cache-dir", str(first_cache),
+            "--shared-cache-dir", str(store),
+        ]) == 0
+        capsys.readouterr()
+        # a different local cache, same shared store: served as cached
+        assert main([
+            *argv, "--cache-dir", str(second_cache),
+            "--shared-cache-dir", str(store),
+        ]) == 0
+        assert "(cached)" in capsys.readouterr().out

@@ -388,12 +388,19 @@ class TestHttpEndpoints:
                [r.canonical_json() for r in offline]
 
     def test_submit_cli_unreachable_service(self, capsys):
+        from repro import cli as cli_module
+
+        cli_module._DEPRECATION_WARNED.clear()  # warning fires once/process
         rc = main([
             "submit", "fir", "--methods", "uniform",
             "--url", "http://127.0.0.1:1",  # reserved port: nothing listens
         ])
         assert rc == 2
-        assert "submit failed" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # submit is a deprecated alias of `batch --url` now: it warns
+        # once and fails with the batch spelling of the error.
+        assert "submit is deprecated" in err
+        assert "batch --url failed" in err
 
 
 # ----------------------------------------------------------------------
@@ -566,6 +573,147 @@ class TestDeltaEndpoint:
                 })
             assert excinfo.value.status == 400
             assert "bad delta-request" in str(excinfo.value)
+
+
+class TestSchemaVersioning:
+    """Satellite 1: versioned v1 surface + unversioned deprecation shim."""
+
+    def test_legacy_paths_carry_deprecation_header(self):
+        import urllib.request
+
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            ServiceClient(st.url).wait_healthy()
+            with urllib.request.urlopen(
+                f"{st.url}/healthz", timeout=10
+            ) as resp:
+                legacy_headers = dict(resp.headers)
+            with urllib.request.urlopen(
+                f"{st.url}/v1/healthz", timeout=10
+            ) as resp:
+                v1_headers = dict(resp.headers)
+        assert legacy_headers.get("Deprecation") == "true"
+        assert "successor-version" in legacy_headers.get("Link", "")
+        assert "Deprecation" not in v1_headers
+
+    def test_client_negotiates_and_pins_v1(self):
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            assert client.schema_version == 1
+            assert client._path("/allocate") == "/v1/allocate"
+
+    def test_client_pinned_to_legacy_uses_unversioned_paths(self):
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url, schema_version=0)
+            client.wait_healthy()
+            assert client._path("/allocate") == "/allocate"
+            request = make_request("legacy")
+            served = client.run(request)
+        offline = Engine().run(request)
+        assert served.canonical_json() == offline.canonical_json()
+
+    def test_client_rejects_unknown_schema_version(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            ServiceClient("http://127.0.0.1:1", schema_version=99)
+
+    def test_server_refuses_unsupported_schema_version(self):
+        from repro.io import allocation_request_to_dict
+
+        payload = allocation_request_to_dict(make_request())
+        payload["schema_version"] = 99
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("POST", "/v1/allocate", payload)
+        assert excinfo.value.status == 400
+        assert "schema_version" in str(excinfo.value)
+
+    def test_v1_response_carries_authoritative_content_key(self):
+        from repro.engine.engine import (
+            request_content_key,
+            versioned_content_key,
+        )
+        from repro.io.service import allocate_request_payload
+
+        request = make_request("keyed")
+        expected = versioned_content_key(request_content_key(request))
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            v1 = client._request(
+                "POST", "/v1/allocate", allocate_request_payload(request, 1)
+            )
+            legacy = client._request(
+                "POST", "/allocate", allocate_request_payload(request)
+            )
+        assert v1["content_key"] == expected
+        assert v1["schema_version"] == 1
+        # extra wire fields never reach the parsed envelope / canonical
+        # bytes, and the legacy dialect stays byte-compatible
+        assert "content_key" not in legacy
+        assert "schema_version" not in legacy
+
+    def test_request_payload_carries_fingerprint_hint_only_on_v1(self):
+        from repro.io.service import allocate_request_payload
+
+        request = make_request("hinted")
+        v1 = allocate_request_payload(request, 1)
+        assert v1["schema_version"] == 1
+        assert v1["fingerprint"] == request.problem.fingerprint()
+        legacy = allocate_request_payload(request)
+        assert "schema_version" not in legacy
+        assert "fingerprint" not in legacy
+
+    def test_both_dialects_produce_identical_envelopes(self):
+        request = make_request("dialects")
+        with ServerThread(engine=Engine(), max_concurrency=1) as st:
+            ServiceClient(st.url).wait_healthy()
+            modern = ServiceClient(st.url, schema_version=1).run(request)
+            legacy = ServiceClient(st.url, schema_version=0).run(request)
+        assert modern.canonical_json() == legacy.canonical_json()
+
+
+class TestBackendProtocol:
+    """Satellite 2: one Backend surface for local, async and remote."""
+
+    def test_engine_and_clients_satisfy_backend(self):
+        from repro.engine import Backend
+
+        assert isinstance(Engine(), Backend)
+        async_engine = AsyncEngine(Engine())
+        try:
+            assert isinstance(async_engine, Backend)
+        finally:
+            async_engine.close()
+        assert isinstance(ServiceClient("http://127.0.0.1:1"), Backend)
+
+    def test_backend_run_batch_signature_is_interchangeable(self):
+        """The same call works verbatim against Engine and the service
+        (the CLI's _backend() relies on this)."""
+        requests = [make_request("p0", relax=0.4), make_request("p1")]
+        offline = Engine().run_batch(requests, workers=2)
+        with ServerThread(engine=Engine(), max_concurrency=2) as st:
+            client = ServiceClient(st.url)
+            client.wait_healthy()
+            served = client.run_batch(requests, workers=2)
+        assert [r.canonical_json() for r in served] == \
+               [r.canonical_json() for r in offline]
+
+    def test_async_engine_run_batch_matches_run_many(self):
+        requests = [make_request("a0", relax=0.4), make_request("a1")]
+
+        async def go():
+            engine = AsyncEngine(Engine(), max_concurrency=2)
+            try:
+                return await engine.run_batch(requests, workers=8)
+            finally:
+                engine.close()
+
+        served = asyncio.run(go())
+        offline = Engine().run_batch(requests)
+        assert [r.canonical_json() for r in served] == \
+               [r.canonical_json() for r in offline]
 
 
 class TestServedTraceTelemetry:

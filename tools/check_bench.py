@@ -29,6 +29,11 @@ baselines and fails when the trajectory regresses:
   implementation by at least ``--min-kernel-ratio`` (default 1.0 -- the
   optimised kernel may never lose to the formulation it replaced) *and*
   must not fall below ``baseline * (1 - tolerance)``;
+* **fleet throughput** (``BENCH_fleet.json``): the coordinator over
+  its worker pool must serve the duplicate-heavy wave stream at >=
+  ``--min-fleet-ratio`` (default 1.5) the single-instance throughput,
+  with every envelope byte-identical to the offline run and zero
+  duplicate solves reaching the workers;
 * **delta warm starts** (``BENCH_delta.json``): every warm single-edit
   re-solve must be canonical-byte identical to its cold counterpart
   (a break fails the gate with the path of the replayable repro file
@@ -57,7 +62,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-REPORTS = ("engine", "solver", "service", "micro", "delta")
+REPORTS = ("engine", "solver", "service", "micro", "delta", "fleet")
 FILENAMES = {name: f"BENCH_{name}.json" for name in REPORTS}
 
 
@@ -339,12 +344,44 @@ def check_delta(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
         )
 
 
+def check_fleet(gate: Gate, baseline: Dict, fresh: Dict, args) -> None:
+    gate.check(
+        fresh.get("results_identical") is True,
+        "fleet.results_identical",
+        "fleet envelopes byte-identical to offline Engine.run_batch",
+    )
+    gate.check(
+        fresh.get("zero_duplicate_solves") is True,
+        "fleet.zero_duplicate_solves",
+        f"workers saw {fresh.get('worker_forwards')} forwards for "
+        f"{fresh.get('unique_cases')} unique problems "
+        f"({fresh.get('stream_requests')} requests streamed)",
+    )
+    ratio = float(fresh.get("throughput_ratio", 0.0))
+    gate.check(
+        ratio >= args.min_fleet_ratio,
+        "fleet.throughput_ratio",
+        f"coordinator over {fresh.get('workers')} workers at {ratio:g}x "
+        f"single-instance throughput on the duplicate-heavy stream "
+        f"(floor {args.min_fleet_ratio:g}x; "
+        f"baseline {baseline.get('throughput_ratio', '?')}x)",
+    )
+    shed_total = int(fresh.get("dedup", {}).get("shed_total", 0))
+    gate.check(
+        shed_total == 0,
+        "fleet.no_shedding",
+        f"{shed_total} requests shed during the benchmark stream "
+        f"(the stream must fit the default queue limits)",
+    )
+
+
 CHECKERS = {
     "engine": ("bench-engine", check_engine),
     "solver": ("bench-solver", check_solver),
     "service": ("bench-service", check_service),
     "micro": ("bench-micro", check_micro),
     "delta": ("bench-delta", check_delta),
+    "fleet": ("bench-fleet", check_fleet),
 }
 
 
@@ -397,6 +434,12 @@ def main(argv=None) -> int:
         help="hard floor for the warm/cold delta re-solve speedup on "
              "every family (default 2.0: a warm single-edit re-solve "
              "must at least halve the cold solve time)",
+    )
+    parser.add_argument(
+        "--min-fleet-ratio", type=float, default=1.5,
+        help="hard floor for coordinator-over-workers throughput vs a "
+             "single server instance on the duplicate-heavy fleet "
+             "stream (default 1.5)",
     )
     parser.add_argument(
         "--min-kernel-ratio", type=float, default=1.0,
